@@ -1,0 +1,503 @@
+//! FIMT-DD — Fast Incremental Model Tree with Drift Detection
+//! (Ikonomovska, Gama & Džeroski, 2011), re-implemented as a *classifier*
+//! exactly the way the DMT paper's authors did (§VI-C):
+//!
+//! * splits use the **standard deviation reduction** (SDR) of the class index
+//!   treated as a numeric target, compared with the Hoeffding bound
+//!   (δ = 0.01) and a tie threshold of 0.05;
+//! * leaves hold **linear models** (logit / softmax GLMs) trained by SGD with
+//!   learning rate 0.01;
+//! * every node carries a **Page-Hinkley** test on its prediction error; when
+//!   the test raises an alert the branch below the node is deleted (the
+//!   authors' "second adjustment strategy");
+//! * unlike the Dynamic Model Tree, the models at inner nodes are **not**
+//!   updated after splitting, and learning the leaf models never shrinks the
+//!   tree.
+//!
+//! Per-feature statistics are kept in an extended binary-search-tree (E-BST)
+//! equivalent: an ordered map from (quantised) attribute value to the target
+//! count/sum/sum-of-squares, which yields the same candidate thresholds as
+//! the original E-BST at a fraction of the code.
+
+use std::collections::BTreeMap;
+
+use dmt_drift::{DriftDetector, PageHinkley};
+use dmt_models::online::{Complexity, OnlineClassifier};
+use dmt_models::{Glm, Rows, SimpleModel};
+use dmt_stream::schema::StreamSchema;
+
+use crate::observer::SplitTest;
+use crate::split_criterion::{hoeffding_bound, sdr};
+
+/// Configuration of the FIMT-DD classifier.
+#[derive(Debug, Clone)]
+pub struct FimtDdConfig {
+    /// Minimum weight a leaf must accumulate between split attempts.
+    pub grace_period: f64,
+    /// Hoeffding-bound confidence δ for the SDR ratio test (paper: 0.01).
+    pub split_confidence: f64,
+    /// Tie threshold τ (paper: 0.05).
+    pub tie_threshold: f64,
+    /// Learning rate of the linear leaf models (paper: 0.01).
+    pub learning_rate: f64,
+    /// Quantisation step for attribute values in the E-BST.
+    pub value_quantisation: f64,
+    /// Maximum number of distinct values tracked per feature and leaf.
+    pub max_distinct_values: usize,
+}
+
+impl Default for FimtDdConfig {
+    fn default() -> Self {
+        Self {
+            grace_period: 200.0,
+            split_confidence: 0.01,
+            tie_threshold: 0.05,
+            learning_rate: 0.01,
+            value_quantisation: 1e-3,
+            max_distinct_values: 1_000,
+        }
+    }
+}
+
+/// Target statistics: `(count, sum, sum of squares)` of the numeric target.
+type TargetStats = (f64, f64, f64);
+
+/// E-BST-equivalent per-feature statistics.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EBst {
+    /// Ordered map from quantised value to target statistics of instances
+    /// with exactly that value.
+    bins: BTreeMap<i64, TargetStats>,
+}
+
+impl EBst {
+    fn update(&mut self, value: f64, target: f64, quantisation: f64, cap: usize) {
+        let key = (value / quantisation).round() as i64;
+        if self.bins.len() >= cap && !self.bins.contains_key(&key) {
+            // Drop the update rather than grow without bound; the retained
+            // bins still cover the value range densely.
+            return;
+        }
+        let entry = self.bins.entry(key).or_insert((0.0, 0.0, 0.0));
+        entry.0 += 1.0;
+        entry.1 += target;
+        entry.2 += target * target;
+    }
+
+    /// Best threshold by SDR for this feature given the parent target stats.
+    fn best_split(&self, parent: TargetStats, quantisation: f64) -> Option<(f64, f64)> {
+        if self.bins.len() < 2 {
+            return None;
+        }
+        let mut left: TargetStats = (0.0, 0.0, 0.0);
+        let mut best: Option<(f64, f64)> = None;
+        let keys: Vec<i64> = self.bins.keys().copied().collect();
+        for (i, key) in keys.iter().enumerate() {
+            let stats = self.bins[key];
+            left.0 += stats.0;
+            left.1 += stats.1;
+            left.2 += stats.2;
+            // No point splitting after the last bin.
+            if i + 1 == keys.len() {
+                break;
+            }
+            let right = (parent.0 - left.0, parent.1 - left.1, parent.2 - left.2);
+            if left.0 < 1.0 || right.0 < 1.0 {
+                continue;
+            }
+            let gain = sdr(parent, left, right);
+            let threshold = *key as f64 * quantisation;
+            if best.map_or(true, |(_, g)| gain > g) {
+                best = Some((threshold, gain));
+            }
+        }
+        best
+    }
+}
+
+enum FimtNode {
+    Leaf {
+        model: Glm,
+        ebsts: Vec<EBst>,
+        target: TargetStats,
+        detector: PageHinkley,
+        weight_at_last_eval: f64,
+        depth: usize,
+    },
+    Inner {
+        feature: usize,
+        test: SplitTest,
+        left: Box<FimtNode>,
+        right: Box<FimtNode>,
+        detector: PageHinkley,
+        depth: usize,
+    },
+}
+
+impl FimtNode {
+    fn fresh_leaf(schema: &StreamSchema, model: Glm, depth: usize) -> Self {
+        FimtNode::Leaf {
+            model,
+            ebsts: vec![EBst::default(); schema.num_features()],
+            target: (0.0, 0.0, 0.0),
+            detector: PageHinkley::fimtdd_default(),
+            weight_at_last_eval: 0.0,
+            depth,
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            FimtNode::Leaf { model, .. } => model.predict_proba(x),
+            FimtNode::Inner {
+                feature,
+                test,
+                left,
+                right,
+                ..
+            } => {
+                if test.goes_left(x[*feature]) {
+                    left.predict_proba(x)
+                } else {
+                    right.predict_proba(x)
+                }
+            }
+        }
+    }
+
+    fn count_nodes(&self) -> (u64, u64) {
+        match self {
+            FimtNode::Leaf { .. } => (0, 1),
+            FimtNode::Inner { left, right, .. } => {
+                let (il, ll) = left.count_nodes();
+                let (ir, lr) = right.count_nodes();
+                (1 + il + ir, ll + lr)
+            }
+        }
+    }
+
+    fn learn(&mut self, x: &[f64], y: usize, schema: &StreamSchema, config: &FimtDdConfig) {
+        // Error signal for the Page-Hinkley test: the 0/1 error of the
+        // subtree's current prediction.
+        let prediction = dmt_models::argmax(&self.predict_proba(x));
+        let error = if prediction == y { 0.0 } else { 1.0 };
+        match self {
+            FimtNode::Leaf {
+                model,
+                ebsts,
+                target,
+                detector,
+                weight_at_last_eval,
+                depth,
+            } => {
+                detector.update(error);
+                model.sgd_step(&[x], &[y], config.learning_rate);
+                let target_value = y as f64;
+                for (ebst, &value) in ebsts.iter_mut().zip(x.iter()) {
+                    ebst.update(value, target_value, config.value_quantisation, config.max_distinct_values);
+                }
+                target.0 += 1.0;
+                target.1 += target_value;
+                target.2 += target_value * target_value;
+
+                let weight = target.0;
+                if weight - *weight_at_last_eval >= config.grace_period {
+                    *weight_at_last_eval = weight;
+                    // Best and second-best SDR over all features.
+                    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sdr)
+                    let mut second_sdr = 0.0;
+                    for (feature, ebst) in ebsts.iter().enumerate() {
+                        if let Some((threshold, gain)) =
+                            ebst.best_split(*target, config.value_quantisation)
+                        {
+                            match &mut best {
+                                Some((_, _, best_gain)) if gain > *best_gain => {
+                                    second_sdr = *best_gain;
+                                    best = Some((feature, threshold, gain));
+                                }
+                                Some((_, _, best_gain)) => {
+                                    if gain > second_sdr {
+                                        second_sdr = gain;
+                                    }
+                                    let _ = best_gain;
+                                }
+                                None => best = Some((feature, threshold, gain)),
+                            }
+                        }
+                    }
+                    if let Some((feature, threshold, best_sdr)) = best {
+                        if best_sdr > 0.0 {
+                            // FIMT-DD ratio test: split when the runner-up's
+                            // SDR ratio is below 1 − ε, or when ε < τ.
+                            let eps =
+                                hoeffding_bound(1.0, config.split_confidence, weight);
+                            let ratio = if best_sdr > 0.0 { second_sdr / best_sdr } else { 1.0 };
+                            if ratio < 1.0 - eps || eps < config.tie_threshold {
+                                let child_model = Glm::warm_start_from(model);
+                                let new_depth = *depth + 1;
+                                *self = FimtNode::Inner {
+                                    feature,
+                                    test: SplitTest::NumericThreshold { threshold },
+                                    left: Box::new(FimtNode::fresh_leaf(
+                                        schema,
+                                        child_model.clone(),
+                                        new_depth,
+                                    )),
+                                    right: Box::new(FimtNode::fresh_leaf(
+                                        schema,
+                                        child_model,
+                                        new_depth,
+                                    )),
+                                    detector: PageHinkley::fimtdd_default(),
+                                    depth: new_depth - 1,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            FimtNode::Inner {
+                feature,
+                test,
+                left,
+                right,
+                detector,
+                depth,
+            } => {
+                let drift = detector.update(error);
+                if drift {
+                    // Second adaptation strategy of Ikonomovska et al.: delete
+                    // the branch and restart learning below this node.
+                    let depth = *depth;
+                    *self = FimtNode::fresh_leaf(schema, Glm::new_zeros(schema.num_features(), schema.num_classes), depth);
+                    self.learn(x, y, schema, config);
+                    return;
+                }
+                let child = if test.goes_left(x[*feature]) { left } else { right };
+                child.learn(x, y, schema, config);
+            }
+        }
+    }
+}
+
+/// The FIMT-DD classifier.
+pub struct FimtDdClassifier {
+    config: FimtDdConfig,
+    schema: StreamSchema,
+    root: FimtNode,
+    observations: u64,
+}
+
+impl FimtDdClassifier {
+    /// Create a FIMT-DD classifier for the given schema.
+    pub fn new(schema: StreamSchema, config: FimtDdConfig) -> Self {
+        let root = FimtNode::fresh_leaf(
+            &schema,
+            Glm::new_zeros(schema.num_features(), schema.num_classes),
+            0,
+        );
+        Self {
+            config,
+            schema,
+            root,
+            observations: 0,
+        }
+    }
+
+    /// Learn a single labelled instance.
+    pub fn learn_one(&mut self, x: &[f64], y: usize) {
+        self.observations += 1;
+        self.root.learn(x, y, &self.schema, &self.config);
+    }
+
+    /// Number of inner nodes (splits).
+    pub fn num_inner_nodes(&self) -> u64 {
+        self.root.count_nodes().0
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> u64 {
+        self.root.count_nodes().1
+    }
+}
+
+impl OnlineClassifier for FimtDdClassifier {
+    fn name(&self) -> &str {
+        "FIMT-DD"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.schema.num_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        dmt_models::argmax(&self.predict_proba(x))
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.root.predict_proba(x)
+    }
+
+    fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            self.learn_one(x, y);
+        }
+    }
+
+    fn complexity(&self) -> Complexity {
+        let (inner, leaves) = self.root.count_nodes();
+        let c = self.schema.num_classes;
+        let m = self.schema.num_features();
+        // Linear leaf models: one extra split per binary leaf model, `c` per
+        // multiclass model; m (per class) parameters per leaf.
+        let splits_per_leaf = if c == 2 { 1.0 } else { c as f64 };
+        let params_per_leaf = if c == 2 { m as f64 } else { (m * c) as f64 };
+        Complexity {
+            splits: inner as f64 + leaves as f64 * splits_per_leaf,
+            parameters: inner as f64 + leaves as f64 * params_per_leaf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_stream::generators::sea::SeaGenerator;
+    use dmt_stream::DataStream;
+
+    fn sea_schema() -> StreamSchema {
+        StreamSchema::numeric("SEA", 3, 2)
+    }
+
+    #[test]
+    fn ebst_finds_the_separating_threshold() {
+        let mut ebst = EBst::default();
+        // Feature values < 0.5 -> target 0; >= 0.5 -> target 1.
+        for i in 0..200 {
+            let value = i as f64 / 200.0;
+            let target = if value < 0.5 { 0.0 } else { 1.0 };
+            ebst.update(value, target, 1e-3, 1_000);
+        }
+        let parent = (200.0, 100.0, 100.0);
+        let (threshold, gain) = ebst.best_split(parent, 1e-3).unwrap();
+        assert!((threshold - 0.5).abs() < 0.05, "threshold {threshold}");
+        assert!(gain > 0.3, "gain {gain}");
+    }
+
+    #[test]
+    fn ebst_with_single_value_has_no_split() {
+        let mut ebst = EBst::default();
+        for _ in 0..100 {
+            ebst.update(0.7, 1.0, 1e-3, 1_000);
+        }
+        assert!(ebst.best_split((100.0, 100.0, 100.0), 1e-3).is_none());
+    }
+
+    #[test]
+    fn ebst_respects_the_distinct_value_cap() {
+        let mut ebst = EBst::default();
+        for i in 0..100 {
+            ebst.update(i as f64, 0.0, 1e-3, 10);
+        }
+        assert!(ebst.bins.len() <= 10);
+    }
+
+    #[test]
+    fn learns_sea_with_linear_leaves() {
+        let mut model = FimtDdClassifier::new(sea_schema(), FimtDdConfig::default());
+        let mut gen = SeaGenerator::new(0, 0.0, 1);
+        for _ in 0..20_000 {
+            let inst = gen.next_instance().unwrap();
+            // Normalise to [0, 1] as the harness does.
+            let x: Vec<f64> = inst.x.iter().map(|v| v / 10.0).collect();
+            model.learn_one(&x, inst.y);
+        }
+        let mut test_gen = SeaGenerator::new(0, 0.0, 99);
+        let mut correct = 0;
+        for _ in 0..2_000 {
+            let inst = test_gen.next_instance().unwrap();
+            let x: Vec<f64> = inst.x.iter().map(|v| v / 10.0).collect();
+            if model.predict(&x) == inst.y {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / 2_000.0;
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn starts_with_zero_splits_and_linear_complexity() {
+        let model = FimtDdClassifier::new(sea_schema(), FimtDdConfig::default());
+        assert_eq!(model.num_inner_nodes(), 0);
+        assert_eq!(model.num_leaves(), 1);
+        let c = model.complexity();
+        assert_eq!(c.splits, 1.0); // one binary leaf model
+        assert_eq!(c.parameters, 3.0); // m = 3 weights
+        assert_eq!(model.name(), "FIMT-DD");
+    }
+
+    #[test]
+    fn multiclass_complexity_counts_per_class() {
+        let model =
+            FimtDdClassifier::new(StreamSchema::numeric("mc", 4, 5), FimtDdConfig::default());
+        let c = model.complexity();
+        assert_eq!(c.splits, 5.0);
+        assert_eq!(c.parameters, 20.0);
+    }
+
+    #[test]
+    fn page_hinkley_can_prune_after_severe_drift() {
+        let mut model = FimtDdClassifier::new(sea_schema(), FimtDdConfig::default());
+        let mut gen_a = SeaGenerator::new(0, 0.0, 5);
+        for _ in 0..20_000 {
+            let inst = gen_a.next_instance().unwrap();
+            let x: Vec<f64> = inst.x.iter().map(|v| v / 10.0).collect();
+            model.learn_one(&x, inst.y);
+        }
+        // Severe concept change: invert the labels entirely.
+        let mut gen_b = SeaGenerator::new(0, 0.0, 6);
+        for _ in 0..20_000 {
+            let inst = gen_b.next_instance().unwrap();
+            let x: Vec<f64> = inst.x.iter().map(|v| v / 10.0).collect();
+            model.learn_one(&x, 1 - inst.y);
+        }
+        // After the inversion the model must have adapted (either by pruning
+        // or by retraining the leaf models) to predict the inverted concept
+        // better than chance.
+        let mut test_gen = SeaGenerator::new(0, 0.0, 77);
+        let mut correct = 0;
+        for _ in 0..2_000 {
+            let inst = test_gen.next_instance().unwrap();
+            let x: Vec<f64> = inst.x.iter().map(|v| v / 10.0).collect();
+            if model.predict(&x) == 1 - inst.y {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / 2_000.0 > 0.6,
+            "failed to adapt: {}",
+            correct as f64 / 2_000.0
+        );
+    }
+
+    #[test]
+    fn batch_learning_counts_observations() {
+        let mut model = FimtDdClassifier::new(sea_schema(), FimtDdConfig::default());
+        let mut gen = SeaGenerator::new(0, 0.0, 3);
+        let batch = gen.next_batch(250).unwrap();
+        model.learn_batch(&batch.rows(), &batch.ys);
+        assert_eq!(model.observations, 250);
+    }
+
+    #[test]
+    fn predictions_are_probability_distributions() {
+        let mut model = FimtDdClassifier::new(StreamSchema::numeric("mc", 3, 4), FimtDdConfig::default());
+        for i in 0..1_000usize {
+            let x = [(i % 7) as f64 / 7.0, (i % 5) as f64 / 5.0, (i % 3) as f64 / 3.0];
+            model.learn_one(&x, i % 4);
+        }
+        let p = model.predict_proba(&[0.2, 0.4, 0.6]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+}

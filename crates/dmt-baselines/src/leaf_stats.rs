@@ -1,0 +1,276 @@
+//! Per-leaf statistics and leaf prediction policies for the Hoeffding-tree
+//! family.
+//!
+//! Every learning leaf keeps a class distribution, one attribute observer per
+//! feature and (when the policy requires it) an incremental Gaussian Naive
+//! Bayes model. The three policies correspond to the paper's baselines:
+//!
+//! * [`LeafPolicy::MajorityClass`] — VFDT (MC), HT-Ada and EFDT as configured
+//!   in §VI-C (majority voting in the leaves).
+//! * [`LeafPolicy::NaiveBayes`] — plain Naive Bayes leaves.
+//! * [`LeafPolicy::NaiveBayesAdaptive`] — VFDT (NBA): predicts with whichever
+//!   of majority class / Naive Bayes has been more accurate at this leaf so
+//!   far (Gama et al., 2003).
+
+use dmt_models::{GaussianNaiveBayes, SimpleModel};
+use dmt_stream::schema::{FeatureType, StreamSchema};
+use serde::{Deserialize, Serialize};
+
+use crate::observer::{AttributeObserver, SplitSuggestion};
+use crate::split_criterion::SplitCriterion;
+
+/// Leaf prediction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeafPolicy {
+    /// Predict the majority class of the leaf.
+    MajorityClass,
+    /// Predict with an incremental Gaussian Naive Bayes model.
+    NaiveBayes,
+    /// Predict with majority class or Naive Bayes, whichever has the better
+    /// running accuracy at this leaf ("adaptive", Gama et al. 2003).
+    NaiveBayesAdaptive,
+}
+
+/// Statistics stored in a learning leaf.
+#[derive(Debug, Clone)]
+pub struct LeafStats {
+    /// Per-class observation weights.
+    pub class_counts: Vec<f64>,
+    observers: Vec<AttributeObserver>,
+    nb: Option<GaussianNaiveBayes>,
+    policy: LeafPolicy,
+    mc_correct: f64,
+    nb_correct: f64,
+    /// Weight seen at the time of the last split attempt (for grace periods).
+    pub weight_at_last_eval: f64,
+}
+
+impl LeafStats {
+    /// Create leaf statistics for the given schema and policy.
+    pub fn new(schema: &StreamSchema, policy: LeafPolicy) -> Self {
+        let c = schema.num_classes;
+        let observers = schema
+            .features
+            .iter()
+            .map(|f| match f.feature_type {
+                FeatureType::Numeric => AttributeObserver::numeric(c),
+                FeatureType::Nominal { cardinality } => AttributeObserver::nominal(cardinality, c),
+            })
+            .collect();
+        let nb = if policy == LeafPolicy::MajorityClass {
+            None
+        } else {
+            Some(GaussianNaiveBayes::new(schema.num_features(), c))
+        };
+        Self {
+            class_counts: vec![0.0; c],
+            observers,
+            nb,
+            policy,
+            mc_correct: 0.0,
+            nb_correct: 0.0,
+            weight_at_last_eval: 0.0,
+        }
+    }
+
+    /// Total observation weight at this leaf.
+    pub fn total_weight(&self) -> f64 {
+        self.class_counts.iter().sum()
+    }
+
+    /// Majority class (ties toward the lower index).
+    pub fn majority_class(&self) -> usize {
+        dmt_models::argmax(&self.class_counts)
+    }
+
+    /// Whether all observed weight belongs to a single class.
+    pub fn is_pure(&self) -> bool {
+        self.class_counts.iter().filter(|&&c| c > 0.0).count() <= 1
+    }
+
+    /// Incorporate one labelled instance.
+    pub fn update(&mut self, x: &[f64], y: usize) {
+        // Track which of MC / NB would have predicted correctly *before*
+        // incorporating the instance (required by the adaptive policy).
+        if self.policy == LeafPolicy::NaiveBayesAdaptive && self.total_weight() > 0.0 {
+            if self.majority_class() == y {
+                self.mc_correct += 1.0;
+            }
+            if let Some(nb) = &self.nb {
+                if SimpleModel::predict(nb, x) == y {
+                    self.nb_correct += 1.0;
+                }
+            }
+        }
+        if y < self.class_counts.len() {
+            self.class_counts[y] += 1.0;
+        }
+        for (observer, &value) in self.observers.iter_mut().zip(x.iter()) {
+            observer.update(value, y);
+        }
+        if let Some(nb) = &mut self.nb {
+            nb.update(x, y);
+        }
+    }
+
+    /// Class-probability prediction according to the leaf policy.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let total = self.total_weight();
+        let c = self.class_counts.len();
+        let mc_proba = || -> Vec<f64> {
+            if total == 0.0 {
+                vec![1.0 / c as f64; c]
+            } else {
+                self.class_counts.iter().map(|&w| w / total).collect()
+            }
+        };
+        match self.policy {
+            LeafPolicy::MajorityClass => mc_proba(),
+            LeafPolicy::NaiveBayes => match &self.nb {
+                Some(nb) if total > 0.0 => nb.predict_proba(x),
+                _ => mc_proba(),
+            },
+            LeafPolicy::NaiveBayesAdaptive => {
+                if self.nb_correct >= self.mc_correct {
+                    match &self.nb {
+                        Some(nb) if total > 0.0 => nb.predict_proba(x),
+                        _ => mc_proba(),
+                    }
+                } else {
+                    mc_proba()
+                }
+            }
+        }
+    }
+
+    /// Best split suggestion per attribute, sorted by descending merit.
+    pub fn split_suggestions(&self, criterion: &dyn SplitCriterion) -> Vec<SplitSuggestion> {
+        let mut suggestions: Vec<SplitSuggestion> = self
+            .observers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.best_split(i, &self.class_counts, criterion))
+            .collect();
+        suggestions.sort_by(|a, b| b.merit.partial_cmp(&a.merit).unwrap_or(std::cmp::Ordering::Equal));
+        suggestions
+    }
+
+    /// The leaf prediction policy.
+    pub fn policy(&self) -> LeafPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_criterion::InfoGainCriterion;
+    use dmt_stream::schema::StreamSchema;
+
+    fn schema() -> StreamSchema {
+        StreamSchema::numeric("toy", 2, 2)
+    }
+
+    fn fill_separable(stats: &mut LeafStats, n: usize) {
+        for i in 0..n {
+            let v = i as f64 / n as f64;
+            // Class 1 when the first feature exceeds 0.5.
+            stats.update(&[v, 1.0 - v], usize::from(v > 0.5));
+        }
+    }
+
+    #[test]
+    fn counts_and_majority() {
+        let mut stats = LeafStats::new(&schema(), LeafPolicy::MajorityClass);
+        stats.update(&[0.1, 0.2], 0);
+        stats.update(&[0.3, 0.1], 0);
+        stats.update(&[0.9, 0.8], 1);
+        assert_eq!(stats.total_weight(), 3.0);
+        assert_eq!(stats.majority_class(), 0);
+        assert!(!stats.is_pure());
+    }
+
+    #[test]
+    fn empty_leaf_predicts_uniform() {
+        let stats = LeafStats::new(&schema(), LeafPolicy::MajorityClass);
+        let p = stats.predict_proba(&[0.5, 0.5]);
+        assert_eq!(p, vec![0.5, 0.5]);
+        assert!(stats.is_pure());
+    }
+
+    #[test]
+    fn majority_policy_returns_class_frequencies() {
+        let mut stats = LeafStats::new(&schema(), LeafPolicy::MajorityClass);
+        stats.update(&[0.1, 0.2], 0);
+        stats.update(&[0.2, 0.2], 0);
+        stats.update(&[0.9, 0.8], 1);
+        let p = stats.predict_proba(&[0.5, 0.5]);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_bayes_policy_uses_feature_information() {
+        let mut stats = LeafStats::new(&schema(), LeafPolicy::NaiveBayes);
+        fill_separable(&mut stats, 200);
+        let p_low = stats.predict_proba(&[0.1, 0.9]);
+        let p_high = stats.predict_proba(&[0.9, 0.1]);
+        assert!(p_low[0] > 0.5, "low x should look like class 0: {p_low:?}");
+        assert!(p_high[1] > 0.5, "high x should look like class 1: {p_high:?}");
+    }
+
+    #[test]
+    fn adaptive_policy_tracks_both_accuracies() {
+        let mut stats = LeafStats::new(&schema(), LeafPolicy::NaiveBayesAdaptive);
+        fill_separable(&mut stats, 300);
+        // On separable data NB should be at least as accurate as MC, so the
+        // adaptive leaf behaves like NB and uses the features.
+        let p_low = stats.predict_proba(&[0.05, 0.95]);
+        assert!(p_low[0] > 0.5);
+        assert!(stats.nb_correct >= 0.0 && stats.mc_correct >= 0.0);
+    }
+
+    #[test]
+    fn split_suggestions_are_sorted_and_identify_the_informative_feature() {
+        let mut stats = LeafStats::new(&schema(), LeafPolicy::MajorityClass);
+        fill_separable(&mut stats, 400);
+        let suggestions = stats.split_suggestions(&InfoGainCriterion);
+        assert!(!suggestions.is_empty());
+        // Both features are informative here (x1 = 1 - x0), but merits must be
+        // sorted in descending order.
+        for pair in suggestions.windows(2) {
+            assert!(pair[0].merit >= pair[1].merit);
+        }
+        assert!(suggestions[0].merit > 0.5);
+    }
+
+    #[test]
+    fn pure_leaf_is_detected() {
+        let mut stats = LeafStats::new(&schema(), LeafPolicy::MajorityClass);
+        for i in 0..50 {
+            stats.update(&[i as f64, 0.0], 1);
+        }
+        assert!(stats.is_pure());
+        assert_eq!(stats.majority_class(), 1);
+    }
+
+    #[test]
+    fn nominal_features_use_nominal_observers() {
+        let schema = StreamSchema::new(
+            "mixed",
+            vec![
+                dmt_stream::schema::FeatureSpec::nominal("color", 3),
+                dmt_stream::schema::FeatureSpec::numeric("size"),
+            ],
+            2,
+        );
+        let mut stats = LeafStats::new(&schema, LeafPolicy::MajorityClass);
+        for i in 0..120 {
+            let color = (i % 3) as f64;
+            let label = usize::from(color == 0.0);
+            stats.update(&[color, i as f64 / 120.0], label);
+        }
+        let suggestions = stats.split_suggestions(&InfoGainCriterion);
+        assert_eq!(suggestions[0].feature, 0, "the nominal feature determines the label");
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the stream generators and simulators:
+//! instances generated per second for SEA, Agrawal, Hyperplane and the
+//! real-world simulators (the evaluation harness is generator-bound for the
+//! cheap classifiers, so this matters for reproduction wall-clock time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmt::stream::generators::{AgrawalGenerator, HyperplaneGenerator, SeaGenerator};
+use dmt::stream::realworld::{covertype_sim, electricity_sim};
+use dmt::stream::DataStream;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_1000_instances");
+
+    group.bench_function("sea", |b| {
+        let mut generator = SeaGenerator::new(0, 0.1, 1);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                black_box(generator.next_instance());
+            }
+        });
+    });
+
+    group.bench_function("agrawal", |b| {
+        let mut generator = AgrawalGenerator::new(5, 0.1, 1);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                black_box(generator.next_instance());
+            }
+        });
+    });
+
+    group.bench_function("hyperplane_50d", |b| {
+        let mut generator = HyperplaneGenerator::paper_default(1);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                black_box(generator.next_instance());
+            }
+        });
+    });
+
+    group.bench_function("electricity_sim", |b| {
+        let mut simulator = electricity_sim(1.0, 1);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                black_box(simulator.next_instance());
+            }
+        });
+    });
+
+    group.bench_function("covertype_sim_54d", |b| {
+        let mut simulator = covertype_sim(1.0, 1);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                black_box(simulator.next_instance());
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the simple models: per-batch SGD updates,
+//! loss/gradient evaluation and prediction for the logit and softmax GLMs and
+//! the Gaussian Naive Bayes model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt::models::{GaussianNaiveBayes, Glm, SimpleModel};
+use std::hint::black_box;
+
+fn make_batch(n: usize, m: usize, classes: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+    let ys: Vec<usize> = xs.iter().map(|x| (x[0] * classes as f64) as usize % classes).collect();
+    (xs, ys)
+}
+
+fn bench_glm_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glm_sgd_step");
+    for &(m, classes) in &[(10usize, 2usize), (50, 2), (40, 10)] {
+        let (xs, ys) = make_batch(100, m, classes, 7);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_c{classes}")),
+            &(rows, ys),
+            |b, (rows, ys)| {
+                let mut glm = Glm::new_zeros(m, classes);
+                b.iter(|| {
+                    black_box(glm.sgd_step(black_box(rows), black_box(ys), 0.05));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_glm_loss_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glm_loss_and_gradient");
+    for &(m, classes) in &[(10usize, 2usize), (50, 2), (40, 10)] {
+        let (xs, ys) = make_batch(100, m, classes, 11);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let glm = Glm::new_random(m, classes, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_c{classes}")),
+            &(rows, ys),
+            |b, (rows, ys)| {
+                b.iter(|| black_box(glm.loss_and_gradient(black_box(rows), black_box(ys))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_naive_bayes(c: &mut Criterion) {
+    let (xs, ys) = make_batch(1_000, 20, 4, 13);
+    c.bench_function("naive_bayes_update_1000x20", |b| {
+        b.iter(|| {
+            let mut nb = GaussianNaiveBayes::new(20, 4);
+            for (x, &y) in xs.iter().zip(ys.iter()) {
+                nb.update(black_box(x), black_box(y));
+            }
+            black_box(nb.predict_proba(&xs[0]))
+        });
+    });
+}
+
+criterion_group!(benches, bench_glm_updates, bench_glm_loss_gradient, bench_naive_bayes);
+criterion_main!(benches);

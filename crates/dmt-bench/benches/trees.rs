@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the incremental decision trees — the
+//! per-batch test/train cost that Table V of the paper reports at macro
+//! scale. One batch of 100 SEA instances is predicted and learned by every
+//! stand-alone model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt::prelude::*;
+use dmt::stream::generators::SeaGenerator;
+use dmt::stream::DataStream;
+use std::hint::black_box;
+
+fn bench_tree_batch_updates(c: &mut Criterion) {
+    let mut generator = SeaGenerator::new(0, 0.1, 3);
+    let warmup = generator.next_batch(5_000).unwrap();
+    let batch = generator.next_batch(100).unwrap();
+    let schema = generator.schema().clone();
+
+    let mut group = c.benchmark_group("tree_test_then_train_100_instances");
+    for kind in STANDALONE_MODELS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.display_name()),
+            &kind,
+            |b, &kind| {
+                // Pre-train each model on the warm-up prefix so the benchmark
+                // measures steady-state cost, not the cold start.
+                let mut model = build_model(kind, &schema, 1);
+                let warm_rows = warmup.rows();
+                model.learn_batch(&warm_rows, &warmup.ys);
+                let rows = batch.rows();
+                b.iter(|| {
+                    black_box(model.predict_batch(&rows));
+                    model.learn_batch(black_box(&rows), black_box(&batch.ys));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dmt_explain(c: &mut Criterion) {
+    let mut generator = SeaGenerator::new(0, 0.1, 5);
+    let schema = generator.schema().clone();
+    let mut tree = dmt::core::DynamicModelTree::new(schema, dmt::core::DmtConfig::default());
+    for _ in 0..100 {
+        let batch = generator.next_batch(100).unwrap();
+        tree.learn_batch(&batch.rows(), &batch.ys);
+    }
+    let probe = [5.0, 5.0, 5.0];
+    c.bench_function("dmt_explain_single_instance", |b| {
+        b.iter(|| black_box(tree.explain(black_box(&probe))));
+    });
+}
+
+criterion_group!(benches, bench_tree_batch_updates, bench_dmt_explain);
+criterion_main!(benches);

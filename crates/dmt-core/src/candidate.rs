@@ -1,0 +1,263 @@
+//! Split candidates and their accumulated statistics.
+//!
+//! A split candidate is a feature–value combination (§IV of the paper). For
+//! every stored candidate the node accumulates, over the time steps since the
+//! candidate was added,
+//!
+//! * the loss of the *node's own model* on the subset of observations routed
+//!   to the candidate's **left** child,
+//! * the gradient of that loss with respect to the node parameters, and
+//! * the number of such observations.
+//!
+//! The right-child statistics are never stored: they are the difference
+//! between the node statistics and the left-child statistics (Algorithm 1,
+//! note before line 4), which halves memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a split candidate: which feature is tested and against what.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateKey {
+    /// Feature index.
+    pub feature: usize,
+    /// Split value: numeric threshold (`x <= value` goes left) or nominal
+    /// code (`x == value` goes left).
+    pub value: f64,
+    /// Whether the test is a nominal equality test.
+    pub is_nominal: bool,
+}
+
+impl CandidateKey {
+    /// Whether an instance is routed to the left child by this candidate.
+    #[inline]
+    pub fn goes_left(&self, x: &[f64]) -> bool {
+        let v = x[self.feature];
+        if self.is_nominal {
+            (v - self.value).abs() < 1e-9
+        } else {
+            v <= self.value
+        }
+    }
+
+    /// Two keys are considered the same candidate when they test the same
+    /// feature with (numerically) the same value and the same test type.
+    pub fn same_as(&self, other: &CandidateKey) -> bool {
+        self.feature == other.feature
+            && self.is_nominal == other.is_nominal
+            && (self.value - other.value).abs() < 1e-9
+    }
+}
+
+/// A stored split candidate with its accumulated left-child statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitCandidate {
+    /// The feature–value combination this candidate tests.
+    pub key: CandidateKey,
+    /// Accumulated loss of the node model on the left subset.
+    pub loss_sum: f64,
+    /// Accumulated gradient (w.r.t. the node parameters) on the left subset.
+    pub grad_sum: Vec<f64>,
+    /// Number of observations routed left since the candidate was stored.
+    pub count: u64,
+    /// Most recent gain estimate (used for pool management / replacement).
+    pub last_gain: f64,
+}
+
+impl SplitCandidate {
+    /// Create an empty candidate for a node with `num_params` model
+    /// parameters.
+    pub fn new(key: CandidateKey, num_params: usize) -> Self {
+        Self {
+            key,
+            loss_sum: 0.0,
+            grad_sum: vec![0.0; num_params],
+            count: 0,
+            last_gain: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulate the loss/gradient of one left-routed observation.
+    pub fn accumulate(&mut self, loss: f64, grad: &[f64]) {
+        self.loss_sum += loss;
+        for (g, &gi) in self.grad_sum.iter_mut().zip(grad.iter()) {
+            *g += gi;
+        }
+        self.count += 1;
+    }
+
+    /// Reset the accumulated statistics (used after structural changes).
+    pub fn reset(&mut self) {
+        self.loss_sum = 0.0;
+        self.grad_sum.iter_mut().for_each(|g| *g = 0.0);
+        self.count = 0;
+        self.last_gain = f64::NEG_INFINITY;
+    }
+}
+
+/// Propose candidate keys from the feature values observed in a batch.
+///
+/// For numeric features the 25 %, 50 % and 75 % quantiles of the batch values
+/// are proposed; for nominal features every distinct value in the batch is
+/// proposed. Proposals already present in `existing` are skipped.
+pub fn propose_from_batch(
+    xs: &[&[f64]],
+    nominal_features: &[bool],
+    existing: &[SplitCandidate],
+) -> Vec<CandidateKey> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs[0].len();
+    let mut proposals = Vec::new();
+    for feature in 0..m {
+        let mut values: Vec<f64> = xs.iter().map(|row| row[feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let is_nominal = nominal_features.get(feature).copied().unwrap_or(false);
+        let mut candidate_values: Vec<f64> = if is_nominal {
+            values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            values
+        } else {
+            let n = values.len();
+            let quantiles = [n / 4, n / 2, 3 * n / 4];
+            let mut vs: Vec<f64> = quantiles
+                .iter()
+                .map(|&i| values[i.min(n - 1)])
+                .collect();
+            vs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            vs
+        };
+        candidate_values.retain(|v| v.is_finite());
+        for value in candidate_values {
+            let key = CandidateKey {
+                feature,
+                value,
+                is_nominal,
+            };
+            let already_stored = existing.iter().any(|c| c.key.same_as(&key))
+                || proposals.iter().any(|p: &CandidateKey| p.same_as(&key));
+            if !already_stored {
+                proposals.push(key);
+            }
+        }
+    }
+    proposals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_key_routes_by_threshold() {
+        let key = CandidateKey {
+            feature: 1,
+            value: 0.5,
+            is_nominal: false,
+        };
+        assert!(key.goes_left(&[9.0, 0.5]));
+        assert!(key.goes_left(&[9.0, 0.2]));
+        assert!(!key.goes_left(&[9.0, 0.7]));
+    }
+
+    #[test]
+    fn nominal_key_routes_by_equality() {
+        let key = CandidateKey {
+            feature: 0,
+            value: 2.0,
+            is_nominal: true,
+        };
+        assert!(key.goes_left(&[2.0]));
+        assert!(!key.goes_left(&[1.0]));
+        assert!(!key.goes_left(&[2.5]));
+    }
+
+    #[test]
+    fn same_as_compares_all_fields() {
+        let a = CandidateKey {
+            feature: 0,
+            value: 1.0,
+            is_nominal: false,
+        };
+        let b = CandidateKey {
+            feature: 0,
+            value: 1.0 + 1e-12,
+            is_nominal: false,
+        };
+        let c = CandidateKey {
+            feature: 0,
+            value: 1.0,
+            is_nominal: true,
+        };
+        let d = CandidateKey {
+            feature: 1,
+            value: 1.0,
+            is_nominal: false,
+        };
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&c));
+        assert!(!a.same_as(&d));
+    }
+
+    #[test]
+    fn accumulate_and_reset() {
+        let key = CandidateKey {
+            feature: 0,
+            value: 0.5,
+            is_nominal: false,
+        };
+        let mut cand = SplitCandidate::new(key, 3);
+        cand.accumulate(1.5, &[1.0, 0.0, -1.0]);
+        cand.accumulate(0.5, &[1.0, 2.0, 0.0]);
+        assert_eq!(cand.count, 2);
+        assert!((cand.loss_sum - 2.0).abs() < 1e-12);
+        assert_eq!(cand.grad_sum, vec![2.0, 2.0, -1.0]);
+        cand.reset();
+        assert_eq!(cand.count, 0);
+        assert_eq!(cand.loss_sum, 0.0);
+        assert_eq!(cand.grad_sum, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn proposals_cover_every_feature() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 40.0, (i % 4) as f64])
+            .collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let proposals = propose_from_batch(&rows, &[false, true], &[]);
+        assert!(proposals.iter().any(|p| p.feature == 0 && !p.is_nominal));
+        assert!(proposals.iter().any(|p| p.feature == 1 && p.is_nominal));
+        // The nominal feature has 4 distinct values.
+        let nominal_count = proposals.iter().filter(|p| p.feature == 1).count();
+        assert_eq!(nominal_count, 4);
+        // The numeric feature proposes at most 3 quantiles.
+        let numeric_count = proposals.iter().filter(|p| p.feature == 0).count();
+        assert!(numeric_count <= 3 && numeric_count >= 1);
+    }
+
+    #[test]
+    fn proposals_skip_existing_candidates() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let first = propose_from_batch(&rows, &[false], &[]);
+        let stored: Vec<SplitCandidate> = first
+            .iter()
+            .map(|&key| SplitCandidate::new(key, 2))
+            .collect();
+        let second = propose_from_batch(&rows, &[false], &stored);
+        assert!(second.is_empty(), "identical batch should propose nothing new");
+    }
+
+    #[test]
+    fn empty_batch_proposes_nothing() {
+        assert!(propose_from_batch(&[], &[false], &[]).is_empty());
+    }
+
+    #[test]
+    fn constant_feature_proposes_single_threshold() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|_| vec![0.5]).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let proposals = propose_from_batch(&rows, &[false], &[]);
+        assert_eq!(proposals.len(), 1);
+        assert_eq!(proposals[0].value, 0.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Tree export / visualisation helpers.
+//!
+//! The interpretability story of the paper (§I-A) rests on the analyst being
+//! able to *look at* the model: a shallow tree of binary tests with a small
+//! linear model in every leaf. This module renders a [`DynamicModelTree`]
+//! either as an indented text outline (for logs and terminals) or as Graphviz
+//! DOT (for papers and dashboards), and produces a compact structural summary
+//! that complements the decision log.
+
+use dmt_models::SimpleModel;
+
+use crate::node::DmtNode;
+use crate::tree::DynamicModelTree;
+
+/// Structural summary of a Dynamic Model Tree at a point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSummary {
+    /// Number of inner (split) nodes.
+    pub inner_nodes: u64,
+    /// Number of leaf nodes.
+    pub leaves: u64,
+    /// Maximum depth (0 for a single leaf).
+    pub depth: usize,
+    /// Total number of GLM parameters across all nodes (inner nodes keep
+    /// models too — this is the memory-relevant count, not the Table IV one).
+    pub total_model_parameters: usize,
+    /// Total observations accumulated in the current windows of all nodes.
+    pub windowed_observations: u64,
+    /// Features used by at least one split, in ascending order.
+    pub features_used: Vec<usize>,
+}
+
+impl DynamicModelTree {
+    /// Compute a structural summary of the current tree.
+    pub fn summary(&self) -> TreeSummary {
+        let mut summary = TreeSummary {
+            inner_nodes: 0,
+            leaves: 0,
+            depth: self.depth(),
+            total_model_parameters: 0,
+            windowed_observations: 0,
+            features_used: Vec::new(),
+        };
+        fn walk(node: &DmtNode, summary: &mut TreeSummary) {
+            match node {
+                DmtNode::Leaf { stats } => {
+                    summary.leaves += 1;
+                    summary.total_model_parameters += stats.model.num_params();
+                    summary.windowed_observations += stats.count;
+                }
+                DmtNode::Inner {
+                    stats,
+                    key,
+                    left,
+                    right,
+                } => {
+                    summary.inner_nodes += 1;
+                    summary.total_model_parameters += stats.model.num_params();
+                    summary.windowed_observations += stats.count;
+                    if !summary.features_used.contains(&key.feature) {
+                        summary.features_used.push(key.feature);
+                    }
+                    walk(left, summary);
+                    walk(right, summary);
+                }
+            }
+        }
+        walk(self.root_node(), &mut summary);
+        summary.features_used.sort_unstable();
+        summary
+    }
+
+    /// Render the tree as an indented text outline.
+    ///
+    /// `feature_names` supplies optional column names; missing entries fall
+    /// back to `x<i>`.
+    pub fn to_text(&self, feature_names: &[&str]) -> String {
+        fn name(feature: usize, names: &[&str]) -> String {
+            names
+                .get(feature)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("x{feature}"))
+        }
+        fn walk(node: &DmtNode, names: &[&str], indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match node {
+                DmtNode::Leaf { stats } => {
+                    out.push_str(&format!(
+                        "{pad}leaf: {} params, {} obs in window\n",
+                        stats.model.num_params(),
+                        stats.count
+                    ));
+                }
+                DmtNode::Inner {
+                    key, left, right, ..
+                } => {
+                    let test = if key.is_nominal {
+                        format!("{} == {}", name(key.feature, names), key.value)
+                    } else {
+                        format!("{} <= {:.4}", name(key.feature, names), key.value)
+                    };
+                    out.push_str(&format!("{pad}if {test}:\n"));
+                    walk(left, names, indent + 1, out);
+                    out.push_str(&format!("{pad}else:\n"));
+                    walk(right, names, indent + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        walk(self.root_node(), feature_names, 0, &mut out);
+        out
+    }
+
+    /// Render the tree as Graphviz DOT. Inner nodes show their split test,
+    /// leaves show the size of their linear model.
+    pub fn to_dot(&self, feature_names: &[&str]) -> String {
+        fn name(feature: usize, names: &[&str]) -> String {
+            names
+                .get(feature)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("x{feature}"))
+        }
+        fn walk(
+            node: &DmtNode,
+            names: &[&str],
+            next_id: &mut usize,
+            lines: &mut Vec<String>,
+        ) -> usize {
+            let id = *next_id;
+            *next_id += 1;
+            match node {
+                DmtNode::Leaf { stats } => {
+                    lines.push(format!(
+                        "  n{id} [shape=box, style=rounded, label=\"GLM leaf\\n{} params\"];",
+                        stats.model.num_params()
+                    ));
+                }
+                DmtNode::Inner {
+                    key, left, right, ..
+                } => {
+                    let test = if key.is_nominal {
+                        format!("{} == {}", name(key.feature, names), key.value)
+                    } else {
+                        format!("{} <= {:.3}", name(key.feature, names), key.value)
+                    };
+                    lines.push(format!("  n{id} [shape=ellipse, label=\"{test}\"];"));
+                    let left_id = walk(left, names, next_id, lines);
+                    let right_id = walk(right, names, next_id, lines);
+                    lines.push(format!("  n{id} -> n{left_id} [label=\"yes\"];"));
+                    lines.push(format!("  n{id} -> n{right_id} [label=\"no\"];"));
+                }
+            }
+            id
+        }
+        let mut lines = vec!["digraph dmt {".to_string(), "  rankdir=TB;".to_string()];
+        let mut next_id = 0usize;
+        walk(self.root_node(), feature_names, &mut next_id, &mut lines);
+        lines.push("}".to_string());
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DmtConfig;
+    use dmt_models::OnlineClassifier;
+    use dmt_stream::schema::StreamSchema;
+
+    fn step_trained_tree() -> DynamicModelTree {
+        // A hard step concept on one feature reliably produces at least one
+        // split after enough batches.
+        let schema = StreamSchema::numeric("step", 1, 2);
+        let mut tree = DynamicModelTree::new(schema, DmtConfig::default());
+        for _ in 0..400 {
+            let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+            let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.75)).collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, &ys);
+        }
+        tree
+    }
+
+    #[test]
+    fn summary_of_a_fresh_tree() {
+        let schema = StreamSchema::numeric("fresh", 3, 2);
+        let tree = DynamicModelTree::new(schema, DmtConfig::default());
+        let summary = tree.summary();
+        assert_eq!(summary.inner_nodes, 0);
+        assert_eq!(summary.leaves, 1);
+        assert_eq!(summary.depth, 0);
+        assert_eq!(summary.total_model_parameters, 4);
+        assert!(summary.features_used.is_empty());
+    }
+
+    #[test]
+    fn summary_is_consistent_with_counts() {
+        let tree = step_trained_tree();
+        let summary = tree.summary();
+        assert_eq!(summary.inner_nodes, tree.num_inner_nodes());
+        assert_eq!(summary.leaves, tree.num_leaves());
+        assert_eq!(summary.depth, tree.depth());
+        assert_eq!(
+            summary.total_model_parameters as u64,
+            2 * (summary.inner_nodes + summary.leaves)
+        );
+        if summary.inner_nodes > 0 {
+            assert_eq!(summary.features_used, vec![0]);
+        }
+    }
+
+    #[test]
+    fn text_rendering_mentions_the_split_and_names_features() {
+        let tree = step_trained_tree();
+        let text = tree.to_text(&["age"]);
+        assert!(text.contains("leaf"));
+        if tree.num_inner_nodes() > 0 {
+            assert!(text.contains("if age <="), "text was:\n{text}");
+            assert!(text.contains("else:"));
+        }
+    }
+
+    #[test]
+    fn text_rendering_falls_back_to_generic_names() {
+        let tree = step_trained_tree();
+        let text = tree.to_text(&[]);
+        if tree.num_inner_nodes() > 0 {
+            assert!(text.contains("x0 <="));
+        }
+    }
+
+    #[test]
+    fn dot_rendering_is_valid_graphviz_shape() {
+        let tree = step_trained_tree();
+        let dot = tree.to_dot(&["age"]);
+        assert!(dot.starts_with("digraph dmt {"));
+        assert!(dot.ends_with('}'));
+        assert!(dot.contains("GLM leaf"));
+        // Node and edge counts must match the structure: every inner node has
+        // exactly two outgoing edges.
+        let edges = dot.matches("->").count() as u64;
+        assert_eq!(edges, 2 * tree.num_inner_nodes());
+    }
+
+    #[test]
+    fn fresh_tree_renders_a_single_leaf() {
+        let schema = StreamSchema::numeric("fresh", 2, 3);
+        let tree = DynamicModelTree::new(schema, DmtConfig::default());
+        let text = tree.to_text(&[]);
+        assert_eq!(text.lines().count(), 1);
+        let dot = tree.to_dot(&[]);
+        assert_eq!(dot.matches("->").count(), 0);
+    }
+}

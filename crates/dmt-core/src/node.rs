@@ -1,0 +1,673 @@
+//! Node statistics, loss-based gains and the recursive learning procedure of
+//! the Dynamic Model Tree.
+
+use dmt_models::{linalg, Glm, SimpleModel as _};
+use serde::{Deserialize, Serialize};
+
+use crate::candidate::{propose_from_batch, CandidateKey, SplitCandidate};
+use crate::tree::DmtConfig;
+
+/// The structural decision taken at a node after a batch (exposed for tests,
+/// ablations and interpretability traces).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GainDecision {
+    /// No structural change.
+    Keep,
+    /// A leaf was split on the given candidate with the given gain.
+    Split {
+        /// The installed split.
+        key: CandidateKey,
+        /// The gain (eq. 3) that justified the split.
+        gain: f64,
+    },
+    /// An inner node's subtree was replaced by a fresh split.
+    Replace {
+        /// The newly installed split.
+        key: CandidateKey,
+        /// The gain (eq. 4) that justified the replacement.
+        gain: f64,
+    },
+    /// An inner node was collapsed back into a leaf.
+    Prune {
+        /// The gain (eq. 5) that justified the prune.
+        gain: f64,
+    },
+}
+
+/// Per-node accumulated statistics: the simple model, the loss/gradient sums
+/// over the node's current time window and the stored split candidates.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// The node's simple model (logit / softmax GLM), §V-A.
+    pub model: Glm,
+    /// Accumulated negative log-likelihood `L(Θ_St, Y_St, X_St)`.
+    pub loss_sum: f64,
+    /// Accumulated gradient `∇ L(Θ_St, Y_St, X_St)`.
+    pub grad_sum: Vec<f64>,
+    /// Number of observations in the current window `|S_t|`.
+    pub count: u64,
+    /// Stored split candidates (at most `3·m` by default).
+    pub candidates: Vec<SplitCandidate>,
+}
+
+impl NodeStats {
+    /// Create statistics around an existing simple model.
+    pub fn new(model: Glm) -> Self {
+        let params = model.num_params();
+        Self {
+            model,
+            loss_sum: 0.0,
+            grad_sum: vec![0.0; params],
+            count: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Reset the accumulation window (after a structural change) while
+    /// keeping the trained model parameters.
+    pub fn reset_window(&mut self) {
+        self.loss_sum = 0.0;
+        self.grad_sum.iter_mut().for_each(|g| *g = 0.0);
+        self.count = 0;
+        self.candidates.clear();
+    }
+
+    /// Number of free parameters `k` of the node's simple model.
+    pub fn k(&self) -> usize {
+        self.model.num_params()
+    }
+
+    /// First-order candidate-loss approximation of eq. (7):
+    /// `L(Θ_C) ≈ L(Θ_S on C) − (λ/|C|)·‖∇L(Θ_S on C)‖²`.
+    pub fn child_loss_approx(loss_sum: f64, grad_sum: &[f64], count: u64, lr: f64) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        loss_sum - lr / count as f64 * linalg::norm_sq(grad_sum)
+    }
+
+    /// Gain (3) of splitting this node's observations on `candidate`,
+    /// measured against an arbitrary `reference_loss` (the node's own loss for
+    /// leaf splits, the subtree leaf-loss sum for inner-node replacements).
+    ///
+    /// Returns `None` when the candidate routes everything to one side, in
+    /// which case no meaningful split exists.
+    pub fn candidate_gain(
+        &self,
+        candidate: &SplitCandidate,
+        reference_loss: f64,
+        lr: f64,
+    ) -> Option<f64> {
+        if candidate.count == 0 || candidate.count >= self.count {
+            return None;
+        }
+        let left_approx =
+            Self::child_loss_approx(candidate.loss_sum, &candidate.grad_sum, candidate.count, lr);
+        let right_loss = self.loss_sum - candidate.loss_sum;
+        let right_grad = linalg::sub(&self.grad_sum, &candidate.grad_sum);
+        let right_count = self.count - candidate.count;
+        let right_approx = Self::child_loss_approx(right_loss, &right_grad, right_count, lr);
+        Some(reference_loss - left_approx - right_approx)
+    }
+
+    /// Index and gain of the best stored candidate relative to
+    /// `reference_loss`.
+    pub fn best_candidate(&self, reference_loss: f64, lr: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, candidate) in self.candidates.iter().enumerate() {
+            if let Some(gain) = self.candidate_gain(candidate, reference_loss, lr) {
+                if best.map_or(true, |(_, g)| gain > g) {
+                    best = Some((i, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Incorporate a batch into this node: accumulate the node and candidate
+    /// statistics, manage the candidate pool, and finally take one SGD step
+    /// on the node model (Algorithm 1 lines 1–10 plus §V-D).
+    pub fn update_with_batch(
+        &mut self,
+        xs: &[&[f64]],
+        ys: &[usize],
+        nominal_features: &[bool],
+        config: &DmtConfig,
+    ) {
+        if xs.is_empty() {
+            return;
+        }
+        // Per-instance loss and gradient at the *current* parameters.
+        let mut instance_losses = Vec::with_capacity(xs.len());
+        let mut instance_grads = Vec::with_capacity(xs.len());
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (loss, grad) = self.model.loss_and_gradient(&[x], &[y]);
+            instance_losses.push(loss);
+            instance_grads.push(grad);
+        }
+
+        // Node accumulation (lines 1–3).
+        for (loss, grad) in instance_losses.iter().zip(instance_grads.iter()) {
+            self.loss_sum += loss;
+            linalg::add_assign(&mut self.grad_sum, grad);
+        }
+        self.count += xs.len() as u64;
+
+        // Candidate accumulation (lines 6–10).
+        for candidate in self.candidates.iter_mut() {
+            for ((x, loss), grad) in xs
+                .iter()
+                .zip(instance_losses.iter())
+                .zip(instance_grads.iter())
+            {
+                if candidate.key.goes_left(x) {
+                    candidate.accumulate(*loss, grad);
+                }
+            }
+        }
+
+        // Refresh the stored candidates' gain estimates.
+        let reference_loss = self.loss_sum;
+        let lr = config.learning_rate;
+        let gains: Vec<f64> = self
+            .candidates
+            .iter()
+            .map(|c| {
+                self.candidate_gain(c, reference_loss, lr)
+                    .unwrap_or(f64::NEG_INFINITY)
+            })
+            .collect();
+        for (candidate, gain) in self.candidates.iter_mut().zip(gains) {
+            candidate.last_gain = gain;
+        }
+
+        // Candidate pool management (§V-D): propose new candidates from the
+        // batch and let them displace at most `replacement_rate` of the pool.
+        self.manage_candidate_pool(xs, &instance_losses, &instance_grads, nominal_features, config);
+
+        // Finally, train the simple model with constant-learning-rate SGD:
+        // one pass over the batch, one step per instance (§V-A).
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            self.model.sgd_step(&[x], &[y], config.learning_rate);
+        }
+    }
+
+    fn manage_candidate_pool(
+        &mut self,
+        xs: &[&[f64]],
+        instance_losses: &[f64],
+        instance_grads: &[Vec<f64>],
+        nominal_features: &[bool],
+        config: &DmtConfig,
+    ) {
+        let num_features = xs[0].len();
+        let max_candidates = config.max_candidates(num_features);
+        let max_replacements =
+            ((max_candidates as f64) * config.replacement_rate).ceil() as usize;
+
+        let proposals = propose_from_batch(xs, nominal_features, &self.candidates);
+        if proposals.is_empty() {
+            return;
+        }
+        // Initialise proposal statistics from the current batch only (the
+        // paper accepts this initial bias; it washes out over time).
+        let mut new_candidates: Vec<SplitCandidate> = Vec::with_capacity(proposals.len());
+        for key in proposals {
+            let mut candidate = SplitCandidate::new(key, self.k());
+            for ((x, loss), grad) in xs
+                .iter()
+                .zip(instance_losses.iter())
+                .zip(instance_grads.iter())
+            {
+                if key.goes_left(x) {
+                    candidate.accumulate(*loss, grad);
+                }
+            }
+            candidate.last_gain = self
+                .candidate_gain(&candidate, self.loss_sum, config.learning_rate)
+                .unwrap_or(f64::NEG_INFINITY);
+            new_candidates.push(candidate);
+        }
+        new_candidates.sort_by(|a, b| {
+            b.last_gain
+                .partial_cmp(&a.last_gain)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut replacements_used = 0usize;
+        for proposal in new_candidates {
+            if self.candidates.len() < max_candidates {
+                self.candidates.push(proposal);
+                continue;
+            }
+            if replacements_used >= max_replacements {
+                break;
+            }
+            // Find the currently worst stored candidate.
+            let (worst_idx, worst_gain) = match self
+                .candidates
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.last_gain
+                        .partial_cmp(&b.last_gain)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }) {
+                Some((i, c)) => (i, c.last_gain),
+                None => break,
+            };
+            if proposal.last_gain > worst_gain {
+                self.candidates[worst_idx] = proposal;
+                replacements_used += 1;
+            }
+        }
+    }
+}
+
+/// A node of the Dynamic Model Tree. Inner nodes keep full statistics and
+/// keep training their model — the key difference from FIMT-DD (§IV-D).
+pub(crate) enum DmtNode {
+    /// A leaf node.
+    Leaf {
+        /// Node statistics.
+        stats: NodeStats,
+    },
+    /// An inner binary split node.
+    Inner {
+        /// Node statistics (still updated after the split).
+        stats: NodeStats,
+        /// The installed split.
+        key: CandidateKey,
+        /// Left child (split test passes).
+        left: Box<DmtNode>,
+        /// Right child (split test fails).
+        right: Box<DmtNode>,
+    },
+}
+
+impl DmtNode {
+    pub(crate) fn leaf(model: Glm) -> Self {
+        DmtNode::Leaf {
+            stats: NodeStats::new(model),
+        }
+    }
+
+    #[allow(dead_code)] // exercised by unit tests and the facade crate
+    pub(crate) fn stats(&self) -> &NodeStats {
+        match self {
+            DmtNode::Leaf { stats } => stats,
+            DmtNode::Inner { stats, .. } => stats,
+        }
+    }
+
+    pub(crate) fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            DmtNode::Leaf { stats } => stats.model.predict_proba(x),
+            DmtNode::Inner {
+                key, left, right, ..
+            } => {
+                if key.goes_left(x) {
+                    left.predict_proba(x)
+                } else {
+                    right.predict_proba(x)
+                }
+            }
+        }
+    }
+
+    /// `(inner nodes, leaves)` of the subtree rooted here.
+    pub(crate) fn count_nodes(&self) -> (u64, u64) {
+        match self {
+            DmtNode::Leaf { .. } => (0, 1),
+            DmtNode::Inner { left, right, .. } => {
+                let (il, ll) = left.count_nodes();
+                let (ir, lr) = right.count_nodes();
+                (1 + il + ir, ll + lr)
+            }
+        }
+    }
+
+    /// Depth of the subtree (a single leaf has depth 0).
+    pub(crate) fn depth(&self) -> usize {
+        match self {
+            DmtNode::Leaf { .. } => 0,
+            DmtNode::Inner { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Sum of the leaf losses `Σ_{J_t ⊆ I_t} L(Θ_Jt, Y_Jt, X_Jt)` and the
+    /// number of leaves of the subtree rooted here.
+    pub(crate) fn subtree_leaf_loss(&self) -> (f64, u64) {
+        match self {
+            DmtNode::Leaf { stats } => (stats.loss_sum, 1),
+            DmtNode::Inner { left, right, .. } => {
+                let (ll, lc) = left.subtree_leaf_loss();
+                let (rl, rc) = right.subtree_leaf_loss();
+                (ll + rl, lc + rc)
+            }
+        }
+    }
+
+    /// Build the two warm-started child models for a split on `candidate`
+    /// (eq. 6: a single gradient step from the parent parameters on each
+    /// child's subset).
+    fn warm_started_children(stats: &NodeStats, candidate: &SplitCandidate, lr: f64) -> (Glm, Glm) {
+        let left = Glm::warm_start_with_gradient(
+            &stats.model,
+            &candidate.grad_sum,
+            candidate.count,
+            lr,
+        );
+        let right_grad = linalg::sub(&stats.grad_sum, &candidate.grad_sum);
+        let right_count = stats.count - candidate.count;
+        let right = Glm::warm_start_with_gradient(&stats.model, &right_grad, right_count, lr);
+        (left, right)
+    }
+
+    /// Learn a batch at this node, recursing into children first (bottom-up
+    /// updates) and applying the structural checks of Algorithm 1 afterwards.
+    /// Returns the structural decision taken at this node.
+    pub(crate) fn learn(
+        &mut self,
+        xs: &[&[f64]],
+        ys: &[usize],
+        nominal_features: &[bool],
+        config: &DmtConfig,
+    ) -> GainDecision {
+        if xs.is_empty() {
+            return GainDecision::Keep;
+        }
+        match self {
+            DmtNode::Leaf { stats } => {
+                stats.update_with_batch(xs, ys, nominal_features, config);
+                // Split check (gain (3) against the AIC threshold).
+                if stats.count < config.min_observations_split {
+                    return GainDecision::Keep;
+                }
+                if let Some((idx, gain)) = stats.best_candidate(stats.loss_sum, config.learning_rate)
+                {
+                    let k = stats.k();
+                    if config.accepts(gain, 2 * k, k) {
+                        let candidate = stats.candidates[idx].clone();
+                        let (left_model, right_model) =
+                            Self::warm_started_children(stats, &candidate, config.learning_rate);
+                        stats.reset_window();
+                        let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
+                        *self = DmtNode::Inner {
+                            stats,
+                            key: candidate.key,
+                            left: Box::new(DmtNode::leaf(left_model)),
+                            right: Box::new(DmtNode::leaf(right_model)),
+                        };
+                        return GainDecision::Split {
+                            key: candidate.key,
+                            gain,
+                        };
+                    }
+                }
+                GainDecision::Keep
+            }
+            DmtNode::Inner {
+                stats,
+                key,
+                left,
+                right,
+            } => {
+                // Route the batch to the children and update them first
+                // (bottom-up order).
+                let mut left_xs = Vec::new();
+                let mut left_ys = Vec::new();
+                let mut right_xs = Vec::new();
+                let mut right_ys = Vec::new();
+                for (x, &y) in xs.iter().zip(ys.iter()) {
+                    if key.goes_left(x) {
+                        left_xs.push(*x);
+                        left_ys.push(y);
+                    } else {
+                        right_xs.push(*x);
+                        right_ys.push(y);
+                    }
+                }
+                left.learn(&left_xs, &left_ys, nominal_features, config);
+                right.learn(&right_xs, &right_ys, nominal_features, config);
+
+                // Update the inner node's own statistics and model with the
+                // full batch (DMT keeps training inner models, §IV-D).
+                stats.update_with_batch(xs, ys, nominal_features, config);
+
+                if stats.count < config.min_observations_split {
+                    return GainDecision::Keep;
+                }
+
+                let (leaf_loss, num_leaves) = {
+                    let (ll, lc) = left.subtree_leaf_loss();
+                    let (rl, rc) = right.subtree_leaf_loss();
+                    (ll + rl, lc + rc)
+                };
+                let k = stats.k();
+                let k_subtree = (num_leaves as usize) * k;
+
+                // Gain (5): collapse the subtree into this node.
+                let gain_prune = leaf_loss - stats.loss_sum;
+                let prune_ok = config.accepts(gain_prune, k, k_subtree);
+
+                // Gain (4): replace the subtree with a fresh split.
+                let best_replacement = stats.best_candidate(leaf_loss, config.learning_rate);
+                let (replace_ok, replace_gain, replace_idx) = match best_replacement {
+                    Some((idx, gain)) => (config.accepts(gain, 2 * k, k_subtree), gain, idx),
+                    None => (false, f64::NEG_INFINITY, 0),
+                };
+
+                if prune_ok && (!replace_ok || gain_prune >= replace_gain) {
+                    // Replace the inner node with a leaf (the smaller model).
+                    stats.reset_window();
+                    let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
+                    *self = DmtNode::Leaf { stats };
+                    return GainDecision::Prune { gain: gain_prune };
+                }
+                if replace_ok {
+                    let candidate = stats.candidates[replace_idx].clone();
+                    // Ignore a "replacement" that would re-install the very
+                    // same split — it would only discard the children's
+                    // progress without changing the model structure.
+                    if !candidate.key.same_as(key) {
+                        let (left_model, right_model) =
+                            Self::warm_started_children(stats, &candidate, config.learning_rate);
+                        stats.reset_window();
+                        let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
+                        *self = DmtNode::Inner {
+                            stats,
+                            key: candidate.key,
+                            left: Box::new(DmtNode::leaf(left_model)),
+                            right: Box::new(DmtNode::leaf(right_model)),
+                        };
+                        return GainDecision::Replace {
+                            key: candidate.key,
+                            gain: replace_gain,
+                        };
+                    }
+                }
+                GainDecision::Keep
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DmtConfig {
+        DmtConfig::default()
+    }
+
+    fn separable_batch(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, ((i * 7) % n) as f64 / n as f64])
+            .collect();
+        let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn child_loss_approx_subtracts_gradient_norm() {
+        let approx = NodeStats::child_loss_approx(10.0, &[3.0, 4.0], 5, 0.1);
+        // 10 - 0.1/5 * 25 = 9.5
+        assert!((approx - 9.5).abs() < 1e-12);
+        assert_eq!(NodeStats::child_loss_approx(10.0, &[3.0], 0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn update_with_batch_accumulates_counts_and_loss() {
+        let mut stats = NodeStats::new(Glm::new_zeros(2, 2));
+        let (xs, ys) = separable_batch(50);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        stats.update_with_batch(&rows, &ys, &[false, false], &config());
+        assert_eq!(stats.count, 50);
+        assert!(stats.loss_sum > 0.0);
+        assert!(!stats.candidates.is_empty());
+        assert!(stats.candidates.len() <= config().max_candidates(2));
+    }
+
+    #[test]
+    fn candidate_pool_respects_the_maximum() {
+        let mut stats = NodeStats::new(Glm::new_zeros(2, 2));
+        let cfg = config();
+        for round in 0..20 {
+            let xs: Vec<Vec<f64>> = (0..30)
+                .map(|i| vec![(i + round * 30) as f64 / 600.0, (i % 7) as f64 / 7.0])
+                .collect();
+            let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            stats.update_with_batch(&rows, &ys, &[false, false], &cfg);
+            assert!(stats.candidates.len() <= cfg.max_candidates(2));
+        }
+    }
+
+    #[test]
+    fn gain_of_informative_candidate_is_positive_after_training() {
+        let cfg = config();
+        let mut stats = NodeStats::new(Glm::new_zeros(1, 2));
+        // A hard step function that a single linear model cannot fit well:
+        // y = 1 exactly when x > 0.75 (a split at 0.75 separates perfectly).
+        for _ in 0..60 {
+            let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+            let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.75)).collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            stats.update_with_batch(&rows, &ys, &[false], &cfg);
+        }
+        let best = stats.best_candidate(stats.loss_sum, cfg.learning_rate);
+        let (_, gain) = best.expect("a candidate must exist");
+        assert!(gain > 0.0, "gain {gain}");
+    }
+
+    #[test]
+    fn reset_window_clears_accumulators_but_keeps_model() {
+        let mut stats = NodeStats::new(Glm::new_zeros(2, 2));
+        let (xs, ys) = separable_batch(100);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = config();
+        for _ in 0..5 {
+            stats.update_with_batch(&rows, &ys, &[false, false], &cfg);
+        }
+        let params_before = stats.model.params().to_vec();
+        stats.reset_window();
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.loss_sum, 0.0);
+        assert!(stats.candidates.is_empty());
+        assert_eq!(stats.model.params(), params_before.as_slice());
+    }
+
+    #[test]
+    fn candidate_gain_is_none_for_degenerate_candidates() {
+        let stats = {
+            let mut s = NodeStats::new(Glm::new_zeros(1, 2));
+            s.count = 10;
+            s.loss_sum = 5.0;
+            s
+        };
+        let mut all_left = SplitCandidate::new(
+            CandidateKey {
+                feature: 0,
+                value: 1e9,
+                is_nominal: false,
+            },
+            2,
+        );
+        all_left.count = 10;
+        all_left.loss_sum = 5.0;
+        assert!(stats.candidate_gain(&all_left, stats.loss_sum, 0.05).is_none());
+        let empty = SplitCandidate::new(
+            CandidateKey {
+                feature: 0,
+                value: -1e9,
+                is_nominal: false,
+            },
+            2,
+        );
+        assert!(stats.candidate_gain(&empty, stats.loss_sum, 0.05).is_none());
+    }
+
+    #[test]
+    fn leaf_splits_on_a_step_concept_and_builds_an_inner_node() {
+        let cfg = config();
+        let mut node = DmtNode::leaf(Glm::new_zeros(1, 2));
+        let mut split_seen = false;
+        for _ in 0..300 {
+            let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+            let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.75)).collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            if let GainDecision::Split { .. } = node.learn(&rows, &ys, &[false], &cfg) {
+                split_seen = true;
+                break;
+            }
+        }
+        assert!(split_seen, "the leaf never split on an obviously splittable concept");
+        assert_eq!(node.count_nodes().0, 1);
+        assert_eq!(node.count_nodes().1, 2);
+        assert_eq!(node.depth(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let cfg = config();
+        let mut node = DmtNode::leaf(Glm::new_zeros(2, 2));
+        assert_eq!(node.learn(&[], &[], &[false, false], &cfg), GainDecision::Keep);
+        assert_eq!(node.stats().count, 0);
+    }
+
+    #[test]
+    fn subtree_leaf_loss_sums_only_leaves() {
+        let leaf_a = DmtNode::Leaf {
+            stats: {
+                let mut s = NodeStats::new(Glm::new_zeros(1, 2));
+                s.loss_sum = 2.0;
+                s
+            },
+        };
+        let leaf_b = DmtNode::Leaf {
+            stats: {
+                let mut s = NodeStats::new(Glm::new_zeros(1, 2));
+                s.loss_sum = 3.0;
+                s
+            },
+        };
+        let inner = DmtNode::Inner {
+            stats: {
+                let mut s = NodeStats::new(Glm::new_zeros(1, 2));
+                s.loss_sum = 100.0;
+                s
+            },
+            key: CandidateKey {
+                feature: 0,
+                value: 0.5,
+                is_nominal: false,
+            },
+            left: Box::new(leaf_a),
+            right: Box::new(leaf_b),
+        };
+        let (loss, leaves) = inner.subtree_leaf_loss();
+        assert!((loss - 5.0).abs() < 1e-12);
+        assert_eq!(leaves, 2);
+    }
+}

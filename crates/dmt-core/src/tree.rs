@@ -1,0 +1,407 @@
+//! The public [`DynamicModelTree`] classifier and its configuration.
+
+use dmt_models::online::{Complexity, OnlineClassifier};
+use dmt_models::{AicTest, Glm, Rows};
+use dmt_stream::schema::StreamSchema;
+
+use crate::explain::{DecisionStep, LeafExplanation};
+use crate::node::{DmtNode, GainDecision};
+
+/// Hyperparameters of the Dynamic Model Tree with the defaults proposed in
+/// §V-D of the paper.
+#[derive(Debug, Clone)]
+pub struct DmtConfig {
+    /// Constant SGD learning rate λ of the simple models (paper: 0.05).
+    pub learning_rate: f64,
+    /// Confidence ε of the AIC threshold test, eq. (11) (paper: 1e-8).
+    pub epsilon: f64,
+    /// Whether the AIC threshold is applied at all. Disabling it reverts to
+    /// the bare Algorithm 1 rule "change structure whenever the gain is ≥ 0"
+    /// (used by the ablation experiments).
+    pub use_aic_threshold: bool,
+    /// The number of stored split candidates per node is
+    /// `candidate_factor × m` (paper default: 3).
+    pub candidate_factor: usize,
+    /// Fraction of the candidate pool that may be replaced per time step
+    /// (paper default: 0.5).
+    pub replacement_rate: f64,
+    /// Minimum number of observations a node must accumulate in its current
+    /// window before structural changes are considered. This guards the very
+    /// first batches where the loss estimates are still dominated by the
+    /// random initial weights (§IV-E).
+    pub min_observations_split: u64,
+    /// Seed for the random initial weights of the root model.
+    pub seed: u64,
+}
+
+impl Default for DmtConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.05,
+            epsilon: 1e-8,
+            use_aic_threshold: true,
+            candidate_factor: 3,
+            replacement_rate: 0.5,
+            min_observations_split: 50,
+            seed: 42,
+        }
+    }
+}
+
+impl DmtConfig {
+    /// Maximum number of stored candidates for a node over `m` features.
+    pub fn max_candidates(&self, num_features: usize) -> usize {
+        (self.candidate_factor * num_features).max(1)
+    }
+
+    /// The AIC acceptance test of eq. (11): does `gain` justify moving from a
+    /// structure with `k_old` parameters to one with `k_new` parameters?
+    pub fn accepts(&self, gain: f64, k_new: usize, k_old: usize) -> bool {
+        if !gain.is_finite() {
+            return false;
+        }
+        if self.use_aic_threshold {
+            AicTest::new(self.epsilon).accepts(gain, k_new, k_old)
+        } else {
+            gain >= 0.0
+        }
+    }
+}
+
+/// The Dynamic Model Tree classifier (see the crate-level documentation).
+pub struct DynamicModelTree {
+    config: DmtConfig,
+    schema: StreamSchema,
+    nominal_features: Vec<bool>,
+    root: DmtNode,
+    observations: u64,
+    /// Structural decisions taken during the lifetime of the tree (splits,
+    /// prunes, replacements), recorded for interpretability: every change can
+    /// be reported and linked to the loss gain that caused it.
+    decisions: Vec<(u64, GainDecision)>,
+}
+
+impl DynamicModelTree {
+    /// Create a Dynamic Model Tree for the given stream schema.
+    pub fn new(schema: StreamSchema, config: DmtConfig) -> Self {
+        let nominal_features = schema
+            .features
+            .iter()
+            .map(|f| f.feature_type.is_nominal())
+            .collect();
+        let root_model = Glm::new_random(schema.num_features(), schema.num_classes, config.seed);
+        Self {
+            config,
+            schema,
+            nominal_features,
+            root: DmtNode::leaf(root_model),
+            observations: 0,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DmtConfig {
+        &self.config
+    }
+
+    /// The stream schema the tree was built for.
+    pub fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    /// Number of inner nodes (splits) in the tree.
+    pub fn num_inner_nodes(&self) -> u64 {
+        self.root.count_nodes().0
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> u64 {
+        self.root.count_nodes().1
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Total number of observations consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Crate-internal access to the root node (used by the export module).
+    pub(crate) fn root_node(&self) -> &crate::node::DmtNode {
+        &self.root
+    }
+
+    /// The log of structural decisions `(observation count, decision)` taken
+    /// so far. Only actual changes are recorded — this is the "why did you
+    /// split this node at time u?" audit trail motivated in §I-A.
+    pub fn decision_log(&self) -> &[(u64, GainDecision)] {
+        &self.decisions
+    }
+
+    /// Explain the prediction for `x`: the decision path plus the linear
+    /// weights of the responsible leaf model.
+    pub fn explain(&self, x: &[f64]) -> LeafExplanation {
+        let mut node = &self.root;
+        let mut path = Vec::new();
+        loop {
+            match node {
+                DmtNode::Leaf { stats } => {
+                    return LeafExplanation::from_model(path, &stats.model, x);
+                }
+                DmtNode::Inner {
+                    key, left, right, ..
+                } => {
+                    let went_left = key.goes_left(x);
+                    path.push(DecisionStep {
+                        feature: key.feature,
+                        value: key.value,
+                        is_nominal: key.is_nominal,
+                        went_left,
+                    });
+                    node = if went_left { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Learn a batch and return the structural decision taken at the root
+    /// level (useful for monitoring; inner decisions are appended to the
+    /// decision log as well).
+    pub fn learn_batch_traced(&mut self, xs: Rows<'_>, ys: &[usize]) -> GainDecision {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have the same length");
+        self.observations += xs.len() as u64;
+        let decision = self
+            .root
+            .learn(xs, ys, &self.nominal_features, &self.config);
+        if decision != GainDecision::Keep {
+            self.decisions.push((self.observations, decision.clone()));
+        }
+        decision
+    }
+}
+
+impl OnlineClassifier for DynamicModelTree {
+    fn name(&self) -> &str {
+        "DMT"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.schema.num_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        dmt_models::argmax(&self.predict_proba(x))
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.root.predict_proba(x)
+    }
+
+    fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
+        let _ = self.learn_batch_traced(xs, ys);
+    }
+
+    fn complexity(&self) -> Complexity {
+        let (inner, leaves) = self.root.count_nodes();
+        let c = self.schema.num_classes;
+        let m = self.schema.num_features();
+        // §VI-D2: inner nodes count one split and one parameter; linear leaf
+        // models add one split (binary) or `c` splits (multiclass) and `m`
+        // parameters per class.
+        let splits_per_leaf = if c == 2 { 1.0 } else { c as f64 };
+        let params_per_leaf = if c == 2 { m as f64 } else { (m * c) as f64 };
+        Complexity {
+            splits: inner as f64 + leaves as f64 * splits_per_leaf,
+            parameters: inner as f64 + leaves as f64 * params_per_leaf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_stream::generators::sea::SeaGenerator;
+    use dmt_stream::DataStream;
+
+    fn sea_schema() -> StreamSchema {
+        StreamSchema::numeric("SEA", 3, 2)
+    }
+
+    /// Train prequentially on SEA (normalised to [0,1]) and return the
+    /// accuracy over the last `eval_window` instances.
+    fn prequential_accuracy(
+        tree: &mut DynamicModelTree,
+        concept: usize,
+        n_batches: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut gen = SeaGenerator::new(concept, 0.0, seed);
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        let eval_start = n_batches * 3 / 4;
+        for b in 0..n_batches {
+            let batch = gen.next_batch(batch_size).unwrap();
+            let xs: Vec<Vec<f64>> = batch
+                .xs
+                .iter()
+                .map(|row| row.iter().map(|v| v / 10.0).collect())
+                .collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            if b >= eval_start {
+                for (x, &y) in rows.iter().zip(batch.ys.iter()) {
+                    if tree.predict(x) == y {
+                        correct += 1;
+                    }
+                    total += 1;
+                }
+            }
+            tree.learn_batch(&rows, &batch.ys);
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn starts_as_a_single_leaf_with_zero_splits() {
+        let tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        assert_eq!(tree.num_inner_nodes(), 0);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.name(), "DMT");
+        let proba = tree.predict_proba(&[0.5, 0.5, 0.5]);
+        assert_eq!(proba.len(), 2);
+    }
+
+    #[test]
+    fn learns_the_sea_concept_prequentially() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let acc = prequential_accuracy(&mut tree, 0, 60, 100, 1);
+        assert!(acc > 0.85, "prequential accuracy {acc}");
+    }
+
+    #[test]
+    fn stays_small_on_a_linearly_separable_concept() {
+        // SEA is separable by a single hyperplane — the whole point of a
+        // Model Tree is that it needs (almost) no splits here.
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let _ = prequential_accuracy(&mut tree, 0, 60, 100, 3);
+        assert!(
+            tree.num_inner_nodes() <= 5,
+            "DMT grew unexpectedly large: {} splits",
+            tree.num_inner_nodes()
+        );
+    }
+
+    #[test]
+    fn adapts_to_abrupt_concept_drift() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let _ = prequential_accuracy(&mut tree, 0, 50, 100, 5);
+        // Switch to a different SEA concept; accuracy at the end of the second
+        // phase must recover.
+        let acc_after = prequential_accuracy(&mut tree, 3, 50, 100, 6);
+        assert!(acc_after > 0.8, "post-drift accuracy {acc_after}");
+    }
+
+    #[test]
+    fn complexity_accounting_for_binary_and_multiclass() {
+        let binary = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let c = binary.complexity();
+        assert_eq!(c.splits, 1.0); // one binary leaf model
+        assert_eq!(c.parameters, 3.0); // m = 3
+
+        let multi = DynamicModelTree::new(StreamSchema::numeric("m", 4, 5), DmtConfig::default());
+        let c = multi.complexity();
+        assert_eq!(c.splits, 5.0);
+        assert_eq!(c.parameters, 20.0);
+    }
+
+    #[test]
+    fn decision_log_records_structural_changes() {
+        let mut tree = DynamicModelTree::new(StreamSchema::numeric("step", 1, 2), DmtConfig::default());
+        // A step concept forces at least one split eventually.
+        for _ in 0..400 {
+            let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+            let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.75)).collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, &ys);
+        }
+        if tree.num_inner_nodes() > 0 {
+            assert!(!tree.decision_log().is_empty());
+            let (obs, decision) = &tree.decision_log()[0];
+            assert!(*obs > 0);
+            assert!(matches!(decision, GainDecision::Split { .. }));
+        }
+    }
+
+    #[test]
+    fn explain_returns_the_decision_path_and_weights() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let _ = prequential_accuracy(&mut tree, 0, 30, 100, 9);
+        let explanation = tree.explain(&[0.2, 0.9, 0.5]);
+        assert_eq!(explanation.weights.len(), 3);
+        assert_eq!(explanation.path.len(), tree.depth().min(explanation.path.len()));
+        assert!(explanation.predicted_class < 2);
+    }
+
+    #[test]
+    fn disabling_the_aic_threshold_makes_the_tree_more_eager() {
+        let strict = DmtConfig::default();
+        let eager = DmtConfig {
+            use_aic_threshold: false,
+            ..DmtConfig::default()
+        };
+        let mut strict_tree = DynamicModelTree::new(sea_schema(), strict);
+        let mut eager_tree = DynamicModelTree::new(sea_schema(), eager);
+        let _ = prequential_accuracy(&mut strict_tree, 0, 40, 100, 11);
+        let _ = prequential_accuracy(&mut eager_tree, 0, 40, 100, 11);
+        assert!(
+            eager_tree.num_inner_nodes() >= strict_tree.num_inner_nodes(),
+            "without the AIC threshold the tree should split at least as often \
+             (eager {} vs strict {})",
+            eager_tree.num_inner_nodes(),
+            strict_tree.num_inner_nodes()
+        );
+    }
+
+    #[test]
+    fn multiclass_streams_use_softmax_leaves() {
+        let schema = StreamSchema::numeric("mc", 3, 4);
+        let mut tree = DynamicModelTree::new(schema, DmtConfig::default());
+        for i in 0..200usize {
+            let xs: Vec<Vec<f64>> = (0..20)
+                .map(|j| {
+                    let v = ((i * 20 + j) % 40) as f64 / 40.0;
+                    vec![v, 1.0 - v, 0.5]
+                })
+                .collect();
+            let ys: Vec<usize> = xs.iter().map(|x| ((x[0] * 4.0) as usize).min(3)).collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, &ys);
+        }
+        let p = tree.predict_proba(&[0.9, 0.1, 0.5]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(tree.predict(&[0.9, 0.1, 0.5]) < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_batch_lengths_panic() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let x: &[f64] = &[0.1, 0.2, 0.3];
+        tree.learn_batch(&[x], &[0, 1]);
+    }
+
+    #[test]
+    fn observations_accumulate_across_batches() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let x: &[f64] = &[0.1, 0.2, 0.3];
+        tree.learn_batch(&[x, x], &[0, 1]);
+        tree.learn_batch(&[x], &[1]);
+        assert_eq!(tree.observations(), 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Page-Hinkley test (Page, 1954; Mouss et al., 2004).
+//!
+//! FIMT-DD uses the Page-Hinkley (PH) test on the absolute leaf residuals to
+//! decide when to prune a branch after concept drift (Ikonomovska et al.,
+//! 2011, and §VI-C of the DMT paper). The test maintains a cumulative
+//! deviation of the observations from their running mean and signals change
+//! when the deviation exceeds a threshold `lambda`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DriftDetector;
+
+/// The Page-Hinkley change detector (detects increases of the monitored
+/// statistic, e.g. the error).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageHinkley {
+    /// Minimum number of observations before alarms are raised.
+    min_instances: u64,
+    /// Tolerance parameter `delta` subtracted from each deviation.
+    delta: f64,
+    /// Detection threshold `lambda`.
+    lambda: f64,
+    /// Forgetting factor applied to the running mean (1.0 = plain mean).
+    alpha: f64,
+    count: u64,
+    mean: f64,
+    cumulative: f64,
+    minimum: f64,
+    drift: bool,
+}
+
+impl PageHinkley {
+    /// Create a Page-Hinkley test.
+    ///
+    /// Typical streaming defaults: `min_instances = 30`, `delta = 0.005`,
+    /// `lambda = 50`, `alpha = 0.9999`.
+    pub fn new(min_instances: u64, delta: f64, lambda: f64, alpha: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Self {
+            min_instances,
+            delta,
+            lambda,
+            alpha,
+            count: 0,
+            mean: 0.0,
+            cumulative: 0.0,
+            minimum: f64::INFINITY,
+            drift: false,
+        }
+    }
+
+    /// The FIMT-DD configuration used in the paper's experiments
+    /// (threshold 0.01 on the significance; PH parameters follow the
+    /// Ikonomovska et al. reference implementation).
+    pub fn fimtdd_default() -> Self {
+        Self::new(30, 0.005, 50.0, 0.9999)
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current cumulative deviation statistic.
+    pub fn statistic(&self) -> f64 {
+        self.cumulative - self.minimum
+    }
+}
+
+impl Default for PageHinkley {
+    fn default() -> Self {
+        Self::new(30, 0.005, 50.0, 0.9999)
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn update(&mut self, value: f64) -> bool {
+        self.count += 1;
+        // Incremental running mean.
+        self.mean += (value - self.mean) / self.count as f64;
+        // Cumulative deviation with fading and tolerance delta.
+        self.cumulative = self.cumulative * self.alpha + (value - self.mean - self.delta);
+        if self.cumulative < self.minimum {
+            self.minimum = self.cumulative;
+        }
+        self.drift = self.count >= self.min_instances
+            && (self.cumulative - self.minimum) > self.lambda;
+        self.drift
+    }
+
+    fn drift_detected(&self) -> bool {
+        self.drift
+    }
+
+    fn reset(&mut self) {
+        let (m, d, l, a) = (self.min_instances, self.delta, self.lambda, self.alpha);
+        *self = PageHinkley::new(m, d, l, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn stable_signal_raises_no_alarm() {
+        let mut ph = PageHinkley::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(!ph.update(rng.gen_range(0.0..0.2)));
+        }
+    }
+
+    #[test]
+    fn level_shift_is_detected() {
+        let mut ph = PageHinkley::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2_000 {
+            ph.update(rng.gen_range(0.0..0.2));
+        }
+        let mut detected = false;
+        for _ in 0..2_000 {
+            if ph.update(rng.gen_range(0.5..1.0)) {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "PH missed a large level shift");
+    }
+
+    #[test]
+    fn no_alarm_before_min_instances() {
+        let mut ph = PageHinkley::new(100, 0.005, 1.0, 1.0);
+        for _ in 0..99 {
+            assert!(!ph.update(10.0));
+        }
+    }
+
+    #[test]
+    fn reset_clears_the_statistic() {
+        let mut ph = PageHinkley::default();
+        for _ in 0..500 {
+            ph.update(1.0);
+        }
+        ph.reset();
+        assert_eq!(ph.count(), 0);
+        assert!(ph.statistic() <= 0.0);
+        assert!(!ph.drift_detected());
+    }
+
+    #[test]
+    fn statistic_grows_with_positive_deviations() {
+        let mut ph = PageHinkley::new(1, 0.0, 1e9, 1.0);
+        for _ in 0..100 {
+            ph.update(0.0);
+        }
+        let before = ph.statistic();
+        for _ in 0..100 {
+            ph.update(5.0);
+        }
+        assert!(ph.statistic() > before);
+    }
+
+    #[test]
+    fn decreasing_signal_does_not_alarm() {
+        // PH (this one-sided variant) watches for increases only.
+        let mut ph = PageHinkley::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            ph.update(rng.gen_range(0.8..1.0));
+        }
+        let mut alarms = 0;
+        for _ in 0..2_000 {
+            if ph.update(rng.gen_range(0.0..0.2)) {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn non_positive_lambda_panics() {
+        let _ = PageHinkley::new(30, 0.005, 0.0, 1.0);
+    }
+
+    #[test]
+    fn fimtdd_default_parameters() {
+        let ph = PageHinkley::fimtdd_default();
+        assert_eq!(ph.min_instances, 30);
+        assert!((ph.lambda - 50.0).abs() < 1e-12);
+    }
+}

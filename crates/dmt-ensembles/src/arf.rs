@@ -1,0 +1,356 @@
+//! Adaptive Random Forest (Gomes et al., 2017).
+//!
+//! Online random forest for evolving data streams:
+//!
+//! * each member is a Hoeffding tree restricted to a random **feature
+//!   subspace** (√m features by default, re-drawn when the member is reset);
+//! * instances are presented to each member `k ~ Poisson(6)` times (online
+//!   bagging);
+//! * each member carries an ADWIN **warning** and **drift** detector on its
+//!   prequential error; a warning starts a background tree, a drift signal
+//!   replaces the member with its background tree (or a fresh tree when no
+//!   background tree exists yet);
+//! * predictions are combined by probability-weighted voting.
+//!
+//! Following §VI-C of the paper the forest uses 3 weak learners configured
+//! like the stand-alone VFDT.
+
+use dmt_drift::{Adwin, DriftDetector};
+use dmt_models::online::{Complexity, OnlineClassifier};
+use dmt_models::Rows;
+use dmt_stream::schema::StreamSchema;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Poisson};
+
+use dmt_baselines::vfdt::{HoeffdingTreeClassifier, VfdtConfig};
+
+/// Configuration of the Adaptive Random Forest.
+#[derive(Debug, Clone)]
+pub struct ArfConfig {
+    /// Number of trees (the paper uses 3).
+    pub ensemble_size: usize,
+    /// Poisson λ for online bagging (canonical value 6).
+    pub lambda: f64,
+    /// Number of features per subspace; `None` uses `ceil(sqrt(m))`.
+    pub subspace_size: Option<usize>,
+    /// ADWIN confidence of the warning detectors.
+    pub warning_delta: f64,
+    /// ADWIN confidence of the drift detectors.
+    pub drift_delta: f64,
+    /// Configuration of the weak Hoeffding trees.
+    pub base_config: VfdtConfig,
+    /// Seed for subspace sampling and Poisson weighting.
+    pub seed: u64,
+}
+
+impl Default for ArfConfig {
+    fn default() -> Self {
+        Self {
+            ensemble_size: 3,
+            lambda: 6.0,
+            subspace_size: None,
+            warning_delta: 0.01,
+            drift_delta: 0.001,
+            base_config: VfdtConfig::majority_class(),
+            seed: 13,
+        }
+    }
+}
+
+/// One forest member: a tree over a feature subspace plus its detectors and
+/// optional background tree.
+struct ForestMember {
+    tree: HoeffdingTreeClassifier,
+    subspace: Vec<usize>,
+    warning: Adwin,
+    drift: Adwin,
+    background: Option<(HoeffdingTreeClassifier, Vec<usize>)>,
+}
+
+impl ForestMember {
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.subspace.iter().map(|&i| x[i]).collect()
+    }
+}
+
+/// The Adaptive Random Forest classifier.
+pub struct AdaptiveRandomForest {
+    config: ArfConfig,
+    schema: StreamSchema,
+    members: Vec<ForestMember>,
+    rng: StdRng,
+    observations: u64,
+}
+
+impl AdaptiveRandomForest {
+    /// Create a forest for the given schema.
+    pub fn new(schema: StreamSchema, config: ArfConfig) -> Self {
+        assert!(config.ensemble_size >= 1, "need at least one member");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let members = (0..config.ensemble_size)
+            .map(|_| Self::fresh_member(&schema, &config, &mut rng))
+            .collect();
+        Self {
+            config,
+            schema,
+            members,
+            rng,
+            observations: 0,
+        }
+    }
+
+    fn subspace_size(schema: &StreamSchema, config: &ArfConfig) -> usize {
+        config
+            .subspace_size
+            .unwrap_or_else(|| (schema.num_features() as f64).sqrt().ceil() as usize)
+            .clamp(1, schema.num_features())
+    }
+
+    fn draw_subspace(schema: &StreamSchema, config: &ArfConfig, rng: &mut StdRng) -> Vec<usize> {
+        let k = Self::subspace_size(schema, config);
+        let mut indices: Vec<usize> = (0..schema.num_features()).collect();
+        indices.shuffle(rng);
+        indices.truncate(k);
+        indices.sort_unstable();
+        indices
+    }
+
+    fn projected_schema(schema: &StreamSchema, subspace: &[usize]) -> StreamSchema {
+        let features = subspace
+            .iter()
+            .map(|&i| schema.features[i].clone())
+            .collect();
+        StreamSchema::new(
+            format!("{}-subspace", schema.name),
+            features,
+            schema.num_classes,
+        )
+    }
+
+    fn fresh_member(schema: &StreamSchema, config: &ArfConfig, rng: &mut StdRng) -> ForestMember {
+        let subspace = Self::draw_subspace(schema, config, rng);
+        let tree = HoeffdingTreeClassifier::new(
+            Self::projected_schema(schema, &subspace),
+            config.base_config.clone(),
+        );
+        ForestMember {
+            tree,
+            subspace,
+            warning: Adwin::new(config.warning_delta),
+            drift: Adwin::new(config.drift_delta),
+            background: None,
+        }
+    }
+
+    /// Number of ensemble members.
+    pub fn ensemble_size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn vote(&self, x: &[f64]) -> Vec<f64> {
+        let c = self.schema.num_classes;
+        let mut votes = vec![0.0; c];
+        for member in &self.members {
+            let proba = member.tree.predict_proba(&member.project(x));
+            for (v, p) in votes.iter_mut().zip(proba.iter()) {
+                *v += p;
+            }
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in votes.iter_mut() {
+                *v /= total;
+            }
+        } else {
+            votes = vec![1.0 / c as f64; c];
+        }
+        votes
+    }
+
+    /// Learn one instance.
+    pub fn learn_one(&mut self, x: &[f64], y: usize) {
+        self.observations += 1;
+        let poisson = Poisson::new(self.config.lambda).expect("lambda > 0");
+        let schema = self.schema.clone();
+        let config = self.config.clone();
+        for member in self.members.iter_mut() {
+            let projected = member.project(x);
+            let error = if member.tree.predict(&projected) == y { 0.0 } else { 1.0 };
+            let warning = member.warning.update(error);
+            let drift = member.drift.update(error);
+
+            if warning && member.background.is_none() {
+                let subspace = Self::draw_subspace(&schema, &config, &mut self.rng);
+                let tree = HoeffdingTreeClassifier::new(
+                    Self::projected_schema(&schema, &subspace),
+                    config.base_config.clone(),
+                );
+                member.background = Some((tree, subspace));
+            }
+
+            let k = poisson.sample(&mut self.rng) as usize;
+            for _ in 0..k {
+                member.tree.learn_one(&projected, y);
+                if let Some((background, subspace)) = member.background.as_mut() {
+                    let projected_bg: Vec<f64> = subspace.iter().map(|&i| x[i]).collect();
+                    background.learn_one(&projected_bg, y);
+                }
+            }
+
+            if drift {
+                if let Some((background, subspace)) = member.background.take() {
+                    member.tree = background;
+                    member.subspace = subspace;
+                } else {
+                    let subspace = Self::draw_subspace(&schema, &config, &mut self.rng);
+                    member.tree = HoeffdingTreeClassifier::new(
+                        Self::projected_schema(&schema, &subspace),
+                        config.base_config.clone(),
+                    );
+                    member.subspace = subspace;
+                }
+                member.warning = Adwin::new(config.warning_delta);
+                member.drift = Adwin::new(config.drift_delta);
+            }
+        }
+    }
+}
+
+impl OnlineClassifier for AdaptiveRandomForest {
+    fn name(&self) -> &str {
+        "Forest Ens."
+    }
+
+    fn num_classes(&self) -> usize {
+        self.schema.num_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        dmt_models::argmax(&self.vote(x))
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.vote(x)
+    }
+
+    fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            self.learn_one(x, y);
+        }
+    }
+
+    fn complexity(&self) -> Complexity {
+        let mut total = Complexity::default();
+        for member in &self.members {
+            let c = member.tree.complexity();
+            total.splits += c.splits;
+            total.parameters += c.parameters;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_stream::generators::sea::SeaGenerator;
+    use dmt_stream::DataStream;
+
+    fn sea_schema() -> StreamSchema {
+        StreamSchema::numeric("SEA", 3, 2)
+    }
+
+    #[test]
+    fn subspaces_have_sqrt_m_features_by_default() {
+        let schema = StreamSchema::numeric("wide", 49, 2);
+        let forest = AdaptiveRandomForest::new(schema, ArfConfig::default());
+        for member in &forest.members {
+            assert_eq!(member.subspace.len(), 7);
+            assert!(member.subspace.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn explicit_subspace_size_is_clamped() {
+        let schema = StreamSchema::numeric("narrow", 3, 2);
+        let config = ArfConfig {
+            subspace_size: Some(10),
+            ..ArfConfig::default()
+        };
+        let forest = AdaptiveRandomForest::new(schema, config);
+        for member in &forest.members {
+            assert_eq!(member.subspace.len(), 3);
+        }
+    }
+
+    #[test]
+    fn learns_sea_better_than_chance() {
+        let mut forest = AdaptiveRandomForest::new(sea_schema(), ArfConfig::default());
+        let mut gen = SeaGenerator::new(0, 0.0, 3);
+        for _ in 0..8_000 {
+            let inst = gen.next_instance().unwrap();
+            forest.learn_one(&inst.x, inst.y);
+        }
+        let mut test_gen = SeaGenerator::new(0, 0.0, 41);
+        let mut correct = 0;
+        for _ in 0..1_000 {
+            let inst = test_gen.next_instance().unwrap();
+            if forest.predict(&inst.x) == inst.y {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 1_000.0 > 0.75, "accuracy {}", correct as f64 / 1_000.0);
+    }
+
+    #[test]
+    fn prediction_is_a_distribution() {
+        let forest = AdaptiveRandomForest::new(sea_schema(), ArfConfig::default());
+        let p = forest.predict_proba(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(forest.name(), "Forest Ens.");
+    }
+
+    #[test]
+    fn complexity_sums_over_members() {
+        let forest = AdaptiveRandomForest::new(sea_schema(), ArfConfig::default());
+        assert_eq!(forest.complexity().parameters, 3.0);
+        assert_eq!(forest.complexity().splits, 0.0);
+    }
+
+    #[test]
+    fn adapts_after_concept_switch() {
+        let mut forest = AdaptiveRandomForest::new(sea_schema(), ArfConfig::default());
+        let mut gen_a = SeaGenerator::new(0, 0.0, 9);
+        for _ in 0..6_000 {
+            let inst = gen_a.next_instance().unwrap();
+            forest.learn_one(&inst.x, inst.y);
+        }
+        let mut gen_b = SeaGenerator::new(2, 0.0, 10);
+        for _ in 0..6_000 {
+            let inst = gen_b.next_instance().unwrap();
+            forest.learn_one(&inst.x, inst.y);
+        }
+        let mut test_gen = SeaGenerator::new(2, 0.0, 11);
+        let mut correct = 0;
+        for _ in 0..1_000 {
+            let inst = test_gen.next_instance().unwrap();
+            if forest.predict(&inst.x) == inst.y {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 1_000.0 > 0.7, "post-drift accuracy {}", correct as f64 / 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_panics() {
+        let config = ArfConfig {
+            ensemble_size: 0,
+            ..ArfConfig::default()
+        };
+        let _ = AdaptiveRandomForest::new(sea_schema(), config);
+    }
+}

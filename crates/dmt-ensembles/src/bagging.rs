@@ -1,0 +1,250 @@
+//! Leveraging Bagging (Bifet, Holmes & Pfahringer, 2010).
+//!
+//! Online bagging where each incoming instance is presented to every ensemble
+//! member `k ~ Poisson(λ)` times with λ = 6 (more aggressive resampling than
+//! Oza bagging's λ = 1). Every member carries an ADWIN detector on its
+//! prequential error; when the detector fires, the *worst* member is replaced
+//! by a fresh tree. Predictions are combined by majority vote.
+
+use dmt_drift::{Adwin, DriftDetector};
+use dmt_models::online::{Complexity, OnlineClassifier};
+use dmt_models::Rows;
+use dmt_stream::schema::StreamSchema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Poisson};
+
+use dmt_baselines::vfdt::{HoeffdingTreeClassifier, VfdtConfig};
+
+/// Configuration of the Leveraging Bagging ensemble.
+#[derive(Debug, Clone)]
+pub struct LeveragingBaggingConfig {
+    /// Number of weak learners (the paper uses 3).
+    pub ensemble_size: usize,
+    /// Poisson λ of the instance weighting (canonical value 6).
+    pub lambda: f64,
+    /// ADWIN confidence for the per-member drift detectors.
+    pub adwin_delta: f64,
+    /// Configuration of the weak Hoeffding trees.
+    pub base_config: VfdtConfig,
+    /// Seed for the Poisson sampling.
+    pub seed: u64,
+}
+
+impl Default for LeveragingBaggingConfig {
+    fn default() -> Self {
+        Self {
+            ensemble_size: 3,
+            lambda: 6.0,
+            adwin_delta: 0.002,
+            base_config: VfdtConfig::majority_class(),
+            seed: 7,
+        }
+    }
+}
+
+/// The Leveraging Bagging ensemble classifier.
+pub struct LeveragingBagging {
+    config: LeveragingBaggingConfig,
+    schema: StreamSchema,
+    members: Vec<HoeffdingTreeClassifier>,
+    detectors: Vec<Adwin>,
+    rng: StdRng,
+    observations: u64,
+}
+
+impl LeveragingBagging {
+    /// Create an ensemble for the given schema.
+    pub fn new(schema: StreamSchema, config: LeveragingBaggingConfig) -> Self {
+        assert!(config.ensemble_size >= 1, "need at least one member");
+        let members = (0..config.ensemble_size)
+            .map(|_| HoeffdingTreeClassifier::new(schema.clone(), config.base_config.clone()))
+            .collect();
+        let detectors = (0..config.ensemble_size)
+            .map(|_| Adwin::new(config.adwin_delta))
+            .collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            schema,
+            members,
+            detectors,
+            rng,
+            observations: 0,
+        }
+    }
+
+    /// Number of ensemble members.
+    pub fn ensemble_size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Majority-vote class distribution over the members.
+    fn vote(&self, x: &[f64]) -> Vec<f64> {
+        let c = self.schema.num_classes;
+        let mut votes = vec![0.0; c];
+        for member in &self.members {
+            let proba = member.predict_proba(x);
+            for (v, p) in votes.iter_mut().zip(proba.iter()) {
+                *v += p;
+            }
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in votes.iter_mut() {
+                *v /= total;
+            }
+        } else {
+            votes = vec![1.0 / c as f64; c];
+        }
+        votes
+    }
+
+    /// Learn one instance: Poisson-weighted presentation to every member plus
+    /// ADWIN-triggered resets.
+    pub fn learn_one(&mut self, x: &[f64], y: usize) {
+        self.observations += 1;
+        let poisson = Poisson::new(self.config.lambda).expect("lambda > 0");
+        let mut drift_member: Option<usize> = None;
+        for (i, (member, detector)) in self
+            .members
+            .iter_mut()
+            .zip(self.detectors.iter_mut())
+            .enumerate()
+        {
+            // Prequential error of this member, fed to its ADWIN.
+            let error = if member.predict(x) == y { 0.0 } else { 1.0 };
+            if detector.update(error) && drift_member.is_none() {
+                drift_member = Some(i);
+            }
+            let k = poisson.sample(&mut self.rng) as usize;
+            for _ in 0..k {
+                member.learn_one(x, y);
+            }
+        }
+        if let Some(_trigger) = drift_member {
+            // Replace the member with the highest estimated error.
+            let worst = self
+                .detectors
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.mean()
+                        .partial_cmp(&b.mean())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.members[worst] =
+                HoeffdingTreeClassifier::new(self.schema.clone(), self.config.base_config.clone());
+            self.detectors[worst] = Adwin::new(self.config.adwin_delta);
+        }
+    }
+}
+
+impl OnlineClassifier for LeveragingBagging {
+    fn name(&self) -> &str {
+        "Bagging Ens."
+    }
+
+    fn num_classes(&self) -> usize {
+        self.schema.num_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        dmt_models::argmax(&self.vote(x))
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.vote(x)
+    }
+
+    fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            self.learn_one(x, y);
+        }
+    }
+
+    fn complexity(&self) -> Complexity {
+        let mut total = Complexity::default();
+        for member in &self.members {
+            let c = member.complexity();
+            total.splits += c.splits;
+            total.parameters += c.parameters;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_stream::generators::sea::SeaGenerator;
+    use dmt_stream::DataStream;
+
+    fn sea_schema() -> StreamSchema {
+        StreamSchema::numeric("SEA", 3, 2)
+    }
+
+    #[test]
+    fn builds_the_configured_number_of_members() {
+        let ensemble = LeveragingBagging::new(sea_schema(), LeveragingBaggingConfig::default());
+        assert_eq!(ensemble.ensemble_size(), 3);
+        assert_eq!(ensemble.name(), "Bagging Ens.");
+    }
+
+    #[test]
+    fn learns_sea_better_than_chance() {
+        let mut ensemble = LeveragingBagging::new(sea_schema(), LeveragingBaggingConfig::default());
+        let mut gen = SeaGenerator::new(0, 0.0, 3);
+        for _ in 0..8_000 {
+            let inst = gen.next_instance().unwrap();
+            ensemble.learn_one(&inst.x, inst.y);
+        }
+        let mut test_gen = SeaGenerator::new(0, 0.0, 31);
+        let mut correct = 0;
+        for _ in 0..1_000 {
+            let inst = test_gen.next_instance().unwrap();
+            if ensemble.predict(&inst.x) == inst.y {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 1_000.0 > 0.85, "accuracy {}", correct as f64 / 1_000.0);
+    }
+
+    #[test]
+    fn complexity_sums_members() {
+        let ensemble = LeveragingBagging::new(sea_schema(), LeveragingBaggingConfig::default());
+        let c = ensemble.complexity();
+        // Three untrained MC trees: 0 splits, 1 parameter each.
+        assert_eq!(c.splits, 0.0);
+        assert_eq!(c.parameters, 3.0);
+    }
+
+    #[test]
+    fn prediction_is_a_distribution() {
+        let ensemble = LeveragingBagging::new(sea_schema(), LeveragingBaggingConfig::default());
+        let p = ensemble.predict_proba(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_panics() {
+        let config = LeveragingBaggingConfig {
+            ensemble_size: 0,
+            ..LeveragingBaggingConfig::default()
+        };
+        let _ = LeveragingBagging::new(sea_schema(), config);
+    }
+
+    #[test]
+    fn batch_learning_counts_observations() {
+        let mut ensemble = LeveragingBagging::new(sea_schema(), LeveragingBaggingConfig::default());
+        let mut gen = SeaGenerator::new(0, 0.0, 5);
+        let batch = gen.next_batch(100).unwrap();
+        ensemble.learn_batch(&batch.rows(), &batch.ys);
+        assert_eq!(ensemble.observations, 100);
+    }
+}

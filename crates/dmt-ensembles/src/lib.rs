@@ -1,0 +1,23 @@
+//! # dmt-ensembles
+//!
+//! Ensemble online learners used as reference rows in the paper's Table II:
+//!
+//! * [`arf`] — the Adaptive Random Forest (Gomes et al., 2017): online
+//!   bagging with Poisson(6) instance weighting, per-tree random feature
+//!   subspaces and per-tree ADWIN drift detectors that reset degraded
+//!   members.
+//! * [`bagging`] — Leveraging Bagging (Bifet, Holmes & Pfahringer, 2010):
+//!   online bagging with Poisson(6) weighting and ADWIN-triggered member
+//!   resets.
+//!
+//! As in §VI-C of the paper, both ensembles use **three** basic Hoeffding
+//! trees (majority-class leaves, binary splits) as weak learners.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arf;
+pub mod bagging;
+
+pub use arf::{AdaptiveRandomForest, ArfConfig};
+pub use bagging::{LeveragingBagging, LeveragingBaggingConfig};

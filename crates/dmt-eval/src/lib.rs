@@ -1,0 +1,28 @@
+//! # dmt-eval
+//!
+//! Prequential (test-then-train) evaluation, metrics and complexity
+//! accounting for the Dynamic Model Tree reproduction:
+//!
+//! * [`metrics`] — confusion matrix, accuracy, precision/recall, macro and
+//!   weighted F1 and Cohen's kappa.
+//! * [`prequential`] — the paper's evaluation protocol (§VI-A): the stream is
+//!   processed in batches of 0.1 % of the data; each batch is first used for
+//!   testing, then for training. Per-batch F1, split counts, parameter counts
+//!   and wall-clock times are recorded.
+//! * [`trace`] — sliding-window aggregation of per-batch series (window 20),
+//!   the transformation behind Figure 3.
+//! * [`stats`] — small mean/standard-deviation helpers used by the result
+//!   tables.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod prequential;
+pub mod stats;
+pub mod trace;
+
+pub use metrics::ConfusionMatrix;
+pub use prequential::{PrequentialConfig, PrequentialResult, PrequentialRun};
+pub use stats::{mean, mean_std, std_dev};
+pub use trace::sliding_window;

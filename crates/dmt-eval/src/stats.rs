@@ -1,0 +1,64 @@
+//! Small statistics helpers for the result tables (mean ± standard
+//! deviation, as reported in Tables II–V of the paper).
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// `(mean, std)` in one call.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    (mean(values), std_dev(values))
+}
+
+/// Format a `(mean, std)` pair the way the paper's tables do, e.g. `0.76 ± 0.20`.
+pub fn format_mean_std(mean: f64, std: f64, decimals: usize) -> String {
+    format!("{mean:.prec$} ± {std:.prec$}", prec = decimals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn std_of_known_values() {
+        // Population std of [2, 4, 4, 4, 5, 5, 7, 9] is 2.
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&values) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_combines_both() {
+        let (m, s) = mean_std(&[1.0, 1.0, 1.0]);
+        assert_eq!(m, 1.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(format_mean_std(0.761, 0.204, 2), "0.76 ± 0.20");
+        assert_eq!(format_mean_std(35.66, 16.7, 1), "35.7 ± 16.7");
+    }
+}

@@ -1,0 +1,104 @@
+//! Sliding-window aggregation of per-batch series.
+//!
+//! Figure 3 of the paper plots the mean and standard deviation of the F1
+//! score and of the (log) number of splits for a sliding window of 20
+//! evaluation steps. [`sliding_window`] reproduces exactly that
+//! transformation.
+
+use crate::stats::{mean, std_dev};
+
+/// One aggregated point of a sliding-window series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPoint {
+    /// Index of the last batch included in the window (1-based time step, as
+    /// plotted on the x-axis of Fig. 3).
+    pub time_step: usize,
+    /// Window mean.
+    pub mean: f64,
+    /// Window standard deviation.
+    pub std: f64,
+}
+
+/// Aggregate a per-batch series with a trailing window of `window` steps.
+///
+/// The first `window − 1` points use the partial window available so far (so
+/// the output has the same length as the input), matching how streaming
+/// evaluations are usually plotted.
+pub fn sliding_window(series: &[f64], window: usize) -> Vec<WindowPoint> {
+    assert!(window >= 1, "window must be at least 1");
+    let mut out = Vec::with_capacity(series.len());
+    for i in 0..series.len() {
+        let start = (i + 1).saturating_sub(window);
+        let slice = &series[start..=i];
+        out.push(WindowPoint {
+            time_step: i + 1,
+            mean: mean(slice),
+            std: std_dev(slice),
+        });
+    }
+    out
+}
+
+/// Natural logarithm of a count series, with `ln(x.max(1))` to keep zero
+/// counts finite — the y-axis transformation of Fig. 3 (b, d, f, h) and
+/// Fig. 4.
+pub fn log_counts(series: &[f64]) -> Vec<f64> {
+    series.iter().map(|&v| v.max(1.0).ln()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_of_one_reproduces_the_series() {
+        let series = [1.0, 2.0, 3.0];
+        let agg = sliding_window(&series, 1);
+        assert_eq!(agg.len(), 3);
+        for (point, &value) in agg.iter().zip(series.iter()) {
+            assert_eq!(point.mean, value);
+            assert_eq!(point.std, 0.0);
+        }
+        assert_eq!(agg[2].time_step, 3);
+    }
+
+    #[test]
+    fn trailing_window_uses_partial_prefix() {
+        let series = [1.0, 2.0, 3.0, 4.0];
+        let agg = sliding_window(&series, 20);
+        assert_eq!(agg[0].mean, 1.0);
+        assert_eq!(agg[1].mean, 1.5);
+        assert_eq!(agg[3].mean, 2.5);
+    }
+
+    #[test]
+    fn full_window_slides() {
+        let series = [0.0, 0.0, 10.0, 10.0];
+        let agg = sliding_window(&series, 2);
+        assert_eq!(agg[1].mean, 0.0);
+        assert_eq!(agg[2].mean, 5.0);
+        assert_eq!(agg[3].mean, 10.0);
+        assert!(agg[2].std > 0.0);
+        assert_eq!(agg[3].std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_panics() {
+        let _ = sliding_window(&[1.0], 0);
+    }
+
+    #[test]
+    fn log_counts_clamps_zero() {
+        let logs = log_counts(&[0.0, 1.0, std::f64::consts::E]);
+        assert_eq!(logs[0], 0.0);
+        assert_eq!(logs[1], 0.0);
+        assert!((logs[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_is_empty() {
+        assert!(sliding_window(&[], 20).is_empty());
+        assert!(log_counts(&[]).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Akaike Information Criterion (AIC) helpers and the ε-threshold test of
+//! eq. (9)–(11) in the paper.
+//!
+//! The DMT uses the AIC to turn the raw loss-based gains into a *robust*
+//! decision: a split (or prune/replacement) is only performed when the gain
+//! exceeds `k_new − k_old − log(ε)`, where `k` counts free parameters and
+//! `ε ∈ [0, 1]` bounds the tolerated probability that the more complex model
+//! is not actually the information-optimal one.
+
+/// Akaike Information Criterion `AIC = 2k − 2ℓ(Θ)` where `ℓ` is the
+/// log-likelihood and `k` the number of free parameters (eq. 8).
+///
+/// Callers in this workspace track the *negative* log-likelihood `L = −ℓ`, so
+/// the convenience form `AIC = 2k + 2L` is also provided via
+/// [`aic_from_nll`].
+#[inline]
+pub fn aic(num_params: usize, log_likelihood: f64) -> f64 {
+    2.0 * num_params as f64 - 2.0 * log_likelihood
+}
+
+/// AIC computed from a negative log-likelihood (the loss tracked by DMT
+/// nodes): `AIC = 2k + 2·NLL`.
+#[inline]
+pub fn aic_from_nll(num_params: usize, nll: f64) -> f64 {
+    2.0 * num_params as f64 + 2.0 * nll
+}
+
+/// The gain threshold of eq. (11).
+///
+/// A candidate structural change replacing a model with `k_old` free
+/// parameters by models totalling `k_new` free parameters is accepted when
+/// the loss-based gain satisfies
+///
+/// ```text
+/// G ≥ k_new − k_old − log(ε)
+/// ```
+///
+/// For ε = 1 the test degenerates to a pure parameter-count penalty; smaller
+/// ε demand proportionally larger gains (the paper default is ε = 1e-8).
+#[inline]
+pub fn aic_split_threshold(k_new: usize, k_old: usize, epsilon: f64) -> f64 {
+    assert!(
+        epsilon > 0.0 && epsilon <= 1.0,
+        "epsilon must lie in (0, 1], got {epsilon}"
+    );
+    k_new as f64 - k_old as f64 - epsilon.ln()
+}
+
+/// Relative AIC evidence `exp((AIC_i − AIC_j) / 2)`: proportional to the
+/// probability that model `j` (the one with the larger AIC) actually
+/// minimises the information loss (§V-C).
+#[inline]
+pub fn relative_likelihood(aic_better: f64, aic_worse: f64) -> f64 {
+    ((aic_better - aic_worse) / 2.0).exp()
+}
+
+/// Stateless helper bundling the ε hyperparameter for repeated tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AicTest {
+    epsilon: f64,
+}
+
+impl AicTest {
+    /// Create a test with the given ε (the paper default is `1e-8`).
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must lie in (0, 1], got {epsilon}"
+        );
+        Self { epsilon }
+    }
+
+    /// The configured ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Returns `true` when the observed gain justifies moving from a model
+    /// with `k_old` parameters to one with `k_new` parameters.
+    #[inline]
+    pub fn accepts(&self, gain: f64, k_new: usize, k_old: usize) -> bool {
+        gain >= aic_split_threshold(k_new, k_old, self.epsilon)
+    }
+
+    /// Threshold value for the given parameter counts.
+    #[inline]
+    pub fn threshold(&self, k_new: usize, k_old: usize) -> f64 {
+        aic_split_threshold(k_new, k_old, self.epsilon)
+    }
+}
+
+impl Default for AicTest {
+    /// Paper default: ε = 1e-8.
+    fn default() -> Self {
+        Self::new(1e-8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aic_formula() {
+        // k = 3, ℓ = -10 → AIC = 6 + 20 = 26
+        assert!((aic(3, -10.0) - 26.0).abs() < 1e-12);
+        assert!((aic_from_nll(3, 10.0) - 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aic_from_nll_agrees_with_aic() {
+        for &(k, nll) in &[(1usize, 0.5f64), (10, 123.4), (0, 7.0)] {
+            assert!((aic_from_nll(k, nll) - aic(k, -nll)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_grows_as_epsilon_shrinks() {
+        let loose = aic_split_threshold(10, 5, 1.0);
+        let strict = aic_split_threshold(10, 5, 1e-8);
+        assert!(strict > loose);
+        assert!((loose - 5.0).abs() < 1e-12); // ln(1) = 0
+    }
+
+    #[test]
+    fn threshold_matches_paper_formula() {
+        // G >= k_C + k_C̄ - k_S - log(eps); with equal model sizes k at every
+        // node, splitting doubles the parameters: threshold = k - log(eps).
+        let k = 7usize;
+        let eps = 1e-8;
+        let t = aic_split_threshold(2 * k, k, eps);
+        assert!((t - (k as f64 - eps.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1]")]
+    fn zero_epsilon_is_rejected() {
+        let _ = aic_split_threshold(2, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1]")]
+    fn epsilon_above_one_is_rejected() {
+        let _ = AicTest::new(1.5);
+    }
+
+    #[test]
+    fn relative_likelihood_is_one_for_equal_aic() {
+        assert!((relative_likelihood(10.0, 10.0) - 1.0).abs() < 1e-12);
+        assert!(relative_likelihood(5.0, 20.0) < 1.0);
+    }
+
+    #[test]
+    fn aic_test_accepts_large_gains_only() {
+        let test = AicTest::default();
+        // Splitting a k=5 logit into two k=5 children: threshold = 5 - ln(1e-8) ≈ 23.4
+        assert!(!test.accepts(10.0, 10, 5));
+        assert!(test.accepts(30.0, 10, 5));
+        assert!((test.threshold(10, 5) - (5.0 - 1e-8f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_direction_has_negative_parameter_delta() {
+        // Collapsing a subtree (k_new < k_old) lowers the threshold, so even a
+        // zero gain can justify pruning with epsilon = 1.
+        let test = AicTest::new(1.0);
+        assert!(test.accepts(0.0, 5, 15));
+        // With the strict default epsilon the prune needs to overcome -log(eps).
+        let strict = AicTest::default();
+        assert!(!strict.accepts(0.0, 5, 15));
+        assert!(strict.accepts(9.0, 5, 15));
+    }
+
+    #[test]
+    fn default_epsilon_matches_paper() {
+        assert!((AicTest::default().epsilon() - 1e-8).abs() < 1e-20);
+    }
+}

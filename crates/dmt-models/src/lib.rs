@@ -1,0 +1,154 @@
+//! # dmt-models
+//!
+//! Simple predictive models used inside the Dynamic Model Tree (DMT) and the
+//! baseline incremental decision trees.
+//!
+//! The crate provides:
+//!
+//! * [`linalg`] — small dense-vector helpers (dot products, axpy, norms).
+//! * [`logit`] — a binary logistic-regression (logit) model trained by SGD.
+//! * [`softmax`] — a multinomial logistic-regression (softmax) model.
+//! * [`glm`] — [`glm::Glm`], a dispatcher that picks the logit model for binary
+//!   targets and the softmax model otherwise, exactly as proposed in §V-A of
+//!   the paper.
+//! * [`naive_bayes`] — incremental Gaussian Naive Bayes, used by the
+//!   VFDT (NBA) baseline leaves.
+//! * [`perceptron`] — an averaged online perceptron, provided as an alternative
+//!   leaf model (extension).
+//! * [`aic`] — Akaike Information Criterion helpers and the ε-threshold test of
+//!   eq. (11).
+//!
+//! All models implement [`SimpleModel`], the contract the Dynamic Model Tree
+//! relies on: incremental SGD updates, per-batch negative log-likelihood and
+//! gradients evaluated *at the current parameters* (needed for the candidate
+//! loss approximation of eq. (6)–(7)).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aic;
+pub mod glm;
+pub mod linalg;
+pub mod logit;
+pub mod loss;
+pub mod naive_bayes;
+pub mod online;
+pub mod perceptron;
+pub mod softmax;
+
+pub use aic::{aic, aic_split_threshold, AicTest};
+pub use glm::Glm;
+pub use logit::LogitModel;
+pub use naive_bayes::GaussianNaiveBayes;
+pub use online::{Complexity, OnlineClassifier};
+pub use perceptron::AveragedPerceptron;
+pub use softmax::SoftmaxModel;
+
+/// A batch of observations: one row per instance, dense `f64` features.
+///
+/// The Dynamic Model Tree operates batch-incrementally (the paper uses batches
+/// of 0.1 % of the stream), so every model API accepts slices of rows.
+pub type Rows<'a> = &'a [&'a [f64]];
+
+/// Contract shared by all simple models that can live at a node of a
+/// (Dynamic) Model Tree.
+///
+/// The three core operations mirror Algorithm 1 of the paper:
+///
+/// * [`SimpleModel::loss_and_gradient`] returns the *negative log-likelihood*
+///   of a batch evaluated at the current parameters together with the gradient
+///   with respect to the flattened parameter vector. The DMT accumulates both
+///   per node and per split candidate.
+/// * [`SimpleModel::sgd_step`] performs one stochastic-gradient step with a
+///   constant learning rate (§V-A).
+/// * [`SimpleModel::predict_proba`] yields class probabilities for prediction
+///   and for the adaptive leaf policies of the baselines.
+pub trait SimpleModel: Send + Sync {
+    /// Number of free (estimated) parameters `k` of the model.
+    ///
+    /// Used by the AIC threshold of eq. (11) and by the parameter-count
+    /// complexity measure of Table IV.
+    fn num_params(&self) -> usize;
+
+    /// Number of classes the model discriminates between.
+    fn num_classes(&self) -> usize;
+
+    /// Number of input features `m`.
+    fn num_features(&self) -> usize;
+
+    /// Flattened view of the current parameter vector.
+    fn params(&self) -> &[f64];
+
+    /// Mutable flattened view of the current parameter vector.
+    fn params_mut(&mut self) -> &mut [f64];
+
+    /// Class-probability vector for a single instance (length = `num_classes`).
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Most probable class for a single instance.
+    fn predict(&self, x: &[f64]) -> usize {
+        let proba = self.predict_proba(x);
+        argmax(&proba)
+    }
+
+    /// Negative log-likelihood of the batch evaluated at the *current*
+    /// parameters, plus the gradient of that loss w.r.t. the flattened
+    /// parameter vector.
+    ///
+    /// Both quantities are *sums* over the batch (not means), matching the
+    /// additive accumulation of Algorithm 1 lines 1–2 and 8–9.
+    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>);
+
+    /// One constant-learning-rate SGD step on the batch.
+    ///
+    /// Returns the batch loss *before* the update so callers can reuse it
+    /// (the DMT accumulates the pre-update loss, Algorithm 1 line 1).
+    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64;
+
+    /// Total number of observations this model has been trained on.
+    fn observations_seen(&self) -> u64;
+}
+
+/// Index of the maximum element; ties resolved towards the lower index.
+///
+/// Returns `0` for an empty slice, which is the conventional "no information"
+/// prediction used throughout the workspace.
+pub fn argmax(values: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[5.0, 1.0]), 0);
+        assert_eq!(argmax(&[1.0, 2.0, 3.0, 4.0]), 3);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_lower_index() {
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[0.2, 0.8, 0.8]), 1);
+    }
+
+    #[test]
+    fn argmax_on_empty_slice_is_zero() {
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn argmax_handles_negative_values() {
+        assert_eq!(argmax(&[-3.0, -1.0, -2.0]), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Small dense-vector linear-algebra helpers.
+//!
+//! The models in this workspace are tiny (at most a few thousand parameters),
+//! so hand-rolled loops over `&[f64]` are simpler and faster than pulling in a
+//! full linear-algebra crate. All functions are panic-free for matching
+//! lengths and debug-assert length agreement.
+
+/// Dot product `a · b`.
+///
+/// # Panics
+/// Debug builds assert that both slices have the same length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// In-place `y += alpha * x` (the BLAS "axpy" operation).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place element-wise addition `y += x`.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    debug_assert_eq!(x.len(), y.len(), "add_assign: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += xi;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Squared Euclidean norm `||v||²`.
+#[inline]
+pub fn norm_sq(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm `||v||`.
+#[inline]
+pub fn norm(v: &[f64]) -> f64 {
+    norm_sq(v).sqrt()
+}
+
+/// Scale a vector in place: `v *= alpha`.
+#[inline]
+pub fn scale(v: &mut [f64], alpha: f64) {
+    for x in v.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Numerically stable logistic sigmoid `1 / (1 + e^{-z})`.
+///
+/// Uses the two-branch formulation to avoid overflow of `exp` for large `|z|`.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softmax over the logits, returning a probability vector.
+///
+/// Subtracts the maximum logit before exponentiation. Returns the uniform
+/// distribution for an empty input.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut out: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = out.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for p in out.iter_mut() {
+            *p /= sum;
+        }
+    } else {
+        let uniform = 1.0 / out.len() as f64;
+        for p in out.iter_mut() {
+            *p = uniform;
+        }
+    }
+    out
+}
+
+/// Clamp a probability away from 0 and 1 so that `ln` stays finite.
+///
+/// The clamping constant (1e-15) matches common practice in streaming-ML
+/// libraries and keeps per-instance negative log-likelihood below ~34.5.
+#[inline]
+pub fn clamp_proba(p: f64) -> f64 {
+    p.clamp(1e-15, 1.0 - 1e-15)
+}
+
+/// Numerically stable `log(1 + e^{z})` (softplus), used by the binary logit
+/// negative log-likelihood.
+#[inline]
+pub fn log1p_exp(z: f64) -> f64 {
+    if z > 35.0 {
+        // e^{-z} is negligible; log(1 + e^z) ≈ z.
+        z
+    } else if z < -35.0 {
+        // e^{z} is negligible; log(1 + e^z) ≈ e^z ≈ 0.
+        z.exp()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn dot_basic() {
+        assert!((dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]) - 32.0).abs() < EPS);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_assign_and_sub_are_inverses() {
+        let a = vec![1.0, -2.0, 3.5];
+        let b = vec![0.5, 0.25, -1.0];
+        let mut c = a.clone();
+        add_assign(&mut c, &b);
+        let back = sub(&c, &b);
+        for (x, y) in back.iter().zip(a.iter()) {
+            assert!((x - y).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm_sq(&[3.0, 4.0]) - 25.0).abs() < EPS);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < EPS);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut v = vec![1.0, -2.0];
+        scale(&mut v, -3.0);
+        assert_eq!(v, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < EPS);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(1000.0) > 0.999);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-3);
+        // sigmoid(-z) = 1 - sigmoid(z)
+        for &z in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
+            assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[1e6, 0.0, -1e6]);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_of_empty_is_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_of_equal_logits_is_uniform() {
+        let p = softmax(&[2.0, 2.0, 2.0, 2.0]);
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamp_proba_keeps_ln_finite() {
+        assert!(clamp_proba(0.0).ln().is_finite());
+        assert!(clamp_proba(1.0).ln().is_finite());
+        assert_eq!(clamp_proba(0.5), 0.5);
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for &z in &[-20.0f64, -1.0, 0.0, 1.0, 20.0] {
+            let naive = (1.0 + z.exp()).ln();
+            assert!((log1p_exp(z) - naive).abs() < 1e-9, "z={z}");
+        }
+    }
+
+    #[test]
+    fn log1p_exp_is_finite_for_extreme_inputs() {
+        assert!(log1p_exp(1e4).is_finite());
+        assert!(log1p_exp(-1e4).is_finite());
+        assert!((log1p_exp(1e4) - 1e4).abs() < 1e-9);
+        assert!(log1p_exp(-1e4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Averaged multi-class perceptron.
+//!
+//! Not used by the paper's headline experiments but provided as an alternative
+//! simple model (the paper explicitly invites experimenting with other base
+//! models, §V-A). It also mirrors the "Fast Perceptron Decision Tree" leaf
+//! models of Bifet et al. (2010), which the related-work section cites.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{dot, softmax};
+use crate::{Rows, SimpleModel};
+
+/// Multi-class averaged perceptron with one weight vector (plus bias) per
+/// class.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct AveragedPerceptron {
+    /// Current class-major weights, `c * (m + 1)` entries.
+    params: Vec<f64>,
+    /// Running sum of weights for averaging.
+    averaged: Vec<f64>,
+    num_features: usize,
+    num_classes: usize,
+    seen: u64,
+}
+
+impl AveragedPerceptron {
+    /// Create a zero-initialised perceptron.
+    pub fn new(num_features: usize, num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "a classifier needs at least two classes");
+        let len = num_classes * (num_features + 1);
+        Self {
+            params: vec![0.0; len],
+            averaged: vec![0.0; len],
+            num_features,
+            num_classes,
+            seen: 0,
+        }
+    }
+
+    fn scores(&self, x: &[f64]) -> Vec<f64> {
+        let stride = self.num_features + 1;
+        (0..self.num_classes)
+            .map(|c| {
+                let block = &self.params[c * stride..(c + 1) * stride];
+                dot(&block[..self.num_features], x) + block[self.num_features]
+            })
+            .collect()
+    }
+
+    /// Averaged weights accumulated over all updates (stabilised predictor).
+    pub fn averaged_params(&self) -> Vec<f64> {
+        if self.seen == 0 {
+            return self.params.clone();
+        }
+        self.averaged
+            .iter()
+            .map(|&w| w / self.seen as f64)
+            .collect()
+    }
+}
+
+impl SimpleModel for AveragedPerceptron {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        softmax(&self.scores(x))
+    }
+
+    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+        // Perceptron (hinge-like) loss: sum over mistakes of the margin
+        // deficit; the gradient follows the classic update rule.
+        let stride = self.num_features + 1;
+        let mut loss = 0.0;
+        let mut grad = vec![0.0; self.params.len()];
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let scores = self.scores(x);
+            let pred = crate::argmax(&scores);
+            if pred != y && y < self.num_classes {
+                loss += (scores[pred] - scores[y]).max(0.0) + 1.0;
+                // Gradient: +x for the wrongly predicted class, -x for the
+                // true class.
+                for (i, &xi) in x.iter().enumerate() {
+                    grad[pred * stride + i] += xi;
+                    grad[y * stride + i] -= xi;
+                }
+                grad[pred * stride + self.num_features] += 1.0;
+                grad[y * stride + self.num_features] -= 1.0;
+            }
+        }
+        (loss, grad)
+    }
+
+    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64 {
+        let n = xs.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let (loss, grad) = self.loss_and_gradient(xs, ys);
+        for (p, g) in self.params.iter_mut().zip(grad.iter()) {
+            *p -= learning_rate * g;
+        }
+        for (a, p) in self.averaged.iter_mut().zip(self.params.iter()) {
+            *a += p * n as f64;
+        }
+        self.seen += n as u64;
+        loss
+    }
+
+    fn observations_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_free_batch() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Three linearly separable classes on a line.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..150 {
+            let v = (i % 30) as f64 / 10.0; // 0.0 .. 2.9
+            xs.push(vec![v, 1.0 - v]);
+            ys.push(if v < 1.0 {
+                0
+            } else if v < 2.0 {
+                1
+            } else {
+                2
+            });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn untrained_predicts_uniform() {
+        let p = AveragedPerceptron::new(2, 3).predict_proba(&[0.5, 0.5]);
+        for &pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn learns_linearly_separable_three_class_problem() {
+        let (xs, ys) = xor_free_batch();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut model = AveragedPerceptron::new(2, 3);
+        for _ in 0..200 {
+            model.sgd_step(&rows, &ys, 0.1);
+        }
+        let correct = rows
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn loss_is_zero_when_all_correct() {
+        let (xs, ys) = xor_free_batch();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut model = AveragedPerceptron::new(2, 3);
+        for _ in 0..300 {
+            model.sgd_step(&rows, &ys, 0.1);
+        }
+        let correct = rows
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        if correct == rows.len() {
+            let (loss, grad) = model.loss_and_gradient(&rows, &ys);
+            assert_eq!(loss, 0.0);
+            assert!(grad.iter().all(|&g| g == 0.0));
+        }
+    }
+
+    #[test]
+    fn averaged_params_have_same_length() {
+        let mut model = AveragedPerceptron::new(3, 2);
+        let x: &[f64] = &[1.0, 0.0, 0.0];
+        model.sgd_step(&[x], &[1], 0.5);
+        assert_eq!(model.averaged_params().len(), model.num_params());
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut model = AveragedPerceptron::new(2, 2);
+        assert_eq!(model.sgd_step(&[], &[], 0.1), 0.0);
+        assert_eq!(model.observations_seen(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Multinomial logistic regression (softmax model) trained by constant-rate
+//! SGD.
+//!
+//! This is the simple model the paper proposes for categorical targets with
+//! more than two classes (§V-A). The parameter vector is laid out class-major:
+//! `[w_{0,1}, ..., w_{0,m}, b_0, w_{1,1}, ..., w_{1,m}, b_1, ...]`, so
+//! `num_params = c * (m + 1)`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{clamp_proba, dot, softmax};
+use crate::{Rows, SimpleModel};
+
+/// Multinomial logistic-regression model with per-class intercepts.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SoftmaxModel {
+    /// Flattened class-major parameters, `c * (m + 1)` entries.
+    params: Vec<f64>,
+    num_features: usize,
+    num_classes: usize,
+    seen: u64,
+}
+
+impl SoftmaxModel {
+    /// Create a model with all parameters initialised to zero.
+    pub fn new_zeros(num_features: usize, num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "softmax needs at least two classes");
+        Self {
+            params: vec![0.0; num_classes * (num_features + 1)],
+            num_features,
+            num_classes,
+            seen: 0,
+        }
+    }
+
+    /// Create a model with small random initial weights in `[-0.1, 0.1]`.
+    pub fn new_random(num_features: usize, num_classes: usize, seed: u64) -> Self {
+        assert!(num_classes >= 2, "softmax needs at least two classes");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let params = (0..num_classes * (num_features + 1))
+            .map(|_| rng.gen_range(-0.1..0.1))
+            .collect();
+        Self {
+            params,
+            num_features,
+            num_classes,
+            seen: 0,
+        }
+    }
+
+    /// Create a child model warm-started with the parameters of a parent.
+    pub fn warm_start_from(parent: &Self) -> Self {
+        Self {
+            params: parent.params.clone(),
+            num_features: parent.num_features,
+            num_classes: parent.num_classes,
+            seen: 0,
+        }
+    }
+
+    /// Per-class linear scores (logits) for one instance.
+    pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.num_features);
+        let stride = self.num_features + 1;
+        (0..self.num_classes)
+            .map(|c| {
+                let block = &self.params[c * stride..(c + 1) * stride];
+                dot(&block[..self.num_features], x) + block[self.num_features]
+            })
+            .collect()
+    }
+
+    /// Weight vector of a particular class (excluding the intercept).
+    pub fn class_weights(&self, class: usize) -> &[f64] {
+        let stride = self.num_features + 1;
+        &self.params[class * stride..class * stride + self.num_features]
+    }
+
+    /// Intercept of a particular class.
+    pub fn class_bias(&self, class: usize) -> f64 {
+        let stride = self.num_features + 1;
+        self.params[class * stride + self.num_features]
+    }
+}
+
+impl SimpleModel for SoftmaxModel {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        softmax(&self.logits(x))
+    }
+
+    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+        debug_assert_eq!(xs.len(), ys.len());
+        let m = self.num_features;
+        let stride = m + 1;
+        let mut loss = 0.0;
+        let mut grad = vec![0.0; self.params.len()];
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let proba = softmax(&self.logits(x));
+            let p_true = proba.get(y).copied().unwrap_or(0.0);
+            loss += -clamp_proba(p_true).ln();
+            for c in 0..self.num_classes {
+                let target = if c == y { 1.0 } else { 0.0 };
+                let residual = proba[c] - target;
+                let block = &mut grad[c * stride..(c + 1) * stride];
+                for (g, &xi) in block[..m].iter_mut().zip(x.iter()) {
+                    *g += residual * xi;
+                }
+                block[m] += residual;
+            }
+        }
+        (loss, grad)
+    }
+
+    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64 {
+        let n = xs.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let (loss, grad) = self.loss_and_gradient(xs, ys);
+        let step = learning_rate / n as f64;
+        for (p, g) in self.params.iter_mut().zip(grad.iter()) {
+            *p -= step * g;
+        }
+        self.seen += n as u64;
+        loss
+    }
+
+    fn observations_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::argmax;
+
+    /// A 3-class problem with Gaussian-free deterministic structure:
+    /// class = index of the largest of three feature values.
+    fn three_class_batch(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = ((i * 13) % 31) as f64 / 31.0;
+            let b = ((i * 7) % 29) as f64 / 29.0;
+            let c = ((i * 11) % 23) as f64 / 23.0;
+            let x = vec![a, b, c];
+            ys.push(argmax(&x));
+            xs.push(x);
+        }
+        (xs, ys)
+    }
+
+    fn as_rows(xs: &[Vec<f64>]) -> Vec<&[f64]> {
+        xs.iter().map(|v| v.as_slice()).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        let _ = SoftmaxModel::new_zeros(3, 1);
+    }
+
+    #[test]
+    fn zero_model_predicts_uniform() {
+        let model = SoftmaxModel::new_zeros(4, 3);
+        let p = model.predict_proba(&[0.1, 0.2, 0.3, 0.4]);
+        for &pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn param_count_is_c_times_m_plus_one() {
+        let model = SoftmaxModel::new_zeros(10, 4);
+        assert_eq!(model.num_params(), 4 * 11);
+        assert_eq!(model.num_classes(), 4);
+        assert_eq!(model.num_features(), 10);
+    }
+
+    #[test]
+    fn warm_start_copies_parent() {
+        let parent = SoftmaxModel::new_random(3, 3, 11);
+        let child = SoftmaxModel::warm_start_from(&parent);
+        assert_eq!(child.params(), parent.params());
+        assert_eq!(child.observations_seen(), 0);
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_three_class_problem() {
+        let (xs, ys) = three_class_batch(300);
+        let rows = as_rows(&xs);
+        let mut model = SoftmaxModel::new_zeros(3, 3);
+        let (initial, _) = model.loss_and_gradient(&rows, &ys);
+        for _ in 0..400 {
+            model.sgd_step(&rows, &ys, 0.5);
+        }
+        let (fin, _) = model.loss_and_gradient(&rows, &ys);
+        assert!(fin < initial * 0.7, "loss {initial} -> {fin}");
+    }
+
+    #[test]
+    fn trained_model_beats_chance_substantially() {
+        let (xs, ys) = three_class_batch(400);
+        let rows = as_rows(&xs);
+        let mut model = SoftmaxModel::new_zeros(3, 3);
+        for _ in 0..600 {
+            model.sgd_step(&rows, &ys, 0.5);
+        }
+        let correct = rows
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        let accuracy = correct as f64 / rows.len() as f64;
+        assert!(accuracy > 0.7, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (xs, ys) = three_class_batch(15);
+        let rows = as_rows(&xs);
+        let mut model = SoftmaxModel::new_random(3, 3, 21);
+        let (_, grad) = model.loss_and_gradient(&rows, &ys);
+        let h = 1e-6;
+        for i in 0..model.num_params() {
+            let orig = model.params()[i];
+            model.params_mut()[i] = orig + h;
+            let (lp, _) = model.loss_and_gradient(&rows, &ys);
+            model.params_mut()[i] = orig - h;
+            let (lm, _) = model.loss_and_gradient(&rows, &ys);
+            model.params_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-4,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn proba_sums_to_one_after_training() {
+        let (xs, ys) = three_class_batch(100);
+        let rows = as_rows(&xs);
+        let mut model = SoftmaxModel::new_random(3, 3, 2);
+        for _ in 0..50 {
+            model.sgd_step(&rows, &ys, 0.1);
+        }
+        let p = model.predict_proba(&[0.9, 0.1, 0.2]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut model = SoftmaxModel::new_random(3, 4, 9);
+        let before = model.params().to_vec();
+        assert_eq!(model.sgd_step(&[], &[], 0.1), 0.0);
+        assert_eq!(model.params(), before.as_slice());
+    }
+
+    #[test]
+    fn class_weight_views_have_correct_length() {
+        let model = SoftmaxModel::new_random(5, 3, 1);
+        for c in 0..3 {
+            assert_eq!(model.class_weights(c).len(), 5);
+            let _ = model.class_bias(c);
+        }
+    }
+
+    #[test]
+    fn out_of_range_label_is_finite_loss() {
+        let model = SoftmaxModel::new_zeros(2, 2);
+        let x: &[f64] = &[0.5, 0.5];
+        let (loss, _) = model.loss_and_gradient(&[x], &[5]);
+        assert!(loss.is_finite());
+    }
+}

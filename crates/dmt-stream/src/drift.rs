@@ -1,0 +1,300 @@
+//! Concept-drift composition wrappers.
+//!
+//! The paper generates abrupt drift by switching the generator's
+//! classification function at fixed positions (SEA) and incremental drift by
+//! gradually transitioning between two concepts (Agrawal) or by continuously
+//! rotating the concept itself (Hyperplane). The wrappers in this module
+//! reproduce the first two mechanisms for arbitrary [`DataStream`]s, matching
+//! scikit-multiflow's `ConceptDriftStream` semantics:
+//!
+//! * [`AbruptDriftStream`] — switches from stream A to stream B exactly at a
+//!   given position.
+//! * [`GradualDriftStream`] — over a transition window centred at the drift
+//!   position, instances are drawn from stream B with a probability that
+//!   follows a sigmoid in the position, producing incremental/gradual drift.
+//! * [`LabelNoise`] — flips labels uniformly at random with a fixed
+//!   probability (the paper's "0.1 probability of noisy inputs").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::Instance;
+use crate::schema::StreamSchema;
+use crate::stream::DataStream;
+
+/// Abrupt concept drift: emits `before` until `position` instances have been
+/// produced, then emits `after`.
+pub struct AbruptDriftStream<A, B> {
+    before: A,
+    after: B,
+    position: u64,
+    emitted: u64,
+    schema: StreamSchema,
+}
+
+impl<A: DataStream, B: DataStream> AbruptDriftStream<A, B> {
+    /// Create an abrupt drift at `position` (0-based instance index of the
+    /// first post-drift instance).
+    pub fn new(before: A, after: B, position: u64) -> Self {
+        let schema = check_compatible(&before, &after);
+        Self {
+            before,
+            after,
+            position,
+            emitted: 0,
+            schema,
+        }
+    }
+
+    /// The configured drift position.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+}
+
+impl<A: DataStream, B: DataStream> DataStream for AbruptDriftStream<A, B> {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let instance = if self.emitted < self.position {
+            self.before.next_instance()
+        } else {
+            self.after.next_instance()
+        };
+        if instance.is_some() {
+            self.emitted += 1;
+        }
+        instance
+    }
+}
+
+/// Gradual (incremental) concept drift following scikit-multiflow's
+/// `ConceptDriftStream`: the probability of drawing from the new concept is
+/// `1 / (1 + e^{-4 (t - position) / width})`.
+pub struct GradualDriftStream<A, B> {
+    before: A,
+    after: B,
+    position: u64,
+    width: u64,
+    emitted: u64,
+    rng: StdRng,
+    schema: StreamSchema,
+}
+
+impl<A: DataStream, B: DataStream> GradualDriftStream<A, B> {
+    /// Create a gradual drift centred at `position` with transition `width`.
+    pub fn new(before: A, after: B, position: u64, width: u64, seed: u64) -> Self {
+        assert!(width >= 1, "transition width must be at least 1");
+        let schema = check_compatible(&before, &after);
+        Self {
+            before,
+            after,
+            position,
+            width,
+            emitted: 0,
+            rng: StdRng::seed_from_u64(seed),
+            schema,
+        }
+    }
+
+    /// Probability of drawing from the new concept at instance index `t`.
+    pub fn probability_after(&self, t: u64) -> f64 {
+        let x = -4.0 * (t as f64 - self.position as f64) / self.width as f64;
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+impl<A: DataStream, B: DataStream> DataStream for GradualDriftStream<A, B> {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let p_after = self.probability_after(self.emitted);
+        let use_after = self.rng.gen::<f64>() < p_after;
+        let instance = if use_after {
+            self.after.next_instance().or_else(|| self.before.next_instance())
+        } else {
+            self.before.next_instance().or_else(|| self.after.next_instance())
+        };
+        if instance.is_some() {
+            self.emitted += 1;
+        }
+        instance
+    }
+}
+
+/// Uniform label noise: flips the label to a different class with probability
+/// `p`.
+pub struct LabelNoise<S> {
+    inner: S,
+    probability: f64,
+    rng: StdRng,
+}
+
+impl<S: DataStream> LabelNoise<S> {
+    /// Wrap `inner` with label-flip probability `probability`.
+    pub fn new(inner: S, probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        Self {
+            inner,
+            probability,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<S: DataStream> DataStream for LabelNoise<S> {
+    fn schema(&self) -> &StreamSchema {
+        self.inner.schema()
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let mut instance = self.inner.next_instance()?;
+        if self.probability > 0.0 && self.rng.gen::<f64>() < self.probability {
+            let c = self.schema().num_classes;
+            if c > 1 {
+                let offset = self.rng.gen_range(1..c);
+                instance.y = (instance.y + offset) % c;
+            }
+        }
+        Some(instance)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        self.inner.remaining_hint()
+    }
+}
+
+fn check_compatible<A: DataStream, B: DataStream>(a: &A, b: &B) -> StreamSchema {
+    let schema = a.schema().clone();
+    assert_eq!(
+        schema.num_features(),
+        b.schema().num_features(),
+        "drift-composed streams must share the feature count"
+    );
+    assert_eq!(
+        schema.num_classes,
+        b.schema().num_classes,
+        "drift-composed streams must share the class count"
+    );
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sea::SeaGenerator;
+    use crate::instance::Instance;
+    use crate::stream::MaterializedStream;
+
+    fn constant_stream(n: usize, label: usize) -> MaterializedStream {
+        let schema = StreamSchema::numeric("const", 1, 2);
+        let data = (0..n).map(|_| Instance::new(vec![0.0], label)).collect();
+        MaterializedStream::new(schema, data)
+    }
+
+    #[test]
+    fn abrupt_drift_switches_exactly_at_position() {
+        let mut s = AbruptDriftStream::new(constant_stream(100, 0), constant_stream(100, 1), 10);
+        let labels: Vec<usize> = (0..20).map(|_| s.next_instance().unwrap().y).collect();
+        assert!(labels[..10].iter().all(|&y| y == 0));
+        assert!(labels[10..].iter().all(|&y| y == 1));
+        assert_eq!(s.position(), 10);
+    }
+
+    #[test]
+    fn gradual_drift_probability_is_sigmoidal() {
+        let s = GradualDriftStream::new(
+            constant_stream(10, 0),
+            constant_stream(10, 1),
+            100,
+            20,
+            1,
+        );
+        assert!(s.probability_after(0) < 0.01);
+        assert!((s.probability_after(100) - 0.5).abs() < 1e-9);
+        assert!(s.probability_after(200) > 0.99);
+        assert!(s.probability_after(90) < s.probability_after(110));
+    }
+
+    #[test]
+    fn gradual_drift_mixes_concepts_in_the_transition_window() {
+        let mut s = GradualDriftStream::new(
+            constant_stream(20_000, 0),
+            constant_stream(20_000, 1),
+            1_000,
+            400,
+            7,
+        );
+        let mut before_window = 0;
+        let mut in_window = 0;
+        let mut after_window = 0;
+        for t in 0..2_000u64 {
+            let y = s.next_instance().unwrap().y;
+            if t < 600 {
+                before_window += y;
+            } else if t < 1_400 {
+                in_window += y;
+            } else {
+                after_window += y;
+            }
+        }
+        assert!(before_window < 30, "early labels should be mostly old concept");
+        assert!(in_window > 200 && in_window < 600, "transition should mix: {in_window}");
+        assert!(after_window > 570, "late labels should be mostly new concept");
+    }
+
+    #[test]
+    fn label_noise_flips_expected_fraction_and_keeps_classes_valid() {
+        let base = SeaGenerator::new(0, 0.0, 5);
+        let mut noisy = LabelNoise::new(SeaGenerator::new(0, 0.0, 5), 0.25, 9);
+        let mut clean = base;
+        let n = 20_000;
+        let mut flips = 0;
+        for _ in 0..n {
+            let a = clean.next_instance().unwrap();
+            let b = noisy.next_instance().unwrap();
+            assert!(b.y < 2);
+            if a.y != b.y {
+                flips += 1;
+            }
+        }
+        let rate = flips as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "flip rate {rate}");
+    }
+
+    #[test]
+    fn zero_noise_changes_nothing() {
+        let mut noisy = LabelNoise::new(constant_stream(50, 1), 0.0, 3);
+        for _ in 0..50 {
+            assert_eq!(noisy.next_instance().unwrap().y, 1);
+        }
+        assert!(noisy.next_instance().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share the class count")]
+    fn incompatible_schemas_panic() {
+        let a = constant_stream(5, 0);
+        let schema = StreamSchema::numeric("other", 1, 3);
+        let b = MaterializedStream::new(schema, vec![]);
+        let _ = AbruptDriftStream::new(a, b, 1);
+    }
+
+    #[test]
+    fn multiclass_noise_never_produces_the_original_label() {
+        // With probability 1.0 every label must change.
+        let schema = StreamSchema::numeric("mc", 1, 5);
+        let data = (0..200).map(|i| Instance::new(vec![0.0], i % 5)).collect();
+        let inner = MaterializedStream::new(schema, data);
+        let mut noisy = LabelNoise::new(inner, 1.0, 11);
+        for i in 0..200 {
+            let inst = noisy.next_instance().unwrap();
+            assert_ne!(inst.y, i % 5);
+            assert!(inst.y < 5);
+        }
+    }
+}

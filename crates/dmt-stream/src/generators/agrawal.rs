@@ -1,0 +1,354 @@
+//! Agrawal generator (Agrawal et al., 1993), as provided by
+//! scikit-multiflow's `AGRAWALGenerator`.
+//!
+//! Generates nine features describing a hypothetical loan applicant and
+//! labels them with one of ten published rule functions ("group A" = class 0,
+//! "group B" = class 1). The `perturbation` parameter adds uniform noise to
+//! the continuous features (the paper uses 0.1), and concept drift is created
+//! by switching the classification function.
+//!
+//! Feature layout (index, name, range):
+//!
+//! | 0 | salary     | 20,000 – 150,000 |
+//! | 1 | commission | 0 or 10,000 – 75,000 (0 when salary ≥ 75,000) |
+//! | 2 | age        | 20 – 80 |
+//! | 3 | elevel     | {0..4} |
+//! | 4 | car        | {1..20} |
+//! | 5 | zipcode    | {0..8} |
+//! | 6 | hvalue     | zipcode-dependent, ~50,000 – 900,000 |
+//! | 7 | hyears     | 1 – 30 |
+//! | 8 | loan       | 0 – 500,000 |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::Instance;
+use crate::schema::{FeatureSpec, StreamSchema};
+use crate::stream::DataStream;
+
+/// Number of published Agrawal classification functions.
+pub const NUM_FUNCTIONS: usize = 10;
+
+/// The Agrawal loan-applicant generator.
+#[derive(Debug, Clone)]
+pub struct AgrawalGenerator {
+    schema: StreamSchema,
+    rng: StdRng,
+    classification_function: usize,
+    perturbation: f64,
+}
+
+impl AgrawalGenerator {
+    /// Create a generator using classification function `0..=9`, a feature
+    /// perturbation fraction in `[0, 1]` and a seed.
+    pub fn new(classification_function: usize, perturbation: f64, seed: u64) -> Self {
+        assert!(
+            classification_function < NUM_FUNCTIONS,
+            "Agrawal has classification functions 0..=9"
+        );
+        assert!(
+            (0.0..=1.0).contains(&perturbation),
+            "perturbation must be in [0, 1]"
+        );
+        let schema = StreamSchema::new(
+            "Agrawal",
+            vec![
+                FeatureSpec::numeric("salary"),
+                FeatureSpec::numeric("commission"),
+                FeatureSpec::numeric("age"),
+                FeatureSpec::nominal("elevel", 5),
+                FeatureSpec::nominal("car", 20),
+                FeatureSpec::nominal("zipcode", 9),
+                FeatureSpec::numeric("hvalue"),
+                FeatureSpec::numeric("hyears"),
+                FeatureSpec::numeric("loan"),
+            ],
+            2,
+        );
+        Self {
+            schema,
+            rng: StdRng::seed_from_u64(seed),
+            classification_function,
+            perturbation,
+        }
+    }
+
+    /// Currently active classification function.
+    pub fn classification_function(&self) -> usize {
+        self.classification_function
+    }
+
+    /// Switch the labelling rule (concept drift).
+    pub fn set_classification_function(&mut self, f: usize) {
+        assert!(f < NUM_FUNCTIONS, "Agrawal has classification functions 0..=9");
+        self.classification_function = f;
+    }
+
+    /// Evaluate a published classification function on a raw feature vector.
+    /// Returns `0` for "group A" and `1` for "group B".
+    pub fn classify(x: &[f64], function: usize) -> usize {
+        let salary = x[0];
+        let commission = x[1];
+        let age = x[2];
+        let elevel = x[3];
+        let hvalue = x[6];
+        let hyears = x[7];
+        let loan = x[8];
+        let group_a = match function {
+            0 => age < 40.0 || age >= 60.0,
+            1 => in_salary_band(age, salary),
+            2 => in_elevel_band(age, elevel),
+            3 => {
+                if age < 40.0 {
+                    if elevel <= 1.0 {
+                        (25_000.0..=75_000.0).contains(&salary)
+                    } else {
+                        (50_000.0..=100_000.0).contains(&salary)
+                    }
+                } else if age < 60.0 {
+                    if (1.0..=3.0).contains(&elevel) {
+                        (50_000.0..=100_000.0).contains(&salary)
+                    } else {
+                        (75_000.0..=125_000.0).contains(&salary)
+                    }
+                } else if (2.0..=4.0).contains(&elevel) {
+                    (50_000.0..=100_000.0).contains(&salary)
+                } else {
+                    (25_000.0..=75_000.0).contains(&salary)
+                }
+            }
+            4 => {
+                if age < 40.0 {
+                    if (50_000.0..=100_000.0).contains(&salary) {
+                        (100_000.0..=300_000.0).contains(&loan)
+                    } else {
+                        (200_000.0..=400_000.0).contains(&loan)
+                    }
+                } else if age < 60.0 {
+                    if (75_000.0..=125_000.0).contains(&salary) {
+                        (200_000.0..=400_000.0).contains(&loan)
+                    } else {
+                        (300_000.0..=500_000.0).contains(&loan)
+                    }
+                } else if (25_000.0..=75_000.0).contains(&salary) {
+                    (300_000.0..=500_000.0).contains(&loan)
+                } else {
+                    (100_000.0..=300_000.0).contains(&loan)
+                }
+            }
+            5 => in_salary_band(age, salary + commission),
+            6 => 2.0 * (salary + commission) / 3.0 - loan / 5.0 - 20_000.0 > 0.0,
+            7 => 2.0 * (salary + commission) / 3.0 - 5_000.0 * elevel - 20_000.0 > 0.0,
+            8 => {
+                2.0 * (salary + commission) / 3.0 - 5_000.0 * elevel - loan / 5.0 - 10_000.0 > 0.0
+            }
+            9 => {
+                let equity = if hyears >= 20.0 {
+                    hvalue * (hyears - 20.0) / 10.0
+                } else {
+                    0.0
+                };
+                2.0 * (salary + commission) / 3.0 - 5_000.0 * elevel + equity / 5.0 - 10_000.0 > 0.0
+            }
+            _ => unreachable!("validated in the constructor"),
+        };
+        usize::from(!group_a)
+    }
+
+    fn perturb(&mut self, value: f64, min: f64, max: f64) -> f64 {
+        if self.perturbation <= 0.0 {
+            return value;
+        }
+        let range = max - min;
+        let noise = self.rng.gen_range(-1.0..1.0) * self.perturbation * range;
+        (value + noise).clamp(min, max)
+    }
+}
+
+/// Age-conditioned salary band used by functions 1 and 5.
+fn in_salary_band(age: f64, salary: f64) -> bool {
+    if age < 40.0 {
+        (50_000.0..=100_000.0).contains(&salary)
+    } else if age < 60.0 {
+        (75_000.0..=125_000.0).contains(&salary)
+    } else {
+        (25_000.0..=75_000.0).contains(&salary)
+    }
+}
+
+/// Age-conditioned education band used by function 2.
+fn in_elevel_band(age: f64, elevel: f64) -> bool {
+    if age < 40.0 {
+        elevel <= 1.0
+    } else if age < 60.0 {
+        (1.0..=3.0).contains(&elevel)
+    } else {
+        (2.0..=4.0).contains(&elevel)
+    }
+}
+
+impl DataStream for AgrawalGenerator {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let salary: f64 = self.rng.gen_range(20_000.0..150_000.0);
+        let commission: f64 = if salary >= 75_000.0 {
+            0.0
+        } else {
+            self.rng.gen_range(10_000.0..75_000.0)
+        };
+        let age: f64 = self.rng.gen_range(20.0..80.0);
+        let elevel: f64 = self.rng.gen_range(0..5) as f64;
+        let car: f64 = self.rng.gen_range(1..21) as f64;
+        let zipcode: f64 = self.rng.gen_range(0..9) as f64;
+        let hvalue: f64 = (9.0 - zipcode) * 100_000.0 * self.rng.gen_range(0.5..1.5);
+        let hyears: f64 = self.rng.gen_range(1.0..31.0);
+        let loan: f64 = self.rng.gen_range(0.0..500_000.0);
+
+        // The label is determined on the *unperturbed* values (as in the
+        // original generator), then noise is added to the continuous inputs.
+        let clean = vec![
+            salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan,
+        ];
+        let y = Self::classify(&clean, self.classification_function);
+
+        let x = vec![
+            self.perturb(salary, 20_000.0, 150_000.0),
+            if commission == 0.0 {
+                0.0
+            } else {
+                self.perturb(commission, 10_000.0, 75_000.0)
+            },
+            self.perturb(age, 20.0, 80.0),
+            elevel,
+            car,
+            zipcode,
+            self.perturb(hvalue, 50_000.0, 900_000.0),
+            self.perturb(hyears, 1.0, 31.0),
+            self.perturb(loan, 0.0, 500_000.0),
+        ];
+        Some(Instance::new(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_nine_features_with_binary_labels() {
+        let mut gen = AgrawalGenerator::new(0, 0.0, 1);
+        for _ in 0..200 {
+            let inst = gen.next_instance().unwrap();
+            assert_eq!(inst.x.len(), 9);
+            assert!(inst.y <= 1);
+        }
+    }
+
+    #[test]
+    fn function_zero_depends_only_on_age() {
+        let mut x = vec![50_000.0, 0.0, 30.0, 2.0, 3.0, 4.0, 100_000.0, 10.0, 1000.0];
+        assert_eq!(AgrawalGenerator::classify(&x, 0), 0); // age 30 -> group A
+        x[2] = 50.0;
+        assert_eq!(AgrawalGenerator::classify(&x, 0), 1); // age 50 -> group B
+        x[2] = 65.0;
+        assert_eq!(AgrawalGenerator::classify(&x, 0), 0); // age 65 -> group A
+    }
+
+    #[test]
+    fn function_one_checks_age_conditioned_salary_band() {
+        let mut x = vec![60_000.0, 0.0, 30.0, 2.0, 3.0, 4.0, 100_000.0, 10.0, 1000.0];
+        assert_eq!(AgrawalGenerator::classify(&x, 1), 0);
+        x[0] = 130_000.0;
+        assert_eq!(AgrawalGenerator::classify(&x, 1), 1);
+    }
+
+    #[test]
+    fn function_six_is_linear_in_salary_and_loan() {
+        // disposable = 2*(salary+commission)/3 - loan/5 - 20000
+        let a = vec![90_000.0, 0.0, 30.0, 0.0, 1.0, 1.0, 100_000.0, 5.0, 0.0];
+        assert_eq!(AgrawalGenerator::classify(&a, 6), 0);
+        let b = vec![30_000.0, 0.0, 30.0, 0.0, 1.0, 1.0, 100_000.0, 5.0, 400_000.0];
+        assert_eq!(AgrawalGenerator::classify(&b, 6), 1);
+    }
+
+    #[test]
+    fn function_nine_uses_home_equity() {
+        let young_house = vec![
+            40_000.0, 0.0, 30.0, 4.0, 1.0, 1.0, 500_000.0, 5.0, 200_000.0,
+        ];
+        let old_house = vec![
+            40_000.0, 0.0, 30.0, 4.0, 1.0, 1.0, 500_000.0, 30.0, 200_000.0,
+        ];
+        // The extra equity can only help towards group A.
+        let without = AgrawalGenerator::classify(&young_house, 9);
+        let with = AgrawalGenerator::classify(&old_house, 9);
+        assert!(with <= without);
+    }
+
+    #[test]
+    fn commission_is_zero_for_high_salaries() {
+        let mut gen = AgrawalGenerator::new(0, 0.0, 11);
+        for _ in 0..500 {
+            let inst = gen.next_instance().unwrap();
+            if inst.x[0] >= 75_000.0 {
+                assert_eq!(inst.x[1], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_ten_functions_produce_both_classes() {
+        for f in 0..NUM_FUNCTIONS {
+            let mut gen = AgrawalGenerator::new(f, 0.0, 21);
+            let mut seen = [false, false];
+            for _ in 0..2000 {
+                let inst = gen.next_instance().unwrap();
+                seen[inst.y] = true;
+                if seen[0] && seen[1] {
+                    break;
+                }
+            }
+            assert!(seen[0] && seen[1], "function {f} produced a single class");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = AgrawalGenerator::new(3, 0.1, 5);
+        let mut b = AgrawalGenerator::new(3, 0.1, 5);
+        for _ in 0..30 {
+            assert_eq!(a.next_instance(), b.next_instance());
+        }
+    }
+
+    #[test]
+    fn perturbation_keeps_features_in_range() {
+        let mut gen = AgrawalGenerator::new(0, 0.5, 2);
+        for _ in 0..500 {
+            let inst = gen.next_instance().unwrap();
+            assert!(inst.x[0] >= 20_000.0 && inst.x[0] <= 150_000.0);
+            assert!(inst.x[2] >= 20.0 && inst.x[2] <= 80.0);
+            assert!(inst.x[8] >= 0.0 && inst.x[8] <= 500_000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "classification functions 0..=9")]
+    fn invalid_function_panics() {
+        let _ = AgrawalGenerator::new(10, 0.0, 1);
+    }
+
+    #[test]
+    fn nominal_features_are_integral_codes() {
+        let mut gen = AgrawalGenerator::new(0, 0.3, 9);
+        for _ in 0..200 {
+            let inst = gen.next_instance().unwrap();
+            for &i in &[3usize, 4, 5] {
+                assert_eq!(inst.x[i], inst.x[i].round());
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Rotating-hyperplane generator, as provided by scikit-multiflow's
+//! `HyperplaneGenerator`.
+//!
+//! `d` features are drawn uniformly from `[0, 1]`. The label is `1` when the
+//! weighted sum `Σ w_i x_i` exceeds `0.5 · Σ w_i`. Incremental concept drift
+//! is produced by changing a subset of the weights by `mag_change` per
+//! instance, with each drifting weight reversing its direction with
+//! probability `sigma`. Label noise flips the class with probability
+//! `noise_probability`.
+//!
+//! The paper's Hyperplane stream uses 50 features, continuous incremental
+//! drift and 10 % noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::Instance;
+use crate::schema::StreamSchema;
+use crate::stream::DataStream;
+
+/// The rotating-hyperplane generator.
+#[derive(Debug, Clone)]
+pub struct HyperplaneGenerator {
+    schema: StreamSchema,
+    rng: StdRng,
+    weights: Vec<f64>,
+    directions: Vec<f64>,
+    num_drift_features: usize,
+    mag_change: f64,
+    sigma: f64,
+    noise_probability: f64,
+}
+
+impl HyperplaneGenerator {
+    /// Create a generator.
+    ///
+    /// * `num_features` — dimensionality `d`.
+    /// * `num_drift_features` — how many leading weights drift.
+    /// * `mag_change` — per-instance weight change magnitude.
+    /// * `sigma` — probability that a drifting weight reverses direction.
+    /// * `noise_probability` — label-flip probability.
+    pub fn new(
+        num_features: usize,
+        num_drift_features: usize,
+        mag_change: f64,
+        sigma: f64,
+        noise_probability: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_features >= 1, "need at least one feature");
+        assert!(
+            num_drift_features <= num_features,
+            "cannot drift more features than exist"
+        );
+        assert!((0.0..=1.0).contains(&noise_probability));
+        assert!((0.0..=1.0).contains(&sigma));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..num_features).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let directions = vec![1.0; num_features];
+        Self {
+            schema: StreamSchema::numeric("Hyperplane", num_features, 2),
+            rng,
+            weights,
+            directions,
+            num_drift_features,
+            mag_change,
+            sigma,
+            noise_probability,
+        }
+    }
+
+    /// Default configuration used for the paper's Hyperplane stream:
+    /// 50 features, 10 drifting features, `mag_change = 0.001`,
+    /// `sigma = 0.1`, 10 % label noise.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(50, 10, 0.001, 0.1, 0.1, seed)
+    }
+
+    /// Current weight vector (for inspection in tests/examples).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn drift_weights(&mut self) {
+        for i in 0..self.num_drift_features {
+            if self.sigma > 0.0 && self.rng.gen::<f64>() < self.sigma {
+                self.directions[i] = -self.directions[i];
+            }
+            self.weights[i] += self.directions[i] * self.mag_change;
+        }
+    }
+}
+
+impl DataStream for HyperplaneGenerator {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let d = self.schema.num_features();
+        let x: Vec<f64> = (0..d).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+        let weight_sum: f64 = self.weights.iter().sum();
+        let score: f64 = self
+            .weights
+            .iter()
+            .zip(x.iter())
+            .map(|(w, xi)| w * xi)
+            .sum();
+        let mut y = usize::from(score >= 0.5 * weight_sum);
+        if self.noise_probability > 0.0 && self.rng.gen::<f64>() < self.noise_probability {
+            y = 1 - y;
+        }
+        self.drift_weights();
+        Some(Instance::new(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_live_in_unit_cube() {
+        let mut gen = HyperplaneGenerator::new(5, 2, 0.01, 0.1, 0.0, 3);
+        for _ in 0..300 {
+            let inst = gen.next_instance().unwrap();
+            assert_eq!(inst.x.len(), 5);
+            assert!(inst.x.iter().all(|&v| (0.0..1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn classes_are_roughly_balanced_without_noise() {
+        let mut gen = HyperplaneGenerator::new(10, 0, 0.0, 0.0, 0.0, 7);
+        let n = 20_000;
+        let pos: usize = (0..n).map(|_| gen.next_instance().unwrap().y).sum();
+        let rate = pos as f64 / n as f64;
+        // By symmetry the hyperplane through the cube centre splits ~50/50.
+        assert!((rate - 0.5).abs() < 0.05, "positive rate {rate}");
+    }
+
+    #[test]
+    fn weights_stay_fixed_without_drift() {
+        let mut gen = HyperplaneGenerator::new(4, 0, 0.1, 0.1, 0.0, 1);
+        let before = gen.weights().to_vec();
+        for _ in 0..100 {
+            let _ = gen.next_instance();
+        }
+        assert_eq!(gen.weights(), before.as_slice());
+    }
+
+    #[test]
+    fn weights_move_with_drift() {
+        let mut gen = HyperplaneGenerator::new(4, 4, 0.05, 0.0, 0.0, 1);
+        let before = gen.weights().to_vec();
+        for _ in 0..50 {
+            let _ = gen.next_instance();
+        }
+        let moved = gen
+            .weights()
+            .iter()
+            .zip(before.iter())
+            .any(|(a, b)| (a - b).abs() > 1e-9);
+        assert!(moved);
+    }
+
+    #[test]
+    fn paper_default_has_fifty_features() {
+        let gen = HyperplaneGenerator::paper_default(1);
+        assert_eq!(gen.schema().num_features(), 50);
+        assert_eq!(gen.schema().num_classes, 2);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = HyperplaneGenerator::paper_default(123);
+        let mut b = HyperplaneGenerator::paper_default(123);
+        for _ in 0..20 {
+            assert_eq!(a.next_instance(), b.next_instance());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drift more features")]
+    fn too_many_drift_features_panics() {
+        let _ = HyperplaneGenerator::new(3, 4, 0.01, 0.1, 0.0, 1);
+    }
+
+    #[test]
+    fn concept_actually_drifts_over_time() {
+        // Train/label overlap check: the fraction of identical labels for the
+        // same x under the initial vs. the drifted weights should be < 1.
+        let mut gen = HyperplaneGenerator::new(5, 5, 0.01, 0.05, 0.0, 11);
+        let initial_weights = gen.weights().to_vec();
+        for _ in 0..5_000 {
+            let _ = gen.next_instance();
+        }
+        let drifted_weights = gen.weights().to_vec();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut disagreements = 0;
+        for _ in 0..1_000 {
+            let x: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let label = |w: &[f64]| {
+                let s: f64 = w.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+                usize::from(s >= 0.5 * w.iter().sum::<f64>())
+            };
+            if label(&initial_weights) != label(&drifted_weights) {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 0, "weights drifted but the concept did not change");
+    }
+}

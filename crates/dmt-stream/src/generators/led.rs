@@ -1,0 +1,162 @@
+//! LED display generator (Breiman et al., 1984) — extension.
+//!
+//! The classic LED data set: the target is the digit `0..=9` shown on a
+//! seven-segment display; the seven segment states are the relevant binary
+//! features and an optional block of irrelevant random binary features is
+//! appended. Noise inverts each relevant segment independently with the given
+//! probability. A drifting variant swaps which feature positions carry the
+//! relevant segments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::Instance;
+use crate::schema::StreamSchema;
+use crate::stream::DataStream;
+
+/// Segment patterns of the digits 0–9 on a seven-segment display.
+const SEGMENTS: [[u8; 7]; 10] = [
+    [1, 1, 1, 0, 1, 1, 1], // 0
+    [0, 0, 1, 0, 0, 1, 0], // 1
+    [1, 0, 1, 1, 1, 0, 1], // 2
+    [1, 0, 1, 1, 0, 1, 1], // 3
+    [0, 1, 1, 1, 0, 1, 0], // 4
+    [1, 1, 0, 1, 0, 1, 1], // 5
+    [1, 1, 0, 1, 1, 1, 1], // 6
+    [1, 0, 1, 0, 0, 1, 0], // 7
+    [1, 1, 1, 1, 1, 1, 1], // 8
+    [1, 1, 1, 1, 0, 1, 1], // 9
+];
+
+/// The LED digit generator.
+#[derive(Debug, Clone)]
+pub struct LedGenerator {
+    schema: StreamSchema,
+    rng: StdRng,
+    noise_probability: f64,
+    num_irrelevant: usize,
+    /// Positions of the 7 relevant segments within the feature vector.
+    relevant_positions: Vec<usize>,
+}
+
+impl LedGenerator {
+    /// Create a generator with `num_irrelevant` extra random binary features
+    /// and per-segment noise probability.
+    pub fn new(num_irrelevant: usize, noise_probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&noise_probability));
+        let total = 7 + num_irrelevant;
+        Self {
+            schema: StreamSchema::numeric("LED", total, 10),
+            rng: StdRng::seed_from_u64(seed),
+            noise_probability,
+            num_irrelevant,
+            relevant_positions: (0..7).collect(),
+        }
+    }
+
+    /// Swap the positions of `n` relevant segments with irrelevant positions
+    /// (the classic "LED drift" mechanism). No-op when there are no
+    /// irrelevant features.
+    pub fn drift_features(&mut self, n: usize) {
+        if self.num_irrelevant == 0 {
+            return;
+        }
+        for i in 0..n.min(7) {
+            let target = 7 + self.rng.gen_range(0..self.num_irrelevant);
+            self.relevant_positions[i] = target;
+        }
+    }
+
+    /// Positions currently carrying the relevant segments.
+    pub fn relevant_positions(&self) -> &[usize] {
+        &self.relevant_positions
+    }
+}
+
+impl DataStream for LedGenerator {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let digit = self.rng.gen_range(0..10usize);
+        let total = self.schema.num_features();
+        // Start with random noise everywhere, then write the (possibly noisy)
+        // segments into the relevant positions.
+        let mut x: Vec<f64> = (0..total)
+            .map(|_| if self.rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        for (seg, &pos) in SEGMENTS[digit].iter().zip(self.relevant_positions.iter()) {
+            let mut bit = *seg as f64;
+            if self.noise_probability > 0.0 && self.rng.gen::<f64>() < self.noise_probability {
+                bit = 1.0 - bit;
+            }
+            x[pos] = bit;
+        }
+        Some(Instance::new(x, digit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_classes_and_binary_features() {
+        let mut gen = LedGenerator::new(17, 0.0, 3);
+        assert_eq!(gen.schema().num_classes, 10);
+        assert_eq!(gen.schema().num_features(), 24);
+        for _ in 0..300 {
+            let inst = gen.next_instance().unwrap();
+            assert!(inst.y < 10);
+            assert!(inst.x.iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn noiseless_segments_match_digit_pattern() {
+        let mut gen = LedGenerator::new(0, 0.0, 9);
+        for _ in 0..200 {
+            let inst = gen.next_instance().unwrap();
+            let expected: Vec<f64> = SEGMENTS[inst.y].iter().map(|&s| s as f64).collect();
+            assert_eq!(inst.x, expected);
+        }
+    }
+
+    #[test]
+    fn all_digits_appear() {
+        let mut gen = LedGenerator::new(0, 0.0, 21);
+        let mut seen = vec![false; 10];
+        for _ in 0..2_000 {
+            seen[gen.next_instance().unwrap().y] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn drift_moves_relevant_positions() {
+        let mut gen = LedGenerator::new(17, 0.0, 4);
+        let before = gen.relevant_positions().to_vec();
+        gen.drift_features(4);
+        let after = gen.relevant_positions().to_vec();
+        assert_ne!(before, after);
+        assert!(after.iter().take(4).all(|&p| p >= 7));
+    }
+
+    #[test]
+    fn drift_without_irrelevant_features_is_noop() {
+        let mut gen = LedGenerator::new(0, 0.0, 4);
+        let before = gen.relevant_positions().to_vec();
+        gen.drift_features(3);
+        assert_eq!(gen.relevant_positions(), before.as_slice());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = LedGenerator::new(5, 0.1, 7);
+        let mut b = LedGenerator::new(5, 0.1, 7);
+        for _ in 0..40 {
+            assert_eq!(a.next_instance(), b.next_instance());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthetic data-stream generators.
+//!
+//! [`sea`], [`agrawal`] and [`hyperplane`] re-implement the scikit-multiflow
+//! generators used for the paper's synthetic experiments (Table I, Fig. 3).
+//! [`rbf`], [`stagger`] and [`led`] are additional classic stream generators
+//! provided for the extension/ablation experiments.
+
+pub mod agrawal;
+pub mod hyperplane;
+pub mod led;
+pub mod rbf;
+pub mod sea;
+pub mod stagger;
+
+pub use agrawal::AgrawalGenerator;
+pub use hyperplane::HyperplaneGenerator;
+pub use led::LedGenerator;
+pub use rbf::RandomRbfGenerator;
+pub use sea::SeaGenerator;
+pub use stagger::StaggerGenerator;

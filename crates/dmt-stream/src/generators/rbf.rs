@@ -1,0 +1,234 @@
+//! Random RBF generator (extension).
+//!
+//! Classic MOA/scikit-multiflow generator: a fixed set of centroids with
+//! random positions, class labels and weights. Each instance is sampled by
+//! picking a centroid (weight-proportional), then offsetting the centroid by a
+//! random direction scaled with a Gaussian-distributed magnitude. A drifting
+//! variant moves the centroids with constant speed ("RandomRBF with drift").
+//! Not part of the paper's headline experiments; used in the ablation and
+//! robustness suites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::instance::Instance;
+use crate::schema::StreamSchema;
+use crate::stream::DataStream;
+
+/// One radial basis function centroid.
+#[derive(Debug, Clone)]
+struct Centroid {
+    center: Vec<f64>,
+    class: usize,
+    std_dev: f64,
+    weight: f64,
+    /// Unit direction of movement for the drifting variant.
+    direction: Vec<f64>,
+}
+
+/// The Random RBF generator.
+#[derive(Debug, Clone)]
+pub struct RandomRbfGenerator {
+    schema: StreamSchema,
+    rng: StdRng,
+    centroids: Vec<Centroid>,
+    total_weight: f64,
+    /// Per-instance centroid movement speed (0 = stationary).
+    change_speed: f64,
+}
+
+impl RandomRbfGenerator {
+    /// Create a generator with `num_centroids` stationary centroids.
+    pub fn new(
+        num_features: usize,
+        num_classes: usize,
+        num_centroids: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_drift(num_features, num_classes, num_centroids, 0.0, seed)
+    }
+
+    /// Create a generator whose centroids move `change_speed` per instance
+    /// (incremental drift).
+    pub fn with_drift(
+        num_features: usize,
+        num_classes: usize,
+        num_centroids: usize,
+        change_speed: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_centroids >= 1, "need at least one centroid");
+        assert!(num_classes >= 2, "need at least two classes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = Vec::with_capacity(num_centroids);
+        let mut total_weight = 0.0;
+        for _ in 0..num_centroids {
+            let center: Vec<f64> = (0..num_features).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let class = rng.gen_range(0..num_classes);
+            let std_dev = rng.gen_range(0.02..0.15);
+            let weight: f64 = rng.gen_range(0.1..1.0);
+            let mut direction: Vec<f64> = (0..num_features)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let norm: f64 = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            for d in direction.iter_mut() {
+                *d /= norm;
+            }
+            total_weight += weight;
+            centroids.push(Centroid {
+                center,
+                class,
+                std_dev,
+                weight,
+                direction,
+            });
+        }
+        Self {
+            schema: StreamSchema::numeric("RandomRBF", num_features, num_classes),
+            rng,
+            centroids,
+            total_weight,
+            change_speed,
+        }
+    }
+
+    fn pick_centroid(&mut self) -> usize {
+        let mut target = self.rng.gen_range(0.0..self.total_weight);
+        for (i, c) in self.centroids.iter().enumerate() {
+            if target < c.weight {
+                return i;
+            }
+            target -= c.weight;
+        }
+        self.centroids.len() - 1
+    }
+
+    fn move_centroids(&mut self) {
+        if self.change_speed == 0.0 {
+            return;
+        }
+        let speed = self.change_speed;
+        for c in self.centroids.iter_mut() {
+            for (pos, dir) in c.center.iter_mut().zip(c.direction.iter_mut()) {
+                *pos += *dir * speed;
+                // Bounce off the unit-cube walls so centroids stay in range.
+                if *pos < 0.0 {
+                    *pos = -*pos;
+                    *dir = -*dir;
+                } else if *pos > 1.0 {
+                    *pos = 2.0 - *pos;
+                    *dir = -*dir;
+                }
+            }
+        }
+    }
+}
+
+impl DataStream for RandomRbfGenerator {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let idx = self.pick_centroid();
+        let d = self.schema.num_features();
+        let normal = Normal::new(0.0, self.centroids[idx].std_dev).expect("std > 0");
+        let magnitude: f64 = normal.sample(&mut self.rng).abs();
+        let mut offset: Vec<f64> = (0..d).map(|_| self.rng.gen_range(-1.0..1.0)).collect();
+        let norm: f64 = offset.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        let x: Vec<f64> = self.centroids[idx]
+            .center
+            .iter()
+            .zip(offset.iter_mut())
+            .map(|(c, o)| (*c + *o / norm * magnitude).clamp(0.0, 1.0))
+            .collect();
+        let y = self.centroids[idx].class;
+        self.move_centroids();
+        Some(Instance::new(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_requested_dimensions() {
+        let mut gen = RandomRbfGenerator::new(6, 3, 10, 5);
+        for _ in 0..200 {
+            let inst = gen.next_instance().unwrap();
+            assert_eq!(inst.x.len(), 6);
+            assert!(inst.y < 3);
+            assert!(inst.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = RandomRbfGenerator::new(4, 2, 5, 42);
+        let mut b = RandomRbfGenerator::new(4, 2, 5, 42);
+        for _ in 0..30 {
+            assert_eq!(a.next_instance(), b.next_instance());
+        }
+    }
+
+    #[test]
+    fn produces_multiple_classes() {
+        let mut gen = RandomRbfGenerator::new(4, 4, 20, 9);
+        let mut seen = vec![false; 4];
+        for _ in 0..5_000 {
+            seen[gen.next_instance().unwrap().y] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 2);
+    }
+
+    #[test]
+    fn instances_cluster_around_centroids() {
+        // With tiny std the instances must be close to one of the centroids.
+        let mut gen = RandomRbfGenerator::new(3, 2, 3, 17);
+        for c in gen.centroids.iter_mut() {
+            c.std_dev = 0.001;
+        }
+        let centers: Vec<Vec<f64>> = gen.centroids.iter().map(|c| c.center.clone()).collect();
+        for _ in 0..200 {
+            let inst = gen.next_instance().unwrap();
+            let min_dist = centers
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .zip(inst.x.iter())
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_dist < 0.05, "instance too far from every centroid: {min_dist}");
+        }
+    }
+
+    #[test]
+    fn drifting_centroids_move_but_stay_in_bounds() {
+        let mut gen = RandomRbfGenerator::with_drift(3, 2, 4, 0.01, 3);
+        let before: Vec<Vec<f64>> = gen.centroids.iter().map(|c| c.center.clone()).collect();
+        for _ in 0..500 {
+            let _ = gen.next_instance();
+        }
+        let mut moved = false;
+        for (c, b) in gen.centroids.iter().zip(before.iter()) {
+            for (&x, &y) in c.center.iter().zip(b.iter()) {
+                assert!((0.0..=1.0).contains(&x));
+                if (x - y).abs() > 1e-6 {
+                    moved = true;
+                }
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one centroid")]
+    fn zero_centroids_panics() {
+        let _ = RandomRbfGenerator::new(3, 2, 0, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! STAGGER concepts generator (Schlimmer & Granger, 1986) — extension.
+//!
+//! Three nominal features (`size`, `color`, `shape`, three values each) and
+//! three alternating target concepts:
+//!
+//! * concept 0 — `size = small AND color = red`
+//! * concept 1 — `color = green OR shape = circle`
+//! * concept 2 — `size = medium OR size = large`
+//!
+//! Switching the concept produces an abrupt drift with a completely different
+//! decision rule, which makes STAGGER a popular sanity check for drift
+//! adaptation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::Instance;
+use crate::schema::{FeatureSpec, StreamSchema};
+use crate::stream::DataStream;
+
+/// Number of STAGGER concepts.
+pub const NUM_CONCEPTS: usize = 3;
+
+/// The STAGGER generator.
+#[derive(Debug, Clone)]
+pub struct StaggerGenerator {
+    schema: StreamSchema,
+    rng: StdRng,
+    concept: usize,
+    noise_probability: f64,
+}
+
+impl StaggerGenerator {
+    /// Create a generator for the given concept (`0..=2`).
+    pub fn new(concept: usize, noise_probability: f64, seed: u64) -> Self {
+        assert!(concept < NUM_CONCEPTS, "STAGGER has concepts 0..=2");
+        assert!((0.0..=1.0).contains(&noise_probability));
+        let schema = StreamSchema::new(
+            "STAGGER",
+            vec![
+                FeatureSpec::nominal("size", 3),
+                FeatureSpec::nominal("color", 3),
+                FeatureSpec::nominal("shape", 3),
+            ],
+            2,
+        );
+        Self {
+            schema,
+            rng: StdRng::seed_from_u64(seed),
+            concept,
+            noise_probability,
+        }
+    }
+
+    /// Active concept index.
+    pub fn concept(&self) -> usize {
+        self.concept
+    }
+
+    /// Switch to a different concept (abrupt drift).
+    pub fn set_concept(&mut self, concept: usize) {
+        assert!(concept < NUM_CONCEPTS, "STAGGER has concepts 0..=2");
+        self.concept = concept;
+    }
+
+    /// Noiseless label of the encoded feature vector under a concept.
+    ///
+    /// Encoding: `size ∈ {0: small, 1: medium, 2: large}`,
+    /// `color ∈ {0: red, 1: green, 2: blue}`,
+    /// `shape ∈ {0: circle, 1: square, 2: triangle}`.
+    pub fn true_label(x: &[f64], concept: usize) -> usize {
+        let size = x[0] as usize;
+        let color = x[1] as usize;
+        let shape = x[2] as usize;
+        let positive = match concept {
+            0 => size == 0 && color == 0,
+            1 => color == 1 || shape == 0,
+            2 => size == 1 || size == 2,
+            _ => unreachable!("validated in constructor"),
+        };
+        usize::from(positive)
+    }
+}
+
+impl DataStream for StaggerGenerator {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let x = vec![
+            self.rng.gen_range(0..3) as f64,
+            self.rng.gen_range(0..3) as f64,
+            self.rng.gen_range(0..3) as f64,
+        ];
+        let mut y = Self::true_label(&x, self.concept);
+        if self.noise_probability > 0.0 && self.rng.gen::<f64>() < self.noise_probability {
+            y = 1 - y;
+        }
+        Some(Instance::new(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concept_zero_requires_small_red() {
+        assert_eq!(StaggerGenerator::true_label(&[0.0, 0.0, 2.0], 0), 1);
+        assert_eq!(StaggerGenerator::true_label(&[0.0, 1.0, 2.0], 0), 0);
+        assert_eq!(StaggerGenerator::true_label(&[1.0, 0.0, 2.0], 0), 0);
+    }
+
+    #[test]
+    fn concept_one_is_green_or_circle() {
+        assert_eq!(StaggerGenerator::true_label(&[2.0, 1.0, 2.0], 1), 1);
+        assert_eq!(StaggerGenerator::true_label(&[2.0, 0.0, 0.0], 1), 1);
+        assert_eq!(StaggerGenerator::true_label(&[2.0, 0.0, 2.0], 1), 0);
+    }
+
+    #[test]
+    fn concept_two_is_medium_or_large() {
+        assert_eq!(StaggerGenerator::true_label(&[1.0, 0.0, 0.0], 2), 1);
+        assert_eq!(StaggerGenerator::true_label(&[2.0, 0.0, 0.0], 2), 1);
+        assert_eq!(StaggerGenerator::true_label(&[0.0, 0.0, 0.0], 2), 0);
+    }
+
+    #[test]
+    fn generated_labels_match_rule_without_noise() {
+        for concept in 0..NUM_CONCEPTS {
+            let mut gen = StaggerGenerator::new(concept, 0.0, 13);
+            for _ in 0..300 {
+                let inst = gen.next_instance().unwrap();
+                assert_eq!(inst.y, StaggerGenerator::true_label(&inst.x, concept));
+            }
+        }
+    }
+
+    #[test]
+    fn features_are_valid_codes() {
+        let mut gen = StaggerGenerator::new(0, 0.0, 1);
+        for _ in 0..100 {
+            let inst = gen.next_instance().unwrap();
+            for &v in &inst.x {
+                assert!(v == 0.0 || v == 1.0 || v == 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn set_concept_changes_labels() {
+        let mut gen = StaggerGenerator::new(0, 0.0, 1);
+        gen.set_concept(2);
+        assert_eq!(gen.concept(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "concepts 0..=2")]
+    fn invalid_concept_panics() {
+        let _ = StaggerGenerator::new(3, 0.0, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # dmt-stream
+//!
+//! Data-stream abstractions for the Dynamic Model Tree reproduction:
+//!
+//! * [`schema`] — feature/label schema descriptions ([`schema::StreamSchema`]).
+//! * [`instance`] — [`instance::Instance`] and [`instance::Batch`] containers.
+//! * [`stream`] — the [`stream::DataStream`] trait plus in-memory and chained
+//!   streams.
+//! * [`generators`] — faithful re-implementations of the scikit-multiflow
+//!   synthetic generators used in the paper (SEA, Agrawal, Hyperplane) and a
+//!   few extras (RandomRBF, STAGGER, LED) for extension experiments.
+//! * [`drift`] — drift composition: abrupt concept switches, gradual
+//!   (sigmoid-weighted) transitions and label/feature noise wrappers.
+//! * [`realworld`] — synthetic *simulators* for the real-world tabular data
+//!   sets of Table I (Electricity, Airlines, Bank, TüEyeQ, Poker, KDD,
+//!   Covertype, Gas, Insects). The originals are not redistributable /
+//!   available offline; the simulators match the published number of samples
+//!   (scaled), features, classes, class imbalance and drift type. See
+//!   DESIGN.md §4 for the substitution argument.
+//! * [`transform`] — min-max normalization and stream truncation/scaling
+//!   utilities used by the evaluation harness.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod catalog;
+pub mod drift;
+pub mod generators;
+pub mod instance;
+pub mod realworld;
+pub mod schema;
+pub mod stream;
+pub mod transform;
+
+pub use drift::{AbruptDriftStream, GradualDriftStream, LabelNoise};
+pub use instance::{Batch, Instance};
+pub use schema::{FeatureSpec, FeatureType, StreamSchema};
+pub use stream::{ChainStream, DataStream, MaterializedStream};
+pub use transform::{BoxedStream, MinMaxNormalize, TakeStream};

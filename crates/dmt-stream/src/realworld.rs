@@ -1,0 +1,531 @@
+//! Synthetic simulators for the real-world tabular streams of Table I.
+//!
+//! The paper evaluates on ten real-world data sets (Electricity, Airlines,
+//! Bank, TüEyeQ, Poker-Hand, KDD Cup 1999, Covertype, Gas, Insects-Abrupt and
+//! Insects-Incremental). Those files are proprietary or hosted on OpenML/UCI
+//! and are not available in this offline reproduction. Following the
+//! substitution rule of DESIGN.md §4, each data set is replaced by a
+//! *simulator*: a drifting Gaussian-mixture stream that matches the published
+//!
+//! * number of samples (optionally scaled down),
+//! * number of features,
+//! * number of classes,
+//! * majority-class ratio (class imbalance), and
+//! * drift type (none / abrupt / incremental) where the paper documents it.
+//!
+//! The evaluation conclusions of the paper rest on exactly these properties —
+//! never on the semantic meaning of individual columns — so the simulators
+//! exercise the same code paths and stress the same model behaviours
+//! (imbalance-robust F1, drift adaptation, high-dimensional split finding).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::instance::Instance;
+use crate::schema::StreamSchema;
+use crate::stream::DataStream;
+
+/// A scheduled concept-drift event inside a [`ConceptSim`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftEvent {
+    /// Re-randomise a fraction of the cluster centres at `at` (fraction of the
+    /// stream length in `[0, 1]`).
+    Abrupt {
+        /// Position as a fraction of the stream length.
+        at: f64,
+    },
+    /// Linearly move the cluster centres towards new random targets between
+    /// the `from` and `until` stream fractions.
+    Incremental {
+        /// Start position as a fraction of the stream length.
+        from: f64,
+        /// End position as a fraction of the stream length.
+        until: f64,
+    },
+}
+
+/// Specification of a simulated real-world stream.
+#[derive(Debug, Clone)]
+pub struct ConceptSimSpec {
+    /// Display name, e.g. `"Electricity (sim)"`.
+    pub name: String,
+    /// Total number of instances to emit.
+    pub num_samples: u64,
+    /// Number of features.
+    pub num_features: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Fraction of instances belonging to the majority class (class 0).
+    pub majority_fraction: f64,
+    /// Number of Gaussian clusters per class (boundary complexity).
+    pub clusters_per_class: usize,
+    /// Standard deviation of each cluster.
+    pub cluster_std: f64,
+    /// Label-noise probability (keeps the problem from being perfectly
+    /// separable, as real data never is).
+    pub label_noise: f64,
+    /// Scheduled drift events.
+    pub drift: Vec<DriftEvent>,
+}
+
+impl ConceptSimSpec {
+    fn class_priors(&self) -> Vec<f64> {
+        let c = self.num_classes;
+        let mut priors = vec![0.0; c];
+        priors[0] = self.majority_fraction;
+        if c > 1 {
+            let rest = (1.0 - self.majority_fraction) / (c - 1) as f64;
+            for p in priors.iter_mut().skip(1) {
+                *p = rest;
+            }
+        }
+        priors
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    class: usize,
+    center: Vec<f64>,
+    /// Target centre for incremental drift (if any).
+    target: Vec<f64>,
+}
+
+/// A drifting Gaussian-mixture stream following a [`ConceptSimSpec`].
+pub struct ConceptSim {
+    spec: ConceptSimSpec,
+    schema: StreamSchema,
+    rng: StdRng,
+    clusters: Vec<Cluster>,
+    priors: Vec<f64>,
+    emitted: u64,
+    /// Index of the next drift event to process.
+    next_event: usize,
+    /// Active incremental drift window `(start, end)` in instance counts.
+    active_incremental: Option<(u64, u64)>,
+}
+
+impl ConceptSim {
+    /// Create a simulator from a spec and seed.
+    pub fn new(spec: ConceptSimSpec, seed: u64) -> Self {
+        assert!(spec.num_classes >= 2);
+        assert!(spec.clusters_per_class >= 1);
+        assert!(
+            spec.majority_fraction > 0.0 && spec.majority_fraction < 1.0,
+            "majority fraction must be in (0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut clusters = Vec::new();
+        for class in 0..spec.num_classes {
+            for _ in 0..spec.clusters_per_class {
+                let center: Vec<f64> = (0..spec.num_features)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect();
+                clusters.push(Cluster {
+                    class,
+                    center: center.clone(),
+                    target: center,
+                });
+            }
+        }
+        let priors = spec.class_priors();
+        let schema = StreamSchema::numeric(spec.name.clone(), spec.num_features, spec.num_classes);
+        let mut drift = spec.drift.clone();
+        drift.sort_by(|a, b| {
+            let pa = match a {
+                DriftEvent::Abrupt { at } => *at,
+                DriftEvent::Incremental { from, .. } => *from,
+            };
+            let pb = match b {
+                DriftEvent::Abrupt { at } => *at,
+                DriftEvent::Incremental { from, .. } => *from,
+            };
+            pa.partial_cmp(&pb).expect("drift positions must be finite")
+        });
+        let spec = ConceptSimSpec { drift, ..spec };
+        Self {
+            spec,
+            schema,
+            rng,
+            clusters,
+            priors,
+            emitted: 0,
+            next_event: 0,
+            active_incremental: None,
+        }
+    }
+
+    /// The spec this simulator was built from.
+    pub fn spec(&self) -> &ConceptSimSpec {
+        &self.spec
+    }
+
+    fn sample_class(&mut self) -> usize {
+        let r: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for (class, &p) in self.priors.iter().enumerate() {
+            acc += p;
+            if r < acc {
+                return class;
+            }
+        }
+        self.priors.len() - 1
+    }
+
+    fn reshuffle_clusters(&mut self, fraction: f64) {
+        let m = self.spec.num_features;
+        for i in 0..self.clusters.len() {
+            if self.rng.gen::<f64>() < fraction {
+                let center: Vec<f64> = (0..m).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+                self.clusters[i].center = center.clone();
+                self.clusters[i].target = center;
+            }
+        }
+    }
+
+    fn start_incremental(&mut self, from: u64, until: u64) {
+        let m = self.spec.num_features;
+        for i in 0..self.clusters.len() {
+            self.clusters[i].target = (0..m).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+        }
+        self.active_incremental = Some((from, until));
+    }
+
+    fn process_drift_schedule(&mut self) {
+        let n = self.spec.num_samples.max(1);
+        // Trigger newly reached events.
+        while self.next_event < self.spec.drift.len() {
+            let event = self.spec.drift[self.next_event].clone();
+            let start = match &event {
+                DriftEvent::Abrupt { at } => (*at * n as f64) as u64,
+                DriftEvent::Incremental { from, .. } => (*from * n as f64) as u64,
+            };
+            if self.emitted < start {
+                break;
+            }
+            match event {
+                DriftEvent::Abrupt { .. } => self.reshuffle_clusters(0.5),
+                DriftEvent::Incremental { from, until } => {
+                    let from_i = (from * n as f64) as u64;
+                    let until_i = (until * n as f64) as u64;
+                    self.start_incremental(from_i, until_i.max(from_i + 1));
+                }
+            }
+            self.next_event += 1;
+        }
+        // Advance any active incremental drift.
+        if let Some((from, until)) = self.active_incremental {
+            if self.emitted >= until {
+                // Snap to targets and finish.
+                for c in self.clusters.iter_mut() {
+                    c.center = c.target.clone();
+                }
+                self.active_incremental = None;
+            } else if self.emitted >= from {
+                let remaining = (until - self.emitted) as f64;
+                for c in self.clusters.iter_mut() {
+                    for (pos, tgt) in c.center.iter_mut().zip(c.target.iter()) {
+                        *pos += (tgt - *pos) / remaining;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl DataStream for ConceptSim {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        if self.emitted >= self.spec.num_samples {
+            return None;
+        }
+        self.process_drift_schedule();
+        let class = self.sample_class();
+        // Pick one of the class's clusters uniformly.
+        let candidates: Vec<usize> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.class == class)
+            .map(|(i, _)| i)
+            .collect();
+        let idx = candidates[self.rng.gen_range(0..candidates.len())];
+        let normal = Normal::new(0.0, self.spec.cluster_std).expect("std > 0");
+        let x: Vec<f64> = self.clusters[idx]
+            .center
+            .iter()
+            .map(|&c| (c + normal.sample(&mut self.rng)).clamp(0.0, 1.0))
+            .collect();
+        let mut y = class;
+        if self.spec.label_noise > 0.0 && self.rng.gen::<f64>() < self.spec.label_noise {
+            let c = self.spec.num_classes;
+            y = (y + self.rng.gen_range(1..c)) % c;
+        }
+        self.emitted += 1;
+        Some(Instance::new(x, y))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.spec.num_samples - self.emitted)
+    }
+}
+
+/// Scale a published sample count by `scale`, keeping at least 1,000
+/// instances so the prequential batches (0.1 %) stay non-trivial.
+pub fn scaled_samples(published: u64, scale: f64) -> u64 {
+    ((published as f64 * scale) as u64).max(1_000)
+}
+
+macro_rules! simulator {
+    (
+        $(#[$doc:meta])*
+        $fn_name:ident, $name:expr, $samples:expr, $features:expr, $classes:expr,
+        $majority:expr, $clusters:expr, $std:expr, $noise:expr, [$($drift:expr),*]
+    ) => {
+        $(#[$doc])*
+        pub fn $fn_name(scale: f64, seed: u64) -> ConceptSim {
+            ConceptSim::new(
+                ConceptSimSpec {
+                    name: format!("{} (sim)", $name),
+                    num_samples: scaled_samples($samples, scale),
+                    num_features: $features,
+                    num_classes: $classes,
+                    majority_fraction: $majority,
+                    clusters_per_class: $clusters,
+                    cluster_std: $std,
+                    label_noise: $noise,
+                    drift: vec![$($drift),*],
+                },
+                seed,
+            )
+        }
+    };
+}
+
+simulator!(
+    /// Electricity (NSW electricity market): 45,312 × 8, binary, 57.5 %
+    /// majority; price/demand fluctuations are modelled as recurring mild
+    /// abrupt drifts.
+    electricity_sim, "Electricity", 45_312, 8, 2, 0.575, 2, 0.12, 0.08,
+    [DriftEvent::Abrupt { at: 0.25 }, DriftEvent::Abrupt { at: 0.5 }, DriftEvent::Abrupt { at: 0.75 }]
+);
+
+simulator!(
+    /// Airlines (flight-delay prediction): 539,383 × 7, binary, 55.5 %
+    /// majority; slow seasonal change modelled as one long incremental drift.
+    airlines_sim, "Airlines", 539_383, 7, 2, 0.555, 3, 0.15, 0.15,
+    [DriftEvent::Incremental { from: 0.3, until: 0.9 }]
+);
+
+simulator!(
+    /// Bank marketing: 45,211 × 16, binary, 88.3 % majority, no documented
+    /// drift.
+    bank_sim, "Bank", 45_211, 16, 2, 0.883, 2, 0.14, 0.06,
+    []
+);
+
+simulator!(
+    /// TüEyeQ (IQ-test performance): 15,762 × 76, binary, 82.3 % majority;
+    /// four task blocks of increasing difficulty create three abrupt drifts.
+    tueyeq_sim, "TüEyeQ", 15_762, 76, 2, 0.823, 1, 0.18, 0.1,
+    [DriftEvent::Abrupt { at: 0.25 }, DriftEvent::Abrupt { at: 0.5 }, DriftEvent::Abrupt { at: 0.75 }]
+);
+
+simulator!(
+    /// Poker-Hand: 1,025,000 × 10, 9 classes (paper counts 9 occupied
+    /// classes), 50.1 % majority, stationary but highly non-linear — modelled
+    /// with many clusters per class.
+    poker_sim, "Poker-Hand", 1_025_000, 10, 9, 0.501, 4, 0.09, 0.1,
+    []
+);
+
+simulator!(
+    /// KDD Cup 1999 intrusion detection: 494,020 × 41, 23 classes, 56.8 %
+    /// majority; the paper shuffles it, so no drift is simulated.
+    kddcup_sim, "KDDCup", 494_020, 41, 23, 0.568, 1, 0.08, 0.02,
+    []
+);
+
+simulator!(
+    /// Covertype: 581,012 × 54, 7 classes, 48.8 % majority, stationary with a
+    /// complex boundary.
+    covertype_sim, "Covertype", 581_012, 54, 7, 0.488, 3, 0.1, 0.08,
+    []
+);
+
+simulator!(
+    /// Gas sensor drift: 13,910 × 128, 6 classes, 21.6 % majority; chemical
+    /// sensor drift modelled as incremental drift across the whole stream.
+    gas_sim, "Gas", 13_910, 128, 6, 0.216, 1, 0.1, 0.05,
+    [DriftEvent::Incremental { from: 0.1, until: 0.95 }]
+);
+
+simulator!(
+    /// Insects-Abrupt: 355,275 × 33, 6 classes, 28.5 % majority; the authors
+    /// induced abrupt drifts by changing temperature/humidity.
+    insects_abrupt_sim, "Insects-Abrupt", 355_275, 33, 6, 0.285, 2, 0.11, 0.1,
+    [DriftEvent::Abrupt { at: 0.2 }, DriftEvent::Abrupt { at: 0.4 }, DriftEvent::Abrupt { at: 0.6 }, DriftEvent::Abrupt { at: 0.8 }]
+);
+
+simulator!(
+    /// Insects-Incremental: 452,044 × 33, 6 classes, 29.8 % majority;
+    /// incremental drift across the whole stream.
+    insects_incremental_sim, "Insects-Incremental", 452_044, 33, 6, 0.298, 2, 0.11, 0.1,
+    [DriftEvent::Incremental { from: 0.1, until: 0.95 }]
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(drift: Vec<DriftEvent>) -> ConceptSimSpec {
+        ConceptSimSpec {
+            name: "test".to_string(),
+            num_samples: 5_000,
+            num_features: 4,
+            num_classes: 3,
+            majority_fraction: 0.6,
+            clusters_per_class: 2,
+            cluster_std: 0.05,
+            label_noise: 0.0,
+            drift,
+        }
+    }
+
+    #[test]
+    fn emits_exactly_num_samples() {
+        let mut sim = ConceptSim::new(small_spec(vec![]), 1);
+        let mut count = 0;
+        while sim.next_instance().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5_000);
+        assert!(sim.next_instance().is_none());
+    }
+
+    #[test]
+    fn class_imbalance_matches_majority_fraction() {
+        let mut sim = ConceptSim::new(small_spec(vec![]), 7);
+        let mut majority = 0u64;
+        let n = 5_000;
+        for _ in 0..n {
+            if sim.next_instance().unwrap().y == 0 {
+                majority += 1;
+            }
+        }
+        let rate = majority as f64 / n as f64;
+        assert!((rate - 0.6).abs() < 0.05, "majority rate {rate}");
+    }
+
+    #[test]
+    fn features_stay_in_unit_interval() {
+        let mut sim = ConceptSim::new(small_spec(vec![]), 3);
+        for _ in 0..500 {
+            let inst = sim.next_instance().unwrap();
+            assert!(inst.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(inst.y < 3);
+        }
+    }
+
+    #[test]
+    fn abrupt_drift_moves_cluster_centres() {
+        let mut sim = ConceptSim::new(
+            small_spec(vec![DriftEvent::Abrupt { at: 0.5 }]),
+            11,
+        );
+        for _ in 0..1_000 {
+            let _ = sim.next_instance();
+        }
+        let before: Vec<Vec<f64>> = sim.clusters.iter().map(|c| c.center.clone()).collect();
+        for _ in 0..2_000 {
+            let _ = sim.next_instance();
+        }
+        let after: Vec<Vec<f64>> = sim.clusters.iter().map(|c| c.center.clone()).collect();
+        let moved = before
+            .iter()
+            .zip(after.iter())
+            .any(|(a, b)| a.iter().zip(b.iter()).any(|(x, y)| (x - y).abs() > 1e-6));
+        assert!(moved, "abrupt drift should relocate at least one cluster");
+    }
+
+    #[test]
+    fn incremental_drift_moves_centres_gradually() {
+        let mut sim = ConceptSim::new(
+            small_spec(vec![DriftEvent::Incremental { from: 0.2, until: 0.8 }]),
+            13,
+        );
+        for _ in 0..1_100 {
+            let _ = sim.next_instance();
+        }
+        let early: Vec<Vec<f64>> = sim.clusters.iter().map(|c| c.center.clone()).collect();
+        for _ in 0..1_000 {
+            let _ = sim.next_instance();
+        }
+        let mid: Vec<Vec<f64>> = sim.clusters.iter().map(|c| c.center.clone()).collect();
+        let moved = early
+            .iter()
+            .zip(mid.iter())
+            .any(|(a, b)| a.iter().zip(b.iter()).any(|(x, y)| (x - y).abs() > 1e-4));
+        assert!(moved, "incremental drift should move centres during the window");
+        // Still within bounds.
+        for c in &sim.clusters {
+            assert!(c.center.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ConceptSim::new(small_spec(vec![DriftEvent::Abrupt { at: 0.3 }]), 42);
+        let mut b = ConceptSim::new(small_spec(vec![DriftEvent::Abrupt { at: 0.3 }]), 42);
+        for _ in 0..200 {
+            assert_eq!(a.next_instance(), b.next_instance());
+        }
+    }
+
+    #[test]
+    fn scaled_samples_has_a_floor() {
+        assert_eq!(scaled_samples(1_000_000, 0.05), 50_000);
+        assert_eq!(scaled_samples(10_000, 0.001), 1_000);
+        assert_eq!(scaled_samples(45_312, 1.0), 45_312);
+    }
+
+    #[test]
+    fn table1_simulators_match_published_dimensions() {
+        let cases: Vec<(ConceptSim, usize, usize)> = vec![
+            (electricity_sim(1.0, 1), 8, 2),
+            (airlines_sim(1.0, 1), 7, 2),
+            (bank_sim(1.0, 1), 16, 2),
+            (tueyeq_sim(1.0, 1), 76, 2),
+            (poker_sim(1.0, 1), 10, 9),
+            (kddcup_sim(1.0, 1), 41, 23),
+            (covertype_sim(1.0, 1), 54, 7),
+            (gas_sim(1.0, 1), 128, 6),
+            (insects_abrupt_sim(1.0, 1), 33, 6),
+            (insects_incremental_sim(1.0, 1), 33, 6),
+        ];
+        for (sim, features, classes) in cases {
+            assert_eq!(sim.schema().num_features(), features, "{}", sim.spec().name);
+            assert_eq!(sim.schema().num_classes, classes, "{}", sim.spec().name);
+        }
+    }
+
+    #[test]
+    fn table1_simulators_match_published_sample_counts_at_full_scale() {
+        assert_eq!(electricity_sim(1.0, 1).spec().num_samples, 45_312);
+        assert_eq!(airlines_sim(1.0, 1).spec().num_samples, 539_383);
+        assert_eq!(poker_sim(1.0, 1).spec().num_samples, 1_025_000);
+        assert_eq!(insects_incremental_sim(1.0, 1).spec().num_samples, 452_044);
+    }
+
+    #[test]
+    #[should_panic(expected = "majority fraction")]
+    fn invalid_majority_fraction_panics() {
+        let mut spec = small_spec(vec![]);
+        spec.majority_fraction = 1.0;
+        let _ = ConceptSim::new(spec, 1);
+    }
+}

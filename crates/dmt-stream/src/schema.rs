@@ -1,0 +1,145 @@
+//! Stream schema descriptions: feature names/types and the label space.
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a single feature column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureType {
+    /// A continuous numeric feature.
+    Numeric,
+    /// A categorical feature that has been factorised to the integer codes
+    /// `0..cardinality` (the paper factorises all string variables, §VI-B).
+    Nominal {
+        /// Number of distinct categories.
+        cardinality: usize,
+    },
+}
+
+impl FeatureType {
+    /// Whether this feature is nominal/categorical.
+    pub fn is_nominal(&self) -> bool {
+        matches!(self, FeatureType::Nominal { .. })
+    }
+}
+
+/// Description of one feature column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Human-readable feature name.
+    pub name: String,
+    /// Numeric or nominal.
+    pub feature_type: FeatureType,
+}
+
+impl FeatureSpec {
+    /// Convenience constructor for a numeric feature.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            feature_type: FeatureType::Numeric,
+        }
+    }
+
+    /// Convenience constructor for a nominal feature.
+    pub fn nominal(name: impl Into<String>, cardinality: usize) -> Self {
+        Self {
+            name: name.into(),
+            feature_type: FeatureType::Nominal { cardinality },
+        }
+    }
+}
+
+/// Schema of a classification data stream: feature columns plus the number of
+/// target classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSchema {
+    /// Name of the stream (e.g. `"SEA"`, `"Electricity (sim)"`).
+    pub name: String,
+    /// Ordered feature descriptions.
+    pub features: Vec<FeatureSpec>,
+    /// Number of target classes (≥ 2).
+    pub num_classes: usize,
+}
+
+impl StreamSchema {
+    /// Build a schema with `m` anonymous numeric features.
+    pub fn numeric(name: impl Into<String>, num_features: usize, num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "a classification stream needs >= 2 classes");
+        let features = (0..num_features)
+            .map(|i| FeatureSpec::numeric(format!("x{i}")))
+            .collect();
+        Self {
+            name: name.into(),
+            features,
+            num_classes,
+        }
+    }
+
+    /// Build a schema from explicit feature specs.
+    pub fn new(name: impl Into<String>, features: Vec<FeatureSpec>, num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "a classification stream needs >= 2 classes");
+        Self {
+            name: name.into(),
+            features,
+            num_classes,
+        }
+    }
+
+    /// Number of feature columns `m`.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Indices of the nominal features.
+    pub fn nominal_indices(&self) -> Vec<usize> {
+        self.features
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.feature_type.is_nominal())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether the stream is a binary-classification stream.
+    pub fn is_binary(&self) -> bool {
+        self.num_classes == 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_schema_has_anonymous_features() {
+        let s = StreamSchema::numeric("toy", 3, 2);
+        assert_eq!(s.num_features(), 3);
+        assert_eq!(s.features[0].name, "x0");
+        assert!(s.is_binary());
+        assert!(s.nominal_indices().is_empty());
+    }
+
+    #[test]
+    fn nominal_indices_are_reported() {
+        let s = StreamSchema::new(
+            "mixed",
+            vec![
+                FeatureSpec::numeric("age"),
+                FeatureSpec::nominal("color", 3),
+                FeatureSpec::numeric("height"),
+                FeatureSpec::nominal("country", 10),
+            ],
+            4,
+        );
+        assert_eq!(s.nominal_indices(), vec![1, 3]);
+        assert!(!s.is_binary());
+        assert!(s.features[1].feature_type.is_nominal());
+        assert!(!s.features[0].feature_type.is_nominal());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 classes")]
+    fn single_class_schema_panics() {
+        let _ = StreamSchema::numeric("bad", 3, 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The [`DataStream`] trait and simple in-memory streams.
+
+use crate::instance::{Batch, Instance};
+use crate::schema::StreamSchema;
+
+/// A (potentially unbounded) source of labelled observations.
+///
+/// Streams are consumed once, front to back — re-ordering a data stream would
+/// introduce artificial concept drift (§VI-A), so there is deliberately no
+/// `seek`/`shuffle` on the trait. Generators can be re-created from their seed
+/// to "restart".
+pub trait DataStream: Send {
+    /// The stream's schema.
+    fn schema(&self) -> &StreamSchema;
+
+    /// Produce the next instance, or `None` when the stream is exhausted.
+    fn next_instance(&mut self) -> Option<Instance>;
+
+    /// Total number of instances this stream will emit, if known.
+    ///
+    /// Unbounded generators return `None`; the evaluation harness then relies
+    /// on an explicit sample budget.
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Produce the next batch of at most `n` instances. Returns `None` when
+    /// the stream is exhausted (an empty final batch is never returned).
+    fn next_batch(&mut self, n: usize) -> Option<Batch> {
+        let mut batch = Batch::with_capacity(n);
+        for _ in 0..n {
+            match self.next_instance() {
+                Some(instance) => batch.push(instance),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
+/// A fully materialized, in-memory stream. Useful for tests and for replaying
+/// a pre-generated sequence with known drift positions.
+#[derive(Debug, Clone)]
+pub struct MaterializedStream {
+    schema: StreamSchema,
+    data: Vec<Instance>,
+    cursor: usize,
+}
+
+impl MaterializedStream {
+    /// Create a materialized stream from a schema and instances.
+    pub fn new(schema: StreamSchema, data: Vec<Instance>) -> Self {
+        Self {
+            schema,
+            data,
+            cursor: 0,
+        }
+    }
+
+    /// Materialize up to `n` instances of any other stream.
+    pub fn collect_from<S: DataStream + ?Sized>(source: &mut S, n: u64) -> Self {
+        let schema = source.schema().clone();
+        let mut data = Vec::new();
+        for _ in 0..n {
+            match source.next_instance() {
+                Some(instance) => data.push(instance),
+                None => break,
+            }
+        }
+        Self::new(schema, data)
+    }
+
+    /// Number of instances left to emit.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    /// Total number of instances, consumed or not.
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reset the read cursor to the beginning.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Immutable access to all instances (for offline analysis in tests).
+    pub fn instances(&self) -> &[Instance] {
+        &self.data
+    }
+}
+
+impl DataStream for MaterializedStream {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        if self.cursor < self.data.len() {
+            let instance = self.data[self.cursor].clone();
+            self.cursor += 1;
+            Some(instance)
+        } else {
+            None
+        }
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining() as u64)
+    }
+}
+
+/// Concatenation of two streams with identical schemas: emits every instance
+/// of the first stream, then every instance of the second.
+pub struct ChainStream<A, B> {
+    first: A,
+    second: B,
+    schema: StreamSchema,
+}
+
+impl<A: DataStream, B: DataStream> ChainStream<A, B> {
+    /// Chain `first` and `second`. Both must have the same number of features
+    /// and classes.
+    pub fn new(first: A, second: B) -> Self {
+        let schema = first.schema().clone();
+        assert_eq!(
+            schema.num_features(),
+            second.schema().num_features(),
+            "chained streams must share the feature count"
+        );
+        assert_eq!(
+            schema.num_classes,
+            second.schema().num_classes,
+            "chained streams must share the class count"
+        );
+        Self {
+            first,
+            second,
+            schema,
+        }
+    }
+}
+
+impl<A: DataStream, B: DataStream> DataStream for ChainStream<A, B> {
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        self.first
+            .next_instance()
+            .or_else(|| self.second.next_instance())
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        match (self.first.remaining_hint(), self.second.remaining_hint()) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_stream(n: usize, label: usize) -> MaterializedStream {
+        let schema = StreamSchema::numeric("toy", 2, 2);
+        let data = (0..n)
+            .map(|i| Instance::new(vec![i as f64, 0.0], label))
+            .collect();
+        MaterializedStream::new(schema, data)
+    }
+
+    #[test]
+    fn materialized_stream_emits_in_order_then_ends() {
+        let mut s = toy_stream(3, 1);
+        assert_eq!(s.remaining_hint(), Some(3));
+        assert_eq!(s.next_instance().unwrap().x[0], 0.0);
+        assert_eq!(s.next_instance().unwrap().x[0], 1.0);
+        assert_eq!(s.next_instance().unwrap().x[0], 2.0);
+        assert!(s.next_instance().is_none());
+        assert_eq!(s.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn next_batch_respects_size_and_final_partial_batch() {
+        let mut s = toy_stream(5, 0);
+        let b1 = s.next_batch(2).unwrap();
+        assert_eq!(b1.len(), 2);
+        let b2 = s.next_batch(2).unwrap();
+        assert_eq!(b2.len(), 2);
+        let b3 = s.next_batch(2).unwrap();
+        assert_eq!(b3.len(), 1);
+        assert!(s.next_batch(2).is_none());
+    }
+
+    #[test]
+    fn reset_replays_from_the_start() {
+        let mut s = toy_stream(2, 0);
+        let _ = s.next_instance();
+        s.reset();
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.total_len(), 2);
+    }
+
+    #[test]
+    fn collect_from_materializes_bounded_prefix() {
+        let mut source = toy_stream(10, 1);
+        let collected = MaterializedStream::collect_from(&mut source, 4);
+        assert_eq!(collected.total_len(), 4);
+        assert_eq!(collected.instances()[3].x[0], 3.0);
+    }
+
+    #[test]
+    fn chain_stream_concatenates() {
+        let a = toy_stream(2, 0);
+        let b = toy_stream(3, 1);
+        let mut chained = ChainStream::new(a, b);
+        assert_eq!(chained.remaining_hint(), Some(5));
+        let labels: Vec<usize> = std::iter::from_fn(|| chained.next_instance())
+            .map(|i| i.y)
+            .collect();
+        assert_eq!(labels, vec![0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn chain_with_mismatched_features_panics() {
+        let a = toy_stream(1, 0);
+        let schema = StreamSchema::numeric("other", 3, 2);
+        let b = MaterializedStream::new(schema, vec![]);
+        let _ = ChainStream::new(a, b);
+    }
+}

@@ -1,0 +1,245 @@
+//! Stream transformations: normalization and truncation.
+
+use crate::instance::Instance;
+use crate::schema::StreamSchema;
+use crate::stream::DataStream;
+
+/// Min-max normalization to `[0, 1]`, as applied to every data set in the
+/// paper (§VI-B).
+///
+/// Two modes are supported:
+///
+/// * **static** — known per-feature `(min, max)` ranges are supplied up front
+///   (used for the synthetic generators whose ranges are part of their
+///   definition);
+/// * **online** — ranges are tracked incrementally from the data seen so far.
+///   The first occurrence of a value outside the running range extends the
+///   range, so early instances may be scaled slightly differently than late
+///   ones; this mirrors what a practitioner can actually do on a stream.
+pub struct MinMaxNormalize<S> {
+    inner: S,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    online: bool,
+}
+
+impl<S: DataStream> MinMaxNormalize<S> {
+    /// Normalize with fixed, known feature ranges.
+    ///
+    /// # Panics
+    /// Panics if the range vectors do not match the schema or `min > max`.
+    pub fn with_ranges(inner: S, ranges: Vec<(f64, f64)>) -> Self {
+        assert_eq!(
+            ranges.len(),
+            inner.schema().num_features(),
+            "one (min, max) pair per feature required"
+        );
+        for &(lo, hi) in &ranges {
+            assert!(lo <= hi, "invalid range ({lo}, {hi})");
+        }
+        let (mins, maxs) = ranges.into_iter().unzip();
+        Self {
+            inner,
+            mins,
+            maxs,
+            online: false,
+        }
+    }
+
+    /// Normalize with ranges learned online from the observed data.
+    pub fn online(inner: S) -> Self {
+        let m = inner.schema().num_features();
+        Self {
+            inner,
+            mins: vec![f64::INFINITY; m],
+            maxs: vec![f64::NEG_INFINITY; m],
+            online: true,
+        }
+    }
+
+    fn scale(&mut self, x: &mut [f64]) {
+        for (i, v) in x.iter_mut().enumerate() {
+            if self.online {
+                if *v < self.mins[i] {
+                    self.mins[i] = *v;
+                }
+                if *v > self.maxs[i] {
+                    self.maxs[i] = *v;
+                }
+            }
+            let lo = self.mins[i];
+            let hi = self.maxs[i];
+            let range = hi - lo;
+            *v = if range > 0.0 && range.is_finite() {
+                ((*v - lo) / range).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+impl<S: DataStream> DataStream for MinMaxNormalize<S> {
+    fn schema(&self) -> &StreamSchema {
+        self.inner.schema()
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        let mut instance = self.inner.next_instance()?;
+        self.scale(&mut instance.x);
+        Some(instance)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        self.inner.remaining_hint()
+    }
+}
+
+/// Truncates a stream to at most `limit` instances. Used by the reproduction
+/// harness to scale the paper's million-instance streams down to laptop size
+/// while keeping relative drift positions intact.
+pub struct TakeStream<S> {
+    inner: S,
+    limit: u64,
+    emitted: u64,
+}
+
+impl<S: DataStream> TakeStream<S> {
+    /// Limit `inner` to `limit` instances.
+    pub fn new(inner: S, limit: u64) -> Self {
+        Self {
+            inner,
+            limit,
+            emitted: 0,
+        }
+    }
+}
+
+impl<S: DataStream> DataStream for TakeStream<S> {
+    fn schema(&self) -> &StreamSchema {
+        self.inner.schema()
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        if self.emitted >= self.limit {
+            return None;
+        }
+        let instance = self.inner.next_instance()?;
+        self.emitted += 1;
+        Some(instance)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        let own = self.limit - self.emitted;
+        match self.inner.remaining_hint() {
+            Some(inner) => Some(own.min(inner)),
+            None => Some(own),
+        }
+    }
+}
+
+/// A boxed data stream, convenient for heterogeneous collections such as the
+/// experiment catalog.
+pub type BoxedStream = Box<dyn DataStream>;
+
+impl DataStream for BoxedStream {
+    fn schema(&self) -> &StreamSchema {
+        (**self).schema()
+    }
+
+    fn next_instance(&mut self) -> Option<Instance> {
+        (**self).next_instance()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sea::SeaGenerator;
+    use crate::stream::MaterializedStream;
+
+    #[test]
+    fn static_ranges_scale_to_unit_interval() {
+        let gen = SeaGenerator::new(0, 0.0, 1);
+        let mut norm =
+            MinMaxNormalize::with_ranges(gen, vec![(0.0, 10.0), (0.0, 10.0), (0.0, 10.0)]);
+        for _ in 0..300 {
+            let inst = norm.next_instance().unwrap();
+            assert!(inst.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn online_ranges_adapt() {
+        let schema = StreamSchema::numeric("t", 1, 2);
+        let data = vec![
+            Instance::new(vec![5.0], 0),
+            Instance::new(vec![10.0], 0),
+            Instance::new(vec![0.0], 0),
+            Instance::new(vec![7.5], 0),
+        ];
+        let mut norm = MinMaxNormalize::online(MaterializedStream::new(schema, data));
+        // First instance defines a degenerate range -> scaled to 0.
+        assert_eq!(norm.next_instance().unwrap().x[0], 0.0);
+        // Second: range [5, 10] -> 10 maps to 1.
+        assert_eq!(norm.next_instance().unwrap().x[0], 1.0);
+        // Third: range [0, 10] -> 0 maps to 0.
+        assert_eq!(norm.next_instance().unwrap().x[0], 0.0);
+        // Fourth: 7.5 in [0, 10] -> 0.75.
+        assert!((norm.next_instance().unwrap().x[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one (min, max) pair per feature")]
+    fn wrong_number_of_ranges_panics() {
+        let gen = SeaGenerator::new(0, 0.0, 1);
+        let _ = MinMaxNormalize::with_ranges(gen, vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let gen = SeaGenerator::new(0, 0.0, 1);
+        let _ = MinMaxNormalize::with_ranges(gen, vec![(1.0, 0.0), (0.0, 1.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    fn take_stream_limits_length() {
+        let gen = SeaGenerator::new(0, 0.0, 1);
+        let mut limited = TakeStream::new(gen, 5);
+        assert_eq!(limited.remaining_hint(), Some(5));
+        let mut count = 0;
+        while limited.next_instance().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+        assert_eq!(limited.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn take_stream_respects_shorter_inner_stream() {
+        let schema = StreamSchema::numeric("t", 1, 2);
+        let data = vec![Instance::new(vec![1.0], 0); 3];
+        let inner = MaterializedStream::new(schema, data);
+        let mut limited = TakeStream::new(inner, 10);
+        assert_eq!(limited.remaining_hint(), Some(3));
+        let mut count = 0;
+        while limited.next_instance().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn boxed_stream_delegates() {
+        let mut boxed: BoxedStream = Box::new(SeaGenerator::new(0, 0.0, 2));
+        assert_eq!(boxed.schema().num_features(), 3);
+        assert!(boxed.next_instance().is_some());
+        let batch = boxed.next_batch(4).unwrap();
+        assert_eq!(batch.len(), 4);
+    }
+}

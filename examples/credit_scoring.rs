@@ -1,0 +1,78 @@
+//! Credit-scoring under concept drift: an end-to-end scenario on the
+//! simulated Bank marketing stream with an injected policy change
+//! (abrupt real concept drift), comparing every stand-alone model of the
+//! paper.
+//!
+//! This mirrors the motivating application of the paper's introduction
+//! (online credit scoring under the GDPR), where both predictive quality and
+//! a small, auditable model matter.
+//!
+//! ```bash
+//! cargo run -p dmt --example credit_scoring --release
+//! ```
+
+use dmt::prelude::*;
+use dmt::stream::realworld::{ConceptSim, ConceptSimSpec, DriftEvent};
+
+fn credit_stream(seed: u64) -> ConceptSim {
+    // 16 customer features, binary "subscribes / defaults" target, 85 %
+    // majority class, one abrupt policy change at 60 % of the stream.
+    ConceptSim::new(
+        ConceptSimSpec {
+            name: "CreditScoring".to_string(),
+            num_samples: 30_000,
+            num_features: 16,
+            num_classes: 2,
+            majority_fraction: 0.85,
+            clusters_per_class: 2,
+            cluster_std: 0.12,
+            label_noise: 0.05,
+            drift: vec![DriftEvent::Abrupt { at: 0.6 }],
+        },
+        seed,
+    )
+}
+
+fn main() {
+    println!("Credit scoring with one abrupt policy change at 60 % of the stream\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "model", "F1 mean", "F1 ± std", "splits", "params", "sec/iter"
+    );
+
+    let runner = PrequentialRun::new(PrequentialConfig::default());
+    let mut best: Option<(String, f64)> = None;
+
+    for kind in STANDALONE_MODELS {
+        let mut stream = credit_stream(11);
+        let schema = stream.schema().clone();
+        let mut model = build_model(kind, &schema, 11);
+        let result = runner.evaluate(model.as_mut(), &mut stream, None);
+        let (f1, f1_std) = result.f1_mean_std();
+        let (splits, _) = result.splits_mean_std();
+        let (params, _) = result.params_mean_std();
+        let (secs, _) = result.time_mean_std();
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.1} {:>10.1} {:>12.5}",
+            kind.display_name(),
+            f1,
+            f1_std,
+            splits,
+            params,
+            secs
+        );
+        if best.as_ref().map_or(true, |(_, b)| f1 > *b) {
+            best = Some((kind.display_name().to_string(), f1));
+        }
+    }
+
+    if let Some((name, f1)) = best {
+        println!("\nBest mean F1: {name} ({f1:.3})");
+    }
+    println!(
+        "\nOn imbalanced binary streams with drift, the Dynamic Model Tree is \
+         designed to keep the F1 high while using far fewer splits than the \
+         Hoeffding-tree family — the pattern reported in Tables II and III of \
+         the paper."
+    );
+}

@@ -1,0 +1,98 @@
+//! Interpretability: inspect the Dynamic Model Tree's decision paths, leaf
+//! weights and local feature attributions on a credit-scoring-like stream
+//! (the Agrawal loan-applicant generator used in the paper).
+//!
+//! This example demonstrates the properties motivated in §I-A and §III of
+//! the paper: the tree stays shallow, every prediction can be traced to a
+//! short decision path plus a linear model, and the linear leaf models expose
+//! per-subgroup feature weights directly.
+//!
+//! ```bash
+//! cargo run -p dmt --example interpretability --release
+//! ```
+
+use dmt::prelude::*;
+use dmt::stream::catalog::agrawal_ranges;
+use dmt::stream::generators::AgrawalGenerator;
+use dmt::stream::MinMaxNormalize;
+
+const FEATURE_NAMES: [&str; 9] = [
+    "salary", "commission", "age", "elevel", "car", "zipcode", "hvalue", "hyears", "loan",
+];
+
+fn main() {
+    // Agrawal function 6 labels applicants by a linear rule over salary,
+    // commission and loan — ideal to show how the leaf weights recover the
+    // underlying concept.
+    let generator = AgrawalGenerator::new(6, 0.05, 3);
+    let mut stream = MinMaxNormalize::with_ranges(generator, agrawal_ranges());
+    let schema = stream.schema().clone();
+    let mut tree = DynamicModelTree::new(schema.clone(), DmtConfig::default());
+
+    // Train prequentially on 40,000 instances.
+    let mut batches = 0;
+    while let Some(batch) = stream.next_batch(40) {
+        let rows = batch.rows();
+        tree.learn_batch(&rows, &batch.ys);
+        batches += 1;
+        if batches >= 1_000 {
+            break;
+        }
+    }
+
+    println!("Trained DMT on the Agrawal credit-scoring concept (function 6).");
+    println!(
+        "Tree size: {} inner nodes, {} leaves, depth {}\n",
+        tree.num_inner_nodes(),
+        tree.num_leaves(),
+        tree.depth()
+    );
+
+    // Explain two contrasting applicants.
+    let wealthy = normalised_applicant(140_000.0, 0.0, 45.0, 4.0, 3.0, 2.0, 500_000.0, 25.0, 10_000.0);
+    let indebted = normalised_applicant(25_000.0, 12_000.0, 30.0, 0.0, 10.0, 5.0, 80_000.0, 2.0, 480_000.0);
+
+    for (label, applicant) in [("wealthy applicant", wealthy), ("indebted applicant", indebted)] {
+        let explanation = tree.explain(&applicant);
+        println!("=== {label} ===");
+        println!("decision path : {}", explanation.describe_path());
+        println!(
+            "prediction    : class {} (p = {:.2})",
+            explanation.predicted_class,
+            explanation.probabilities[explanation.predicted_class]
+        );
+        println!("top features by |weight * value|:");
+        for feature in explanation.top_features(3) {
+            println!(
+                "  {:<11} weight {:+.3}  contribution {:+.3}",
+                FEATURE_NAMES[feature], explanation.weights[feature], explanation.contributions[feature]
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Because every leaf is a logit model, the per-subgroup weights above are \
+         directly readable — no post-hoc attribution method is needed."
+    );
+}
+
+/// Build a min-max-normalised Agrawal feature vector from raw values.
+#[allow(clippy::too_many_arguments)]
+fn normalised_applicant(
+    salary: f64,
+    commission: f64,
+    age: f64,
+    elevel: f64,
+    car: f64,
+    zipcode: f64,
+    hvalue: f64,
+    hyears: f64,
+    loan: f64,
+) -> Vec<f64> {
+    let raw = [salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan];
+    raw.iter()
+        .zip(agrawal_ranges())
+        .map(|(v, (lo, hi))| ((v - lo) / (hi - lo)).clamp(0.0, 1.0))
+        .collect()
+}

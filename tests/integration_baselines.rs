@@ -1,0 +1,138 @@
+//! Integration tests comparing the baselines against each other on shared
+//! streams — these encode the *qualitative* relationships the paper's
+//! evaluation section reports and that the reproduction must preserve.
+
+use dmt::prelude::*;
+
+fn run(kind: ModelKind, dataset: &str, scale: f64, seed: u64) -> PrequentialResult {
+    let mut stream =
+        dmt::stream::catalog::build_stream(dataset, scale, seed).expect("known dataset");
+    let schema = stream.schema().clone();
+    let mut model = build_model(kind, &schema, seed);
+    let runner = PrequentialRun::new(PrequentialConfig::default());
+    runner.evaluate(model.as_mut(), &mut stream, None)
+}
+
+#[test]
+fn vfdt_nba_is_at_least_as_accurate_as_vfdt_mc_on_hyperplane() {
+    // Table II: simple leaf models help most on the Hyperplane stream.
+    let mc = run(ModelKind::VfdtMc, "Hyperplane", 0.01, 1);
+    let nba = run(ModelKind::VfdtNba, "Hyperplane", 0.01, 1);
+    let (f1_mc, _) = mc.f1_mean_std();
+    let (f1_nba, _) = nba.f1_mean_std();
+    assert!(
+        f1_nba + 0.03 >= f1_mc,
+        "NBA leaves should not hurt on Hyperplane: MC {f1_mc:.3} vs NBA {f1_nba:.3}"
+    );
+}
+
+#[test]
+fn model_trees_beat_majority_leaf_trees_on_hyperplane() {
+    // The headline qualitative result of the paper's synthetic experiments:
+    // linear leaf models (DMT, FIMT-DD) dominate majority-class Hoeffding
+    // trees on the rotating hyperplane.
+    let dmt = run(ModelKind::Dmt, "Hyperplane", 0.01, 2);
+    let vfdt = run(ModelKind::VfdtMc, "Hyperplane", 0.01, 2);
+    let (f1_dmt, _) = dmt.f1_mean_std();
+    let (f1_vfdt, _) = vfdt.f1_mean_std();
+    assert!(
+        f1_dmt > f1_vfdt,
+        "DMT ({f1_dmt:.3}) should beat VFDT (MC) ({f1_vfdt:.3}) on Hyperplane"
+    );
+}
+
+#[test]
+fn vfdt_nba_has_many_more_parameters_than_vfdt_mc() {
+    // Table IV: NBA leaves cost roughly m parameters per leaf, MC leaves one.
+    let mc = run(ModelKind::VfdtMc, "SEA", 0.02, 3);
+    let nba = run(ModelKind::VfdtNba, "SEA", 0.02, 3);
+    let (params_mc, _) = mc.params_mean_std();
+    let (params_nba, _) = nba.params_mean_std();
+    assert!(
+        params_nba > params_mc,
+        "NBA ({params_nba:.0}) should carry more parameters than MC ({params_mc:.0})"
+    );
+}
+
+#[test]
+fn all_baselines_produce_valid_predictions_on_a_multiclass_stream() {
+    for kind in STANDALONE_MODELS {
+        let result = run(kind, "Gas", 0.1, 4);
+        let (f1, _) = result.f1_mean_std();
+        assert!(
+            (0.0..=1.0).contains(&f1),
+            "{kind:?} produced invalid F1 {f1}"
+        );
+        assert!(result.instances > 0);
+    }
+}
+
+#[test]
+fn efdt_is_slower_per_iteration_than_vfdt() {
+    // Table V: EFDT's split re-evaluation makes it the slowest stand-alone
+    // tree, VFDT (MC) the fastest. Wall-clock comparisons are noisy, so the
+    // assertion is deliberately loose (no more than ~20x in the wrong
+    // direction would fail; we only require EFDT not to be faster by an order
+    // of magnitude).
+    let vfdt = run(ModelKind::VfdtMc, "Covertype", 0.01, 5);
+    let efdt = run(ModelKind::Efdt, "Covertype", 0.01, 5);
+    let (t_vfdt, _) = vfdt.time_mean_std();
+    let (t_efdt, _) = efdt.time_mean_std();
+    assert!(
+        t_efdt * 10.0 > t_vfdt,
+        "EFDT ({t_efdt:.6}s) unexpectedly 10x faster than VFDT ({t_vfdt:.6}s)"
+    );
+}
+
+#[test]
+fn fimtdd_and_dmt_track_each_other_on_bank() {
+    // Table II reports near-identical F1 for DMT and FIMT-DD on Bank.
+    let dmt = run(ModelKind::Dmt, "Bank", 0.05, 6);
+    let fimtdd = run(ModelKind::FimtDd, "Bank", 0.05, 6);
+    let (f1_dmt, _) = dmt.f1_mean_std();
+    let (f1_fimtdd, _) = fimtdd.f1_mean_std();
+    assert!(
+        (f1_dmt - f1_fimtdd).abs() < 0.25,
+        "DMT ({f1_dmt:.3}) and FIMT-DD ({f1_fimtdd:.3}) diverge unexpectedly on Bank"
+    );
+}
+
+#[test]
+fn ensembles_are_more_complex_than_their_weak_learners() {
+    let single = run(ModelKind::VfdtMc, "SEA", 0.02, 7);
+    let forest = run(ModelKind::ForestEnsemble, "SEA", 0.02, 7);
+    let bagging = run(ModelKind::BaggingEnsemble, "SEA", 0.02, 7);
+    let (p_single, _) = single.params_mean_std();
+    let (p_forest, _) = forest.params_mean_std();
+    let (p_bagging, _) = bagging.params_mean_std();
+    assert!(p_forest >= p_single);
+    assert!(p_bagging >= p_single);
+}
+
+#[test]
+fn table1_catalog_metadata_is_consistent_with_built_streams() {
+    for info in &dmt::stream::catalog::TABLE1 {
+        let mut stream = dmt::stream::catalog::build_stream(info.name, 0.002, 8).unwrap();
+        assert_eq!(stream.schema().num_classes, info.classes, "{}", info.name);
+        assert_eq!(stream.schema().num_features(), info.features, "{}", info.name);
+        // Majority ratio sanity for the simulated real-world streams.
+        if let Some(majority) = info.majority {
+            let expected_ratio = majority as f64 / info.samples as f64;
+            let mut counts = vec![0u64; info.classes];
+            let mut n = 0u64;
+            while let Some(instance) = stream.next_instance() {
+                counts[instance.y] += 1;
+                n += 1;
+                if n >= 2_000 {
+                    break;
+                }
+            }
+            let observed_ratio = *counts.iter().max().unwrap() as f64 / n as f64;
+            assert!(
+                (observed_ratio - expected_ratio).abs() < 0.12,
+                "{}: majority ratio {observed_ratio:.2} vs published {expected_ratio:.2}",
+                info.name
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests around concept-drift behaviour: the Dynamic Model Tree
+//! must adapt to abrupt and incremental drift without any explicit drift
+//! detector, and its complexity must stay bounded while doing so.
+
+use dmt::prelude::*;
+use dmt::stream::catalog::{AgrawalPaperStream, SeaPaperStream};
+use dmt::stream::{DataStream, MinMaxNormalize};
+
+/// Mean of the last `fraction` of a series.
+fn tail_mean(series: &[f64], fraction: f64) -> f64 {
+    let start = (series.len() as f64 * (1.0 - fraction)) as usize;
+    dmt::eval::mean(&series[start.min(series.len().saturating_sub(1))..])
+}
+
+fn sea_run(kind: ModelKind, n: u64, seed: u64) -> PrequentialResult {
+    let mut stream =
+        MinMaxNormalize::with_ranges(SeaPaperStream::new(n, seed), vec![(0.0, 10.0); 3]);
+    let schema = stream.schema().clone();
+    let mut model = build_model(kind, &schema, seed);
+    let runner = PrequentialRun::new(PrequentialConfig::default());
+    runner.evaluate(model.as_mut(), &mut stream, Some(n))
+}
+
+#[test]
+fn dmt_recovers_after_each_abrupt_sea_drift() {
+    let result = sea_run(ModelKind::Dmt, 50_000, 3);
+    // Compare the F1 right after the last drift with the F1 at the end of the
+    // stream: recovery means the tail is at least as good.
+    let f1 = &result.f1_per_batch;
+    let after_last_drift = dmt::eval::mean(&f1[f1.len() * 4 / 5..f1.len() * 4 / 5 + 20]);
+    let end = tail_mean(f1, 0.1);
+    assert!(
+        end + 0.05 >= after_last_drift,
+        "no recovery after drift: right-after {after_last_drift:.3} vs end {end:.3}"
+    );
+    assert!(end > 0.75, "end-of-stream F1 too low: {end:.3}");
+}
+
+#[test]
+fn dmt_stays_compact_under_drift_while_vfdt_grows() {
+    let dmt = sea_run(ModelKind::Dmt, 40_000, 5);
+    let vfdt = sea_run(ModelKind::VfdtMc, 40_000, 5);
+    let dmt_final_splits = *dmt.splits_per_batch.last().unwrap();
+    let vfdt_final_splits = *vfdt.splits_per_batch.last().unwrap();
+    assert!(
+        dmt_final_splits <= vfdt_final_splits,
+        "DMT ({dmt_final_splits}) should not exceed VFDT ({vfdt_final_splits}) in splits under drift"
+    );
+}
+
+#[test]
+fn dmt_handles_incremental_agrawal_drift() {
+    let n = 40_000;
+    let mut stream = MinMaxNormalize::with_ranges(
+        AgrawalPaperStream::new(n, 11),
+        dmt::stream::catalog::agrawal_ranges(),
+    );
+    let schema = stream.schema().clone();
+    let mut model = build_model(ModelKind::Dmt, &schema, 11);
+    let runner = PrequentialRun::new(PrequentialConfig::default());
+    let result = runner.evaluate(model.as_mut(), &mut stream, Some(n));
+    let (f1, _) = result.f1_mean_std();
+    assert!(f1 > 0.55, "DMT F1 on drifting Agrawal too low: {f1:.3}");
+}
+
+#[test]
+fn dmt_decision_log_reacts_to_a_hard_concept_inversion() {
+    // Train on one concept, then feed the inverted labels: the loss-based
+    // gains must trigger at least one structural change (replace or prune) or
+    // the leaf models must adapt enough to keep the F1 from collapsing.
+    let mut stream_a = MinMaxNormalize::with_ranges(
+        SeaPaperStream::new(10_000, 21),
+        vec![(0.0, 10.0); 3],
+    );
+    let schema = stream_a.schema().clone();
+    let mut tree = dmt::core::DynamicModelTree::new(schema, dmt::core::DmtConfig::default());
+    while let Some(batch) = stream_a.next_batch(50) {
+        tree.learn_batch(&batch.rows(), &batch.ys);
+    }
+    let mut stream_b = MinMaxNormalize::with_ranges(
+        SeaPaperStream::new(10_000, 22),
+        vec![(0.0, 10.0); 3],
+    );
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    while let Some(batch) = stream_b.next_batch(50) {
+        let inverted: Vec<usize> = batch.ys.iter().map(|&y| 1 - y).collect();
+        if total > 7_000 {
+            for (x, &y) in batch.rows().iter().zip(inverted.iter()) {
+                if tree.predict(x) == y {
+                    correct += 1;
+                }
+            }
+        }
+        total += batch.len() as u64;
+        tree.learn_batch(&batch.rows(), &inverted);
+    }
+    let late_accuracy = correct as f64 / (total - 7_000).max(1) as f64;
+    assert!(
+        late_accuracy > 0.6,
+        "DMT failed to adapt to a label inversion: late accuracy {late_accuracy:.3}"
+    );
+}
+
+#[test]
+fn adwin_equipped_baselines_survive_the_sea_drifts() {
+    for kind in [ModelKind::HtAda, ModelKind::Efdt] {
+        let result = sea_run(kind, 30_000, 9);
+        let end = tail_mean(&result.f1_per_batch, 0.15);
+        assert!(end > 0.6, "{kind:?} end-of-stream F1 too low: {end:.3}");
+    }
+}
+
+#[test]
+fn drift_detectors_fire_on_model_error_streams() {
+    use dmt::drift::{Adwin, DriftDetector, PageHinkley};
+    // Feed the detectors the error stream of a deliberately stale model: a
+    // constant predictor on a stream whose positive rate jumps.
+    let mut adwin = Adwin::default();
+    let mut ph = PageHinkley::default();
+    let mut adwin_fired = false;
+    let mut ph_fired = false;
+    let mut stream = SeaPaperStream::new(30_000, 13);
+    let mut t = 0u64;
+    while let Some(instance) = stream.next_instance() {
+        // The stale model always predicts class 0.
+        let error = if instance.y == 0 { 0.0 } else { 1.0 };
+        adwin_fired |= adwin.update(error);
+        ph_fired |= ph.update(error);
+        t += 1;
+        if t >= 25_000 {
+            break;
+        }
+    }
+    assert!(adwin_fired, "ADWIN never fired on a drifting error stream");
+    assert!(ph_fired, "Page-Hinkley never fired on a drifting error stream");
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! probability outputs, metric ranges, drift-detector sanity, candidate gain
+//! consistency and the DMT's structural bookkeeping.
+
+use dmt::core::{DmtConfig, DynamicModelTree};
+use dmt::drift::{Adwin, DriftDetector, PageHinkley};
+use dmt::eval::ConfusionMatrix;
+use dmt::models::{aic_split_threshold, Glm, OnlineClassifier, SimpleModel};
+use dmt::stream::schema::StreamSchema;
+use proptest::prelude::*;
+
+/// Strategy: a feature vector of the given length with values in [0, 1].
+fn unit_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, len)
+}
+
+/// Strategy: a small labelled batch over `m` features and `c` classes.
+fn labelled_batch(
+    m: usize,
+    c: usize,
+    max_len: usize,
+) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    proptest::collection::vec((unit_vector(m), 0..c), 1..max_len)
+        .prop_map(|rows| rows.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn glm_probabilities_are_a_distribution(
+        (xs, ys) in labelled_batch(4, 3, 40),
+        probe in unit_vector(4),
+    ) {
+        let mut glm = Glm::new_zeros(4, 3);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        glm.sgd_step(&rows, &ys, 0.05);
+        let proba = glm.predict_proba(&probe);
+        prop_assert_eq!(proba.len(), 3);
+        let sum: f64 = proba.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(proba.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn glm_loss_is_nonnegative_and_finite(
+        (xs, ys) in labelled_batch(3, 2, 40),
+    ) {
+        let glm = Glm::new_random(3, 2, 7);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let (loss, grad) = glm.loss_and_gradient(&rows, &ys);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(loss.is_finite());
+        prop_assert!(grad.iter().all(|g| g.is_finite()));
+        prop_assert_eq!(grad.len(), glm.num_params());
+    }
+
+    #[test]
+    fn confusion_matrix_metrics_stay_in_range(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..200),
+    ) {
+        let mut cm = ConfusionMatrix::new(4);
+        for (actual, predicted) in &pairs {
+            cm.update(*actual, *predicted);
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        prop_assert!((0.0..=1.0).contains(&cm.weighted_f1()));
+        prop_assert!(cm.kappa() <= 1.0);
+        for class in 0..4 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(class)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(class)));
+            prop_assert!((0.0..=1.0).contains(&cm.f1(class)));
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_always_score_one(
+        labels in proptest::collection::vec(0usize..3, 1..100),
+    ) {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.update_batch(&labels, &labels);
+        prop_assert!((cm.accuracy() - 1.0).abs() < 1e-12);
+        prop_assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adwin_mean_matches_constant_input(value in 0.0f64..1.0, n in 50u32..400) {
+        let mut adwin = Adwin::default();
+        for _ in 0..n {
+            adwin.update(value);
+        }
+        prop_assert!((adwin.mean() - value).abs() < 1e-9);
+        prop_assert_eq!(adwin.width(), n as u64);
+    }
+
+    #[test]
+    fn page_hinkley_never_fires_on_constant_input(value in 0.0f64..1.0, n in 50u32..500) {
+        let mut ph = PageHinkley::default();
+        let mut fired = false;
+        for _ in 0..n {
+            fired |= ph.update(value);
+        }
+        prop_assert!(!fired, "Page-Hinkley fired on a constant stream");
+    }
+
+    #[test]
+    fn aic_threshold_is_monotone_in_epsilon(
+        k_new in 1usize..100,
+        k_old in 1usize..100,
+        eps_exp in 1i32..12,
+    ) {
+        let strict = aic_split_threshold(k_new, k_old, 10f64.powi(-eps_exp));
+        let loose = aic_split_threshold(k_new, k_old, 1.0);
+        prop_assert!(strict >= loose);
+        prop_assert!((loose - (k_new as f64 - k_old as f64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dmt_predictions_are_valid_after_arbitrary_batches(
+        batches in proptest::collection::vec(labelled_batch(3, 3, 30), 1..6),
+        probe in unit_vector(3),
+    ) {
+        let schema = StreamSchema::numeric("prop", 3, 3);
+        let mut tree = DynamicModelTree::new(schema, DmtConfig::default());
+        for (xs, ys) in &batches {
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, ys);
+        }
+        let proba = tree.predict_proba(&probe);
+        prop_assert_eq!(proba.len(), 3);
+        let sum: f64 = proba.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(tree.predict(&probe) < 3);
+        // Structural bookkeeping: an N-leaf binary tree has N-1 inner nodes.
+        prop_assert_eq!(tree.num_inner_nodes() + 1, tree.num_leaves());
+        // Complexity accounting is consistent with the structure.
+        let complexity = tree.complexity();
+        prop_assert!(complexity.splits >= tree.num_inner_nodes() as f64);
+        prop_assert!(complexity.parameters > 0.0);
+    }
+
+    #[test]
+    fn dmt_observation_count_matches_fed_instances(
+        batches in proptest::collection::vec(labelled_batch(2, 2, 20), 1..5),
+    ) {
+        let schema = StreamSchema::numeric("prop", 2, 2);
+        let mut tree = DynamicModelTree::new(schema, DmtConfig::default());
+        let mut expected = 0u64;
+        for (xs, ys) in &batches {
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, ys);
+            expected += xs.len() as u64;
+        }
+        prop_assert_eq!(tree.observations(), expected);
+    }
+
+    #[test]
+    fn sliding_window_output_matches_input_length(
+        series in proptest::collection::vec(0.0f64..1.0, 0..200),
+        window in 1usize..50,
+    ) {
+        let agg = dmt::eval::sliding_window(&series, window);
+        prop_assert_eq!(agg.len(), series.len());
+        for point in &agg {
+            prop_assert!(point.std >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&point.mean));
+        }
+    }
+
+    #[test]
+    fn candidate_keys_route_consistently(
+        feature in 0usize..3,
+        value in 0.0f64..1.0,
+        x in unit_vector(3),
+    ) {
+        let key = dmt::core::CandidateKey { feature, value, is_nominal: false };
+        let goes_left = key.goes_left(&x);
+        prop_assert_eq!(goes_left, x[feature] <= value);
+    }
+}
+
+#[test]
+fn proptest_regressions_directory_is_not_required() {
+    // Plain sanity check so the file also contains a non-proptest test: the
+    // DMT built from the default config starts with exactly one leaf.
+    let schema = StreamSchema::numeric("plain", 2, 2);
+    let tree = DynamicModelTree::new(schema, DmtConfig::default());
+    assert_eq!(tree.num_leaves(), 1);
+    assert_eq!(tree.name(), "DMT");
+}
