@@ -215,7 +215,11 @@ impl EfdtNode {
                         }
                     }
                 }
-                let child = if test.goes_left(x[*feature]) { left } else { right };
+                let child = if test.goes_left(x[*feature]) {
+                    left
+                } else {
+                    right
+                };
                 child.learn(x, y, schema, config, criterion);
             }
         }
@@ -239,7 +243,11 @@ impl EfdtNode {
             ..
         } = self
         {
-            let child = if test.goes_left(x[*feature]) { left } else { right };
+            let child = if test.goes_left(x[*feature]) {
+                left
+            } else {
+                right
+            };
             child.learn(x, y, schema, config, criterion);
         }
     }

@@ -107,7 +107,7 @@ impl EBst {
             }
             let gain = sdr(parent, left, right);
             let threshold = *key as f64 * quantisation;
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((threshold, gain));
             }
         }
@@ -194,7 +194,12 @@ impl FimtNode {
                 model.sgd_step(&[x], &[y], config.learning_rate);
                 let target_value = y as f64;
                 for (ebst, &value) in ebsts.iter_mut().zip(x.iter()) {
-                    ebst.update(value, target_value, config.value_quantisation, config.max_distinct_values);
+                    ebst.update(
+                        value,
+                        target_value,
+                        config.value_quantisation,
+                        config.max_distinct_values,
+                    );
                 }
                 target.0 += 1.0;
                 target.1 += target_value;
@@ -229,9 +234,12 @@ impl FimtNode {
                         if best_sdr > 0.0 {
                             // FIMT-DD ratio test: split when the runner-up's
                             // SDR ratio is below 1 − ε, or when ε < τ.
-                            let eps =
-                                hoeffding_bound(1.0, config.split_confidence, weight);
-                            let ratio = if best_sdr > 0.0 { second_sdr / best_sdr } else { 1.0 };
+                            let eps = hoeffding_bound(1.0, config.split_confidence, weight);
+                            let ratio = if best_sdr > 0.0 {
+                                second_sdr / best_sdr
+                            } else {
+                                1.0
+                            };
                             if ratio < 1.0 - eps || eps < config.tie_threshold {
                                 let child_model = Glm::warm_start_from(model);
                                 let new_depth = *depth + 1;
@@ -269,11 +277,19 @@ impl FimtNode {
                     // Second adaptation strategy of Ikonomovska et al.: delete
                     // the branch and restart learning below this node.
                     let depth = *depth;
-                    *self = FimtNode::fresh_leaf(schema, Glm::new_zeros(schema.num_features(), schema.num_classes), depth);
+                    *self = FimtNode::fresh_leaf(
+                        schema,
+                        Glm::new_zeros(schema.num_features(), schema.num_classes),
+                        depth,
+                    );
                     self.learn(x, y, schema, config);
                     return;
                 }
-                let child = if test.goes_left(x[*feature]) { left } else { right };
+                let child = if test.goes_left(x[*feature]) {
+                    left
+                } else {
+                    right
+                };
                 child.learn(x, y, schema, config);
             }
         }
@@ -491,9 +507,14 @@ mod tests {
 
     #[test]
     fn predictions_are_probability_distributions() {
-        let mut model = FimtDdClassifier::new(StreamSchema::numeric("mc", 3, 4), FimtDdConfig::default());
+        let mut model =
+            FimtDdClassifier::new(StreamSchema::numeric("mc", 3, 4), FimtDdConfig::default());
         for i in 0..1_000usize {
-            let x = [(i % 7) as f64 / 7.0, (i % 5) as f64 / 5.0, (i % 3) as f64 / 3.0];
+            let x = [
+                (i % 7) as f64 / 7.0,
+                (i % 5) as f64 / 5.0,
+                (i % 3) as f64 / 3.0,
+            ];
             model.learn_one(&x, i % 4);
         }
         let p = model.predict_proba(&[0.2, 0.4, 0.6]);

@@ -192,7 +192,11 @@ impl AdaNode {
             } => {
                 let drift = error_monitor.update(error);
                 // Train the main subtree.
-                let child = if test.goes_left(x[*feature]) { left } else { right };
+                let child = if test.goes_left(x[*feature]) {
+                    left
+                } else {
+                    right
+                };
                 child.learn(x, y, schema, config, criterion);
 
                 // Maintain the alternate subtree.
@@ -334,7 +338,11 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / 2_000.0 > 0.85, "accuracy {}", correct as f64 / 2_000.0);
+        assert!(
+            correct as f64 / 2_000.0 > 0.85,
+            "accuracy {}",
+            correct as f64 / 2_000.0
+        );
     }
 
     #[test]

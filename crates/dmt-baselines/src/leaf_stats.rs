@@ -14,13 +14,12 @@
 
 use dmt_models::{GaussianNaiveBayes, SimpleModel};
 use dmt_stream::schema::{FeatureType, StreamSchema};
-use serde::{Deserialize, Serialize};
 
 use crate::observer::{AttributeObserver, SplitSuggestion};
 use crate::split_criterion::SplitCriterion;
 
 /// Leaf prediction policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeafPolicy {
     /// Predict the majority class of the leaf.
     MajorityClass,
@@ -151,7 +150,11 @@ impl LeafStats {
             .enumerate()
             .filter_map(|(i, o)| o.best_split(i, &self.class_counts, criterion))
             .collect();
-        suggestions.sort_by(|a, b| b.merit.partial_cmp(&a.merit).unwrap_or(std::cmp::Ordering::Equal));
+        suggestions.sort_by(|a, b| {
+            b.merit
+                .partial_cmp(&a.merit)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         suggestions
     }
 
@@ -216,7 +219,10 @@ mod tests {
         let p_low = stats.predict_proba(&[0.1, 0.9]);
         let p_high = stats.predict_proba(&[0.9, 0.1]);
         assert!(p_low[0] > 0.5, "low x should look like class 0: {p_low:?}");
-        assert!(p_high[1] > 0.5, "high x should look like class 1: {p_high:?}");
+        assert!(
+            p_high[1] > 0.5,
+            "high x should look like class 1: {p_high:?}"
+        );
     }
 
     #[test]
@@ -271,6 +277,9 @@ mod tests {
             stats.update(&[color, i as f64 / 120.0], label);
         }
         let suggestions = stats.split_suggestions(&InfoGainCriterion);
-        assert_eq!(suggestions[0].feature, 0, "the nominal feature determines the label");
+        assert_eq!(
+            suggestions[0].feature, 0,
+            "the nominal feature determines the label"
+        );
     }
 }

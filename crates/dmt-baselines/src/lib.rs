@@ -40,9 +40,6 @@ pub mod observer;
 pub mod split_criterion;
 pub mod vfdt;
 
-
-
-
 pub use efdt::{EfdtClassifier, EfdtConfig};
 pub use fimtdd::{FimtDdClassifier, FimtDdConfig};
 pub use hatree::{HatConfig, HoeffdingAdaptiveTree};

@@ -9,7 +9,6 @@
 //!   splits, §VI-C).
 
 use dmt_models::naive_bayes::RunningStats;
-use serde::{Deserialize, Serialize};
 
 use crate::split_criterion::SplitCriterion;
 
@@ -17,7 +16,7 @@ use crate::split_criterion::SplitCriterion;
 pub const NUM_THRESHOLDS: usize = 10;
 
 /// A proposed binary split.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitSuggestion {
     /// Feature index the split tests.
     pub feature: usize,
@@ -31,7 +30,7 @@ pub struct SplitSuggestion {
 }
 
 /// The binary test applied at an inner node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SplitTest {
     /// Passes left when `x[feature] <= threshold`.
     NumericThreshold {
@@ -80,7 +79,7 @@ fn erf(x: f64) -> f64 {
 
 /// Gaussian observer for a numeric attribute: per-class running mean/variance
 /// plus the global value range.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GaussianObserver {
     per_class: Vec<RunningStats>,
     min: f64,
@@ -145,7 +144,7 @@ impl GaussianObserver {
                 self.min + (self.max - self.min) * i as f64 / (NUM_THRESHOLDS + 1) as f64;
             let dists = self.split_distributions(threshold);
             let merit = criterion.merit(pre_dist, &dists);
-            if best.as_ref().map_or(true, |b| merit > b.merit) {
+            if best.as_ref().is_none_or(|b| merit > b.merit) {
                 best = Some(SplitSuggestion {
                     feature,
                     test: SplitTest::NumericThreshold { threshold },
@@ -159,7 +158,7 @@ impl GaussianObserver {
 }
 
 /// Count-table observer for a nominal attribute.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NominalObserver {
     /// `counts[value][class]`
     counts: Vec<Vec<f64>>,
@@ -208,7 +207,7 @@ impl NominalObserver {
                 .collect();
             let dists = vec![left, right];
             let merit = criterion.merit(pre_dist, &dists);
-            if best.as_ref().map_or(true, |b| merit > b.merit) {
+            if best.as_ref().is_none_or(|b| merit > b.merit) {
                 best = Some(SplitSuggestion {
                     feature,
                     test: SplitTest::NominalEquals {
@@ -224,7 +223,7 @@ impl NominalObserver {
 }
 
 /// An observer for either feature type.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum AttributeObserver {
     /// Gaussian observer for numeric features.
     Numeric(GaussianObserver),
@@ -313,9 +312,13 @@ mod tests {
         for _ in 0..50 {
             obs.update(1.0, 0);
         }
-        assert!(obs.best_split(0, &[50.0, 0.0], &InfoGainCriterion).is_none());
+        assert!(obs
+            .best_split(0, &[50.0, 0.0], &InfoGainCriterion)
+            .is_none());
         let empty = GaussianObserver::new(2);
-        assert!(empty.best_split(0, &[0.0, 0.0], &InfoGainCriterion).is_none());
+        assert!(empty
+            .best_split(0, &[0.0, 0.0], &InfoGainCriterion)
+            .is_none());
     }
 
     #[test]

@@ -203,12 +203,16 @@ impl HoeffdingTreeClassifier {
                 right,
                 ..
             } => {
-                let child = if test.goes_left(x[*feature]) { left } else { right };
+                let child = if test.goes_left(x[*feature]) {
+                    left
+                } else {
+                    right
+                };
                 Self::learn_recursive(child, x, y, schema, config, criterion);
             }
             Node::Leaf { stats, depth } => {
                 stats.update(x, y);
-                let depth_ok = config.max_depth.map_or(true, |d| *depth < d);
+                let depth_ok = config.max_depth.is_none_or(|d| *depth < d);
                 let weight = stats.total_weight();
                 if depth_ok
                     && !stats.is_pure()
@@ -258,8 +262,7 @@ impl HoeffdingTreeClassifier {
         let second_merit = suggestions.get(1).map_or(0.0, |s| s.merit);
         let range = criterion.range(&stats.class_counts);
         let eps = hoeffding_bound(range, config.split_confidence, weight);
-        let should_split =
-            best.merit - second_merit > eps || eps < config.tie_threshold;
+        let should_split = best.merit - second_merit > eps || eps < config.tie_threshold;
         if should_split && best.merit > 0.0 {
             Some((
                 best.feature,

@@ -15,7 +15,10 @@ fn make_batch(n: usize, m: usize, classes: usize, seed: u64) -> (Vec<Vec<f64>>, 
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
-    let ys: Vec<usize> = xs.iter().map(|x| (x[0] * classes as f64) as usize % classes).collect();
+    let ys: Vec<usize> = xs
+        .iter()
+        .map(|x| (x[0] * classes as f64) as usize % classes)
+        .collect();
     (xs, ys)
 }
 
@@ -68,5 +71,10 @@ fn bench_naive_bayes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_glm_updates, bench_glm_loss_gradient, bench_naive_bayes);
+criterion_group!(
+    benches,
+    bench_glm_updates,
+    bench_glm_loss_gradient,
+    bench_naive_bayes
+);
 criterion_main!(benches);

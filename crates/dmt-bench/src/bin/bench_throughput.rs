@@ -1,0 +1,217 @@
+//! Throughput tracking for the repository's perf trajectory: test-then-train
+//! instances/sec of the DMT and the stand-alone baseline trees on the SEA,
+//! Agrawal and RBF generators, written to `BENCH_1.json`.
+//!
+//! The protocol mirrors the paper's evaluation loop (predict a batch, then
+//! learn it) but times nothing except the models: all stream batches are
+//! materialised before the clock starts. Table V of the paper reports this
+//! cost per iteration; here it is normalised to instances/sec so successive
+//! PRs can be compared directly.
+//!
+//! ```bash
+//! cargo run -p dmt-bench --release --bin bench_throughput
+//! cargo run -p dmt-bench --release --bin bench_throughput -- \
+//!     --warmup 2000 --instances 40000 --batch 100 --out BENCH_1.json
+//! ```
+
+use std::time::Instant;
+
+use dmt::eval::json::{Json, ToJson};
+use dmt::prelude::*;
+use dmt::stream::generators::{AgrawalGenerator, RandomRbfGenerator, SeaGenerator};
+use dmt::stream::transform::MinMaxNormalize;
+use dmt::stream::DataStream;
+
+struct Options {
+    warmup: usize,
+    instances: usize,
+    batch: usize,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            warmup: 2_000,
+            instances: 40_000,
+            batch: 100,
+            out: "BENCH_1.json".to_string(),
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut options = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--warmup" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.warmup = v;
+                    i += 1;
+                }
+            }
+            "--instances" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.instances = v;
+                    i += 1;
+                }
+            }
+            "--batch" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.batch = v;
+                    i += 1;
+                }
+            }
+            "--out" => {
+                if let Some(v) = value {
+                    options.out = v.clone();
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    options
+}
+
+/// The three synthetic streams of the throughput suite. Numeric features are
+/// normalised to [0, 1] like the catalog does, so the GLM-based models run in
+/// their intended regime.
+fn build_stream(name: &str, seed: u64) -> Box<dyn DataStream> {
+    match name {
+        "SEA" => Box::new(MinMaxNormalize::with_ranges(
+            SeaGenerator::new(0, 0.1, seed),
+            vec![(0.0, 10.0); 3],
+        )),
+        "Agrawal" => Box::new(MinMaxNormalize::online(AgrawalGenerator::new(
+            0, 0.05, seed,
+        ))),
+        "RBF" => Box::new(RandomRbfGenerator::new(10, 4, 25, seed)),
+        other => panic!("unknown bench stream {other}"),
+    }
+}
+
+struct CellResult {
+    model: String,
+    stream: String,
+    instances: u64,
+    seconds: f64,
+    instances_per_sec: f64,
+    micros_per_batch: f64,
+    final_splits: f64,
+    final_params: f64,
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("model".to_string(), self.model.to_json()),
+            ("stream".to_string(), self.stream.to_json()),
+            ("instances".to_string(), self.instances.to_json()),
+            ("seconds".to_string(), self.seconds.to_json()),
+            (
+                "instances_per_sec".to_string(),
+                self.instances_per_sec.to_json(),
+            ),
+            (
+                "micros_per_batch".to_string(),
+                self.micros_per_batch.to_json(),
+            ),
+            ("final_splits".to_string(), self.final_splits.to_json()),
+            ("final_params".to_string(), self.final_params.to_json()),
+        ])
+    }
+}
+
+fn run_cell(kind: ModelKind, stream_name: &str, options: &Options) -> CellResult {
+    let mut stream = build_stream(stream_name, 42);
+    let schema = stream.schema().clone();
+    let mut model = build_model(kind, &schema, 1);
+
+    // Materialise everything up front; only the model is timed.
+    let warmup: Vec<Batch> = (0..options.warmup.div_ceil(options.batch))
+        .filter_map(|_| stream.next_batch(options.batch))
+        .collect();
+    let timed: Vec<Batch> = (0..options.instances.div_ceil(options.batch))
+        .filter_map(|_| stream.next_batch(options.batch))
+        .collect();
+
+    for batch in &warmup {
+        let rows = batch.rows();
+        model.learn_batch(&rows, &batch.ys);
+    }
+
+    let mut instances = 0u64;
+    let mut batches = 0u64;
+    let start = Instant::now();
+    for batch in &timed {
+        let rows = batch.rows();
+        let predictions = model.predict_batch(&rows);
+        std::hint::black_box(&predictions);
+        model.learn_batch(&rows, &batch.ys);
+        instances += rows.len() as u64;
+        batches += 1;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    let complexity = model.complexity();
+    CellResult {
+        model: kind.display_name().to_string(),
+        stream: stream_name.to_string(),
+        instances,
+        seconds,
+        instances_per_sec: instances as f64 / seconds,
+        micros_per_batch: seconds * 1e6 / batches.max(1) as f64,
+        final_splits: complexity.splits,
+        final_params: complexity.parameters,
+    }
+}
+
+fn main() {
+    let options = parse_options();
+    let streams = ["SEA", "Agrawal", "RBF"];
+    let mut results: Vec<CellResult> = Vec::new();
+
+    println!(
+        "{:<14}{:<10}{:>16}{:>16}{:>12}",
+        "Model", "Stream", "inst/sec", "µs/batch", "splits"
+    );
+    for stream in streams {
+        for kind in STANDALONE_MODELS {
+            let cell = run_cell(kind, stream, &options);
+            println!(
+                "{:<14}{:<10}{:>16.0}{:>16.1}{:>12.1}",
+                cell.model,
+                cell.stream,
+                cell.instances_per_sec,
+                cell.micros_per_batch,
+                cell.final_splits
+            );
+            results.push(cell);
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".to_string(), "throughput_v1".to_json()),
+        (
+            "protocol".to_string(),
+            "test-then-train; batches pre-materialised; wall clock covers predict_batch + learn_batch only"
+                .to_json(),
+        ),
+        (
+            "config".to_string(),
+            Json::Obj(vec![
+                ("warmup_instances".to_string(), options.warmup.to_json()),
+                ("timed_instances".to_string(), options.instances.to_json()),
+                ("batch_size".to_string(), options.batch.to_json()),
+            ]),
+        ),
+        ("results".to_string(), results.to_json()),
+    ]);
+    std::fs::write(&options.out, doc.to_pretty_string()).expect("write bench output");
+    eprintln!("wrote {}", options.out);
+}

@@ -39,7 +39,10 @@ fn main() {
     // and the last fifth of the stream, and the final number of splits — the
     // quantities one reads off the Figure 3 panels.
     println!("\n=== Figure 3 summary (first-fifth F1 -> last-fifth F1, final splits) ===");
-    println!("{:<22}{:<14}{:>14}{:>14}{:>14}", "Dataset", "Model", "F1 early", "F1 late", "Splits");
+    println!(
+        "{:<22}{:<14}{:>14}{:>14}{:>14}",
+        "Dataset", "Model", "F1 early", "F1 late", "Splits"
+    );
     for dataset in FIGURE3_DATASETS {
         for cell in cells.iter().filter(|c| c.dataset == dataset) {
             let series = &cell.result.f1_per_batch;

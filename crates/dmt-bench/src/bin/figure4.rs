@@ -12,14 +12,18 @@
 //! cargo run -p dmt-bench --bin figure4 --release -- --scale 0.02
 //! ```
 
+use dmt::eval::json::{FromJson, Json};
 use dmt::eval::mean;
 use dmt::prelude::*;
 use dmt_bench::{run_grid, GridCell, HarnessOptions};
 
 fn load_or_run(options: &HarnessOptions) -> Vec<GridCell> {
     if let Ok(raw) = std::fs::read_to_string("results/tables_results.json") {
-        if let Ok(cells) = serde_json::from_str::<Vec<GridCell>>(&raw) {
-            eprintln!("reusing results/tables_results.json ({} cells)", cells.len());
+        if let Ok(cells) = Json::parse(&raw).and_then(|json| Vec::<GridCell>::from_json(&json)) {
+            eprintln!(
+                "reusing results/tables_results.json ({} cells)",
+                cells.len()
+            );
             return cells;
         }
     }
@@ -51,7 +55,10 @@ fn main() {
 
     // Per-model averages over all data sets (the cluster centres of Fig. 4).
     println!("\n=== Figure 4: avg F1 vs avg log(no. of splits), per model ===");
-    println!("{:<14}{:>12}{:>22}", "Model", "Avg F1", "Avg log(no. splits)");
+    println!(
+        "{:<14}{:>12}{:>22}",
+        "Model", "Avg F1", "Avg log(no. splits)"
+    );
     let model_names: Vec<String> = {
         let mut names: Vec<String> = cells.iter().map(|c| c.model.clone()).collect();
         names.sort();
@@ -65,7 +72,12 @@ fn main() {
             .iter()
             .map(|c| c.result.splits_mean_std().0.max(1.0).ln())
             .collect();
-        println!("{:<14}{:>12.3}{:>22.2}", model, mean(&f1s), mean(&log_splits));
+        println!(
+            "{:<14}{:>12.3}{:>22.2}",
+            model,
+            mean(&f1s),
+            mean(&log_splits)
+        );
     }
     println!(
         "\nThe paper's Figure 4 places the DMT in the desirable top-left region: competitive \

@@ -16,14 +16,17 @@ use dmt_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::parse(std::env::args().skip(1));
-    println!("=== Table I: Data sets (published vs. built at scale {}) ===", options.scale);
+    println!(
+        "=== Table I: Data sets (published vs. built at scale {}) ===",
+        options.scale
+    );
     println!(
         "{:<22}{:>12}{:>10}{:>9}{:>16}{:>14}{:>18}{:>12}",
         "Name", "#Samples", "#Feat", "#Class", "#Majority", "Built size", "Built majority", "Drift"
     );
     for info in &catalog::TABLE1 {
-        let mut stream = catalog::build_stream(info.name, options.scale, options.seed)
-            .expect("catalog name");
+        let mut stream =
+            catalog::build_stream(info.name, options.scale, options.seed).expect("catalog name");
         let built_size = stream.remaining_hint().unwrap_or(0);
         // Measure the majority class of the built stream.
         let mut counts = vec![0u64; info.classes];
@@ -43,7 +46,10 @@ fn main() {
                 .map(|m| m.to_string())
                 .unwrap_or_else(|| "-".to_string()),
             built_size,
-            format!("{built_majority} ({:.1}%)", 100.0 * built_majority as f64 / n.max(1) as f64),
+            format!(
+                "{built_majority} ({:.1}%)",
+                100.0 * built_majority as f64 / n.max(1) as f64
+            ),
             info.known_drift.unwrap_or("-"),
         );
     }

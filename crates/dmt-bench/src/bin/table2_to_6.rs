@@ -103,7 +103,11 @@ fn main() {
     println!("\n=== Table VI: Experiment summary ===");
     println!(
         "{:<14}{:>22}{:>26}{:>28}{:>26}",
-        "Model", "Overall Pred. Perf.", "Pred. Perf. (known drift)", "Complexity/Interpretability", "Computational Efficiency"
+        "Model",
+        "Overall Pred. Perf.",
+        "Pred. Perf. (known drift)",
+        "Complexity/Interpretability",
+        "Computational Efficiency"
     );
     for aggregate in &aggregates {
         let name = &aggregate.model;

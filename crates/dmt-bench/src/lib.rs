@@ -19,10 +19,10 @@
 
 use std::collections::BTreeMap;
 
+use dmt::eval::json::{self, FromJson, Json, JsonError, ToJson};
 use dmt::eval::{mean, sliding_window, PrequentialConfig, PrequentialResult, PrequentialRun};
 use dmt::prelude::*;
 use dmt::stream::catalog;
-use serde::{Deserialize, Serialize};
 
 /// Command-line options shared by the reproduction binaries.
 #[derive(Debug, Clone)]
@@ -110,7 +110,7 @@ impl HarnessOptions {
 }
 
 /// One cell of the experiment grid: a model evaluated on one data set.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GridCell {
     /// Model display name.
     pub model: String,
@@ -120,12 +120,28 @@ pub struct GridCell {
     pub result: PrequentialResult,
 }
 
+impl ToJson for GridCell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("model".to_string(), self.model.to_json()),
+            ("dataset".to_string(), self.dataset.to_json()),
+            ("result".to_string(), self.result.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GridCell {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            model: json::member(value, "model")?,
+            dataset: json::member(value, "dataset")?,
+            result: json::member(value, "result")?,
+        })
+    }
+}
+
 /// Run one model on one catalog data set.
-pub fn run_cell(
-    kind: ModelKind,
-    dataset: &str,
-    options: &HarnessOptions,
-) -> Option<GridCell> {
+pub fn run_cell(kind: ModelKind, dataset: &str, options: &HarnessOptions) -> Option<GridCell> {
     let mut stream = catalog::build_stream(dataset, options.scale, options.seed)?;
     let schema = stream.schema().clone();
     let mut model = build_model(kind, &schema, options.seed);
@@ -268,7 +284,7 @@ pub fn rank_symbols(values: &[(String, f64)], higher_is_better: bool) -> BTreeMa
 }
 
 /// Per-model aggregates over the grid (used by Tables V/VI and Figure 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelAggregate {
     /// Model display name.
     pub model: String,
@@ -282,6 +298,19 @@ pub struct ModelAggregate {
     pub mean_params: f64,
     /// Mean seconds per test/train iteration over all data sets.
     pub mean_seconds: f64,
+}
+
+impl ToJson for ModelAggregate {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("model".to_string(), self.model.to_json()),
+            ("mean_f1".to_string(), self.mean_f1.to_json()),
+            ("mean_f1_drift".to_string(), self.mean_f1_drift.to_json()),
+            ("mean_splits".to_string(), self.mean_splits.to_json()),
+            ("mean_params".to_string(), self.mean_params.to_json()),
+            ("mean_seconds".to_string(), self.mean_seconds.to_json()),
+        ])
+    }
 }
 
 /// Aggregate grid cells per model.
@@ -313,10 +342,10 @@ pub fn aggregate(cells: &[GridCell], models: &[ModelKind]) -> Vec<ModelAggregate
 }
 
 /// Write a serialisable value as pretty JSON under `results/`.
-pub fn write_json<T: Serialize>(filename: &str, value: &T) -> std::io::Result<()> {
+pub fn write_json<T: ToJson + ?Sized>(filename: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
     let path = format!("results/{filename}");
-    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    std::fs::write(&path, value.to_json().to_pretty_string())?;
     eprintln!("wrote {path}");
     Ok(())
 }
@@ -384,8 +413,16 @@ mod tests {
     fn options_parse_flags() {
         let options = HarnessOptions::parse(
             [
-                "--scale", "0.5", "--seed", "7", "--models", "standalone", "--datasets",
-                "SEA,Agrawal", "--max-batches", "3",
+                "--scale",
+                "0.5",
+                "--seed",
+                "7",
+                "--models",
+                "standalone",
+                "--datasets",
+                "SEA,Agrawal",
+                "--max-batches",
+                "3",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -393,7 +430,10 @@ mod tests {
         assert_eq!(options.scale, 0.5);
         assert_eq!(options.seed, 7);
         assert_eq!(options.models.len(), 6);
-        assert_eq!(options.datasets, vec!["SEA".to_string(), "Agrawal".to_string()]);
+        assert_eq!(
+            options.datasets,
+            vec!["SEA".to_string(), "Agrawal".to_string()]
+        );
         assert_eq!(options.max_batches, Some(3));
     }
 
@@ -454,14 +494,9 @@ mod tests {
         };
         let cells = run_grid(&options);
         assert_eq!(cells.len(), 2);
-        let table = render_table(
-            "Test",
-            &cells,
-            &options.models,
-            &options.datasets,
-            2,
-            |r| r.f1_mean_std(),
-        );
+        let table = render_table("Test", &cells, &options.models, &options.datasets, 2, |r| {
+            r.f1_mean_std()
+        });
         assert!(table.contains("DMT (ours)"));
         assert!(table.contains("VFDT (MC)"));
         assert!(table.contains("SEA"));

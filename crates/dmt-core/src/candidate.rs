@@ -13,10 +13,8 @@
 //! between the node statistics and the left-child statistics (Algorithm 1,
 //! note before line 4), which halves memory.
 
-use serde::{Deserialize, Serialize};
-
 /// Identity of a split candidate: which feature is tested and against what.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateKey {
     /// Feature index.
     pub feature: usize,
@@ -49,7 +47,7 @@ impl CandidateKey {
 }
 
 /// A stored split candidate with its accumulated left-child statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SplitCandidate {
     /// The feature–value combination this candidate tests.
     pub key: CandidateKey,
@@ -104,30 +102,46 @@ pub fn propose_from_batch(
     nominal_features: &[bool],
     existing: &[SplitCandidate],
 ) -> Vec<CandidateKey> {
-    if xs.is_empty() {
+    let idx: Vec<usize> = (0..xs.len()).collect();
+    let mut values = Vec::new();
+    propose_from_batch_indexed(xs, &idx, nominal_features, existing, &mut values)
+}
+
+/// [`propose_from_batch`] over the sub-batch selected by `idx`.
+///
+/// `values` is a reusable sort buffer provided by the caller (the tree passes
+/// its scratch space), so proposal generation itself allocates only for the
+/// proposals it returns.
+pub fn propose_from_batch_indexed(
+    xs: &[&[f64]],
+    idx: &[usize],
+    nominal_features: &[bool],
+    existing: &[SplitCandidate],
+    values: &mut Vec<f64>,
+) -> Vec<CandidateKey> {
+    if idx.is_empty() {
         return Vec::new();
     }
-    let m = xs[0].len();
+    let m = xs[idx[0]].len();
     let mut proposals = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `feature` indexes a column across rows
     for feature in 0..m {
-        let mut values: Vec<f64> = xs.iter().map(|row| row[feature]).collect();
+        values.clear();
+        values.extend(idx.iter().map(|&i| xs[i][feature]));
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let is_nominal = nominal_features.get(feature).copied().unwrap_or(false);
-        let mut candidate_values: Vec<f64> = if is_nominal {
+        if is_nominal {
             values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-            values
         } else {
+            // Keep only the 25 %, 50 % and 75 % batch quantiles.
             let n = values.len();
-            let quantiles = [n / 4, n / 2, 3 * n / 4];
-            let mut vs: Vec<f64> = quantiles
-                .iter()
-                .map(|&i| values[i.min(n - 1)])
-                .collect();
-            vs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-            vs
-        };
-        candidate_values.retain(|v| v.is_finite());
-        for value in candidate_values {
+            let quantiles = [values[n / 4], values[n / 2], values[(3 * n / 4).min(n - 1)]];
+            values.clear();
+            values.extend_from_slice(&quantiles);
+            values.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        }
+        values.retain(|v| v.is_finite());
+        for &value in values.iter() {
             let key = CandidateKey {
                 feature,
                 value,
@@ -231,7 +245,7 @@ mod tests {
         assert_eq!(nominal_count, 4);
         // The numeric feature proposes at most 3 quantiles.
         let numeric_count = proposals.iter().filter(|p| p.feature == 0).count();
-        assert!(numeric_count <= 3 && numeric_count >= 1);
+        assert!((1..=3).contains(&numeric_count));
     }
 
     #[test]
@@ -244,7 +258,10 @@ mod tests {
             .map(|&key| SplitCandidate::new(key, 2))
             .collect();
         let second = propose_from_batch(&rows, &[false], &stored);
-        assert!(second.is_empty(), "identical batch should propose nothing new");
+        assert!(
+            second.is_empty(),
+            "identical batch should propose nothing new"
+        );
     }
 
     #[test]

@@ -8,10 +8,9 @@
 //! into plain data structures that applications can log or display.
 
 use dmt_models::{Glm, SimpleModel};
-use serde::{Deserialize, Serialize};
 
 /// One decision on the path from the root to a leaf.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionStep {
     /// Feature tested at the inner node.
     pub feature: usize,
@@ -42,7 +41,7 @@ impl DecisionStep {
 
 /// Explanation of a single prediction: the decision path and the linear
 /// weights of the leaf model responsible for the prediction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeafExplanation {
     /// Inner-node decisions from the root to the leaf.
     pub path: Vec<DecisionStep>,

@@ -49,10 +49,12 @@ pub mod candidate;
 pub mod explain;
 pub mod export;
 pub mod node;
+pub mod scratch;
 pub mod tree;
 
 pub use candidate::{CandidateKey, SplitCandidate};
 pub use explain::{DecisionStep, LeafExplanation};
 pub use export::TreeSummary;
 pub use node::{GainDecision, NodeStats};
+pub use scratch::UpdateScratch;
 pub use tree::{DmtConfig, DynamicModelTree};

@@ -2,14 +2,14 @@
 //! the Dynamic Model Tree.
 
 use dmt_models::{linalg, Glm, SimpleModel as _};
-use serde::{Deserialize, Serialize};
 
-use crate::candidate::{propose_from_batch, CandidateKey, SplitCandidate};
+use crate::candidate::{propose_from_batch_indexed, CandidateKey, SplitCandidate};
+use crate::scratch::UpdateScratch;
 use crate::tree::DmtConfig;
 
 /// The structural decision taken at a node after a batch (exposed for tests,
 /// ablations and interpretability traces).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GainDecision {
     /// No structural change.
     Keep,
@@ -86,6 +86,35 @@ impl NodeStats {
         loss_sum - lr / count as f64 * linalg::norm_sq(grad_sum)
     }
 
+    /// Gain (3) of splitting observations with statistics `(node_loss_sum,
+    /// node_grad_sum, node_count)` on `candidate`, measured against an
+    /// arbitrary `reference_loss`. Free function form so callers can iterate
+    /// the candidate pool mutably while borrowing the node accumulators.
+    ///
+    /// The right-child gradient norm is computed directly from the difference
+    /// of the accumulators ([`linalg::sub_norm_sq`]), so no intermediate
+    /// vector is materialised — this runs once per stored candidate per batch
+    /// and must stay allocation-free.
+    fn gain_against(
+        node_loss_sum: f64,
+        node_grad_sum: &[f64],
+        node_count: u64,
+        candidate: &SplitCandidate,
+        reference_loss: f64,
+        lr: f64,
+    ) -> Option<f64> {
+        if candidate.count == 0 || candidate.count >= node_count {
+            return None;
+        }
+        let left_approx =
+            Self::child_loss_approx(candidate.loss_sum, &candidate.grad_sum, candidate.count, lr);
+        let right_loss = node_loss_sum - candidate.loss_sum;
+        let right_count = node_count - candidate.count;
+        let right_norm_sq = linalg::sub_norm_sq(node_grad_sum, &candidate.grad_sum);
+        let right_approx = right_loss - lr / right_count as f64 * right_norm_sq;
+        Some(reference_loss - left_approx - right_approx)
+    }
+
     /// Gain (3) of splitting this node's observations on `candidate`,
     /// measured against an arbitrary `reference_loss` (the node's own loss for
     /// leaf splits, the subtree leaf-loss sum for inner-node replacements).
@@ -98,16 +127,14 @@ impl NodeStats {
         reference_loss: f64,
         lr: f64,
     ) -> Option<f64> {
-        if candidate.count == 0 || candidate.count >= self.count {
-            return None;
-        }
-        let left_approx =
-            Self::child_loss_approx(candidate.loss_sum, &candidate.grad_sum, candidate.count, lr);
-        let right_loss = self.loss_sum - candidate.loss_sum;
-        let right_grad = linalg::sub(&self.grad_sum, &candidate.grad_sum);
-        let right_count = self.count - candidate.count;
-        let right_approx = Self::child_loss_approx(right_loss, &right_grad, right_count, lr);
-        Some(reference_loss - left_approx - right_approx)
+        Self::gain_against(
+            self.loss_sum,
+            &self.grad_sum,
+            self.count,
+            candidate,
+            reference_loss,
+            lr,
+        )
     }
 
     /// Index and gain of the best stored candidate relative to
@@ -116,7 +143,7 @@ impl NodeStats {
         let mut best: Option<(usize, f64)> = None;
         for (i, candidate) in self.candidates.iter().enumerate() {
             if let Some(gain) = self.candidate_gain(candidate, reference_loss, lr) {
-                if best.map_or(true, |(_, g)| gain > g) {
+                if best.is_none_or(|(_, g)| gain > g) {
                     best = Some((i, gain));
                 }
             }
@@ -127,6 +154,10 @@ impl NodeStats {
     /// Incorporate a batch into this node: accumulate the node and candidate
     /// statistics, manage the candidate pool, and finally take one SGD step
     /// on the node model (Algorithm 1 lines 1–10 plus §V-D).
+    ///
+    /// Convenience wrapper over [`NodeStats::update_with_batch_indexed`] that
+    /// allocates its own scratch space; the tree's hot path goes through the
+    /// indexed form with a shared [`UpdateScratch`] instead.
     pub fn update_with_batch(
         &mut self,
         xs: &[&[f64]],
@@ -134,78 +165,106 @@ impl NodeStats {
         nominal_features: &[bool],
         config: &DmtConfig,
     ) {
-        if xs.is_empty() {
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        let mut scratch = UpdateScratch::new();
+        self.update_with_batch_indexed(xs, ys, &indices, nominal_features, config, &mut scratch);
+    }
+
+    /// [`NodeStats::update_with_batch`] over the sub-batch selected by `idx`
+    /// (indices into `xs`/`ys`), with all intermediates written into the
+    /// reusable `scratch` buffers — the steady-state path performs no heap
+    /// allocation per instance.
+    pub fn update_with_batch_indexed(
+        &mut self,
+        xs: &[&[f64]],
+        ys: &[usize],
+        idx: &[usize],
+        nominal_features: &[bool],
+        config: &DmtConfig,
+        scratch: &mut UpdateScratch,
+    ) {
+        if idx.is_empty() {
             return;
         }
-        // Per-instance loss and gradient at the *current* parameters.
-        let mut instance_losses = Vec::with_capacity(xs.len());
-        let mut instance_grads = Vec::with_capacity(xs.len());
-        for (x, &y) in xs.iter().zip(ys.iter()) {
-            let (loss, grad) = self.model.loss_and_gradient(&[x], &[y]);
-            instance_losses.push(loss);
-            instance_grads.push(grad);
-        }
+        let k = self.model.num_params();
+        scratch.prepare_node(idx.len(), k, self.model.num_classes());
 
-        // Node accumulation (lines 1–3).
-        for (loss, grad) in instance_losses.iter().zip(instance_grads.iter()) {
+        // Per-instance loss and gradient at the *current* parameters
+        // (lines 1–3): row `row` of the flattened gradient matrix belongs to
+        // instance `idx[row]`.
+        for (row, &i) in idx.iter().enumerate() {
+            let grad_row = &mut scratch.grads[row * k..(row + 1) * k];
+            let loss = self.model.loss_and_gradient_into(
+                &[xs[i]],
+                &[ys[i]],
+                grad_row,
+                &mut scratch.class_buf,
+            );
+            scratch.losses[row] = loss;
             self.loss_sum += loss;
-            linalg::add_assign(&mut self.grad_sum, grad);
+            linalg::add_assign(&mut self.grad_sum, grad_row);
         }
-        self.count += xs.len() as u64;
+        self.count += idx.len() as u64;
 
         // Candidate accumulation (lines 6–10).
         for candidate in self.candidates.iter_mut() {
-            for ((x, loss), grad) in xs
-                .iter()
-                .zip(instance_losses.iter())
-                .zip(instance_grads.iter())
-            {
-                if candidate.key.goes_left(x) {
-                    candidate.accumulate(*loss, grad);
+            for (row, &i) in idx.iter().enumerate() {
+                if candidate.key.goes_left(xs[i]) {
+                    candidate
+                        .accumulate(scratch.losses[row], &scratch.grads[row * k..(row + 1) * k]);
                 }
             }
         }
 
-        // Refresh the stored candidates' gain estimates.
+        // Refresh the stored candidates' gain estimates. Borrowing the
+        // accumulator fields directly lets the pool be iterated mutably
+        // without collecting the gains into a temporary vector.
         let reference_loss = self.loss_sum;
         let lr = config.learning_rate;
-        let gains: Vec<f64> = self
-            .candidates
-            .iter()
-            .map(|c| {
-                self.candidate_gain(c, reference_loss, lr)
-                    .unwrap_or(f64::NEG_INFINITY)
-            })
-            .collect();
-        for (candidate, gain) in self.candidates.iter_mut().zip(gains) {
-            candidate.last_gain = gain;
+        let (loss_sum, grad_sum, count) = (self.loss_sum, &self.grad_sum, self.count);
+        for candidate in self.candidates.iter_mut() {
+            candidate.last_gain =
+                Self::gain_against(loss_sum, grad_sum, count, candidate, reference_loss, lr)
+                    .unwrap_or(f64::NEG_INFINITY);
         }
 
         // Candidate pool management (§V-D): propose new candidates from the
         // batch and let them displace at most `replacement_rate` of the pool.
-        self.manage_candidate_pool(xs, &instance_losses, &instance_grads, nominal_features, config);
+        self.manage_candidate_pool(xs, idx, nominal_features, config, scratch);
 
         // Finally, train the simple model with constant-learning-rate SGD:
         // one pass over the batch, one step per instance (§V-A).
-        for (x, &y) in xs.iter().zip(ys.iter()) {
-            self.model.sgd_step(&[x], &[y], config.learning_rate);
+        for &i in idx {
+            self.model.sgd_step_into(
+                &[xs[i]],
+                &[ys[i]],
+                config.learning_rate,
+                &mut scratch.grad_buf,
+                &mut scratch.class_buf,
+            );
         }
     }
 
     fn manage_candidate_pool(
         &mut self,
         xs: &[&[f64]],
-        instance_losses: &[f64],
-        instance_grads: &[Vec<f64>],
+        idx: &[usize],
         nominal_features: &[bool],
         config: &DmtConfig,
+        scratch: &mut UpdateScratch,
     ) {
-        let num_features = xs[0].len();
+        let num_features = xs[idx[0]].len();
+        let k = self.k();
         let max_candidates = config.max_candidates(num_features);
-        let max_replacements =
-            ((max_candidates as f64) * config.replacement_rate).ceil() as usize;
+        let max_replacements = ((max_candidates as f64) * config.replacement_rate).ceil() as usize;
 
-        let proposals = propose_from_batch(xs, nominal_features, &self.candidates);
+        let proposals = propose_from_batch_indexed(
+            xs,
+            idx,
+            nominal_features,
+            &self.candidates,
+            &mut scratch.values_buf,
+        );
         if proposals.is_empty() {
             return;
         }
@@ -213,14 +272,11 @@ impl NodeStats {
         // paper accepts this initial bias; it washes out over time).
         let mut new_candidates: Vec<SplitCandidate> = Vec::with_capacity(proposals.len());
         for key in proposals {
-            let mut candidate = SplitCandidate::new(key, self.k());
-            for ((x, loss), grad) in xs
-                .iter()
-                .zip(instance_losses.iter())
-                .zip(instance_grads.iter())
-            {
-                if key.goes_left(x) {
-                    candidate.accumulate(*loss, grad);
+            let mut candidate = SplitCandidate::new(key, k);
+            for (row, &i) in idx.iter().enumerate() {
+                if key.goes_left(xs[i]) {
+                    candidate
+                        .accumulate(scratch.losses[row], &scratch.grads[row * k..(row + 1) * k]);
                 }
             }
             candidate.last_gain = self
@@ -244,18 +300,15 @@ impl NodeStats {
                 break;
             }
             // Find the currently worst stored candidate.
-            let (worst_idx, worst_gain) = match self
-                .candidates
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
+            let (worst_idx, worst_gain) =
+                match self.candidates.iter().enumerate().min_by(|(_, a), (_, b)| {
                     a.last_gain
                         .partial_cmp(&b.last_gain)
                         .unwrap_or(std::cmp::Ordering::Equal)
                 }) {
-                Some((i, c)) => (i, c.last_gain),
-                None => break,
-            };
+                    Some((i, c)) => (i, c.last_gain),
+                    None => break,
+                };
             if proposal.last_gain > worst_gain {
                 self.candidates[worst_idx] = proposal;
                 replacements_used += 1;
@@ -300,19 +353,33 @@ impl DmtNode {
         }
     }
 
-    pub(crate) fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        match self {
-            DmtNode::Leaf { stats } => stats.model.predict_proba(x),
-            DmtNode::Inner {
-                key, left, right, ..
-            } => {
-                if key.goes_left(x) {
-                    left.predict_proba(x)
-                } else {
-                    right.predict_proba(x)
+    /// The leaf responsible for `x` (allocation-free descent).
+    pub(crate) fn leaf_for(&self, x: &[f64]) -> &NodeStats {
+        let mut node = self;
+        loop {
+            match node {
+                DmtNode::Leaf { stats } => return stats,
+                DmtNode::Inner {
+                    key, left, right, ..
+                } => {
+                    node = if key.goes_left(x) { left } else { right };
                 }
             }
         }
+    }
+
+    pub(crate) fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.leaf_for(x).model.predict_proba(x)
+    }
+
+    /// Class probabilities of the responsible leaf written into `out`.
+    pub(crate) fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.leaf_for(x).model.predict_proba_into(x, out);
+    }
+
+    /// Most probable class for `x` without any allocation.
+    pub(crate) fn predict(&self, x: &[f64]) -> usize {
+        dmt_models::SimpleModel::predict(&self.leaf_for(x).model, x)
     }
 
     /// `(inner nodes, leaves)` of the subtree rooted here.
@@ -350,47 +417,65 @@ impl DmtNode {
 
     /// Build the two warm-started child models for a split on `candidate`
     /// (eq. 6: a single gradient step from the parent parameters on each
-    /// child's subset).
-    fn warm_started_children(stats: &NodeStats, candidate: &SplitCandidate, lr: f64) -> (Glm, Glm) {
-        let left = Glm::warm_start_with_gradient(
-            &stats.model,
-            &candidate.grad_sum,
-            candidate.count,
-            lr,
-        );
-        let right_grad = linalg::sub(&stats.grad_sum, &candidate.grad_sum);
+    /// child's subset). The right-child gradient is materialised into the
+    /// scratch gradient buffer (structural changes are rare, but there is no
+    /// reason to allocate here either).
+    fn warm_started_children(
+        stats: &NodeStats,
+        candidate: &SplitCandidate,
+        lr: f64,
+        scratch: &mut UpdateScratch,
+    ) -> (Glm, Glm) {
+        let left =
+            Glm::warm_start_with_gradient(&stats.model, &candidate.grad_sum, candidate.count, lr);
+        scratch.grad_buf.clear();
+        scratch.grad_buf.resize(stats.grad_sum.len(), 0.0);
+        linalg::sub_into(&stats.grad_sum, &candidate.grad_sum, &mut scratch.grad_buf);
         let right_count = stats.count - candidate.count;
-        let right = Glm::warm_start_with_gradient(&stats.model, &right_grad, right_count, lr);
+        let right = Glm::warm_start_with_gradient(&stats.model, &scratch.grad_buf, right_count, lr);
         (left, right)
     }
 
-    /// Learn a batch at this node, recursing into children first (bottom-up
-    /// updates) and applying the structural checks of Algorithm 1 afterwards.
-    /// Returns the structural decision taken at this node.
+    /// Learn the sub-batch selected by `idx` at this node and apply the
+    /// structural checks of Algorithm 1. Returns the structural decision
+    /// taken at this node.
+    ///
+    /// Inner nodes route instances by stably partitioning `idx` in place —
+    /// left-routed indices form the prefix, right-routed indices the suffix —
+    /// so no per-node `Vec<&[f64]>` batches are materialised. The relative
+    /// instance order every node observes is identical to processing the
+    /// original batch order.
     pub(crate) fn learn(
         &mut self,
         xs: &[&[f64]],
         ys: &[usize],
+        idx: &mut [usize],
         nominal_features: &[bool],
         config: &DmtConfig,
+        scratch: &mut UpdateScratch,
     ) -> GainDecision {
-        if xs.is_empty() {
+        if idx.is_empty() {
             return GainDecision::Keep;
         }
         match self {
             DmtNode::Leaf { stats } => {
-                stats.update_with_batch(xs, ys, nominal_features, config);
+                stats.update_with_batch_indexed(xs, ys, idx, nominal_features, config, scratch);
                 // Split check (gain (3) against the AIC threshold).
                 if stats.count < config.min_observations_split {
                     return GainDecision::Keep;
                 }
-                if let Some((idx, gain)) = stats.best_candidate(stats.loss_sum, config.learning_rate)
+                if let Some((best_idx, gain)) =
+                    stats.best_candidate(stats.loss_sum, config.learning_rate)
                 {
                     let k = stats.k();
                     if config.accepts(gain, 2 * k, k) {
-                        let candidate = stats.candidates[idx].clone();
-                        let (left_model, right_model) =
-                            Self::warm_started_children(stats, &candidate, config.learning_rate);
+                        let candidate = stats.candidates[best_idx].clone();
+                        let (left_model, right_model) = Self::warm_started_children(
+                            stats,
+                            &candidate,
+                            config.learning_rate,
+                            scratch,
+                        );
                         stats.reset_window();
                         let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
                         *self = DmtNode::Inner {
@@ -413,27 +498,33 @@ impl DmtNode {
                 left,
                 right,
             } => {
-                // Route the batch to the children and update them first
-                // (bottom-up order).
-                let mut left_xs = Vec::new();
-                let mut left_ys = Vec::new();
-                let mut right_xs = Vec::new();
-                let mut right_ys = Vec::new();
-                for (x, &y) in xs.iter().zip(ys.iter()) {
-                    if key.goes_left(x) {
-                        left_xs.push(*x);
-                        left_ys.push(y);
+                // Update the inner node's own statistics and model with the
+                // full sub-batch (DMT keeps training inner models, §IV-D).
+                // The node update is independent of the children's, so doing
+                // it before routing lets the children permute `idx` freely.
+                stats.update_with_batch_indexed(xs, ys, idx, nominal_features, config, scratch);
+
+                // Route the sub-batch to the children: stable in-place
+                // partition of the index slice (left prefix, right suffix)
+                // using the reusable holding pen for the right side. The pen
+                // is drained before the recursion, so child partitions can
+                // reuse it.
+                scratch.partition_buf.clear();
+                let mut write = 0usize;
+                for pos in 0..idx.len() {
+                    let i = idx[pos];
+                    if key.goes_left(xs[i]) {
+                        idx[write] = i;
+                        write += 1;
                     } else {
-                        right_xs.push(*x);
-                        right_ys.push(y);
+                        scratch.partition_buf.push(i);
                     }
                 }
-                left.learn(&left_xs, &left_ys, nominal_features, config);
-                right.learn(&right_xs, &right_ys, nominal_features, config);
+                idx[write..].copy_from_slice(&scratch.partition_buf);
 
-                // Update the inner node's own statistics and model with the
-                // full batch (DMT keeps training inner models, §IV-D).
-                stats.update_with_batch(xs, ys, nominal_features, config);
+                let (left_idx, right_idx) = idx.split_at_mut(write);
+                left.learn(xs, ys, left_idx, nominal_features, config, scratch);
+                right.learn(xs, ys, right_idx, nominal_features, config, scratch);
 
                 if stats.count < config.min_observations_split {
                     return GainDecision::Keep;
@@ -471,8 +562,12 @@ impl DmtNode {
                     // same split — it would only discard the children's
                     // progress without changing the model structure.
                     if !candidate.key.same_as(key) {
-                        let (left_model, right_model) =
-                            Self::warm_started_children(stats, &candidate, config.learning_rate);
+                        let (left_model, right_model) = Self::warm_started_children(
+                            stats,
+                            &candidate,
+                            config.learning_rate,
+                            scratch,
+                        );
                         stats.reset_window();
                         let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
                         *self = DmtNode::Inner {
@@ -596,7 +691,9 @@ mod tests {
         );
         all_left.count = 10;
         all_left.loss_sum = 5.0;
-        assert!(stats.candidate_gain(&all_left, stats.loss_sum, 0.05).is_none());
+        assert!(stats
+            .candidate_gain(&all_left, stats.loss_sum, 0.05)
+            .is_none());
         let empty = SplitCandidate::new(
             CandidateKey {
                 feature: 0,
@@ -611,18 +708,25 @@ mod tests {
     #[test]
     fn leaf_splits_on_a_step_concept_and_builds_an_inner_node() {
         let cfg = config();
+        let mut scratch = UpdateScratch::new();
         let mut node = DmtNode::leaf(Glm::new_zeros(1, 2));
         let mut split_seen = false;
         for _ in 0..300 {
             let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
             let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.75)).collect();
             let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
-            if let GainDecision::Split { .. } = node.learn(&rows, &ys, &[false], &cfg) {
+            let mut idx: Vec<usize> = (0..rows.len()).collect();
+            if let GainDecision::Split { .. } =
+                node.learn(&rows, &ys, &mut idx, &[false], &cfg, &mut scratch)
+            {
                 split_seen = true;
                 break;
             }
         }
-        assert!(split_seen, "the leaf never split on an obviously splittable concept");
+        assert!(
+            split_seen,
+            "the leaf never split on an obviously splittable concept"
+        );
         assert_eq!(node.count_nodes().0, 1);
         assert_eq!(node.count_nodes().1, 2);
         assert_eq!(node.depth(), 1);
@@ -631,8 +735,12 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let cfg = config();
+        let mut scratch = UpdateScratch::new();
         let mut node = DmtNode::leaf(Glm::new_zeros(2, 2));
-        assert_eq!(node.learn(&[], &[], &[false, false], &cfg), GainDecision::Keep);
+        assert_eq!(
+            node.learn(&[], &[], &mut [], &[false, false], &cfg, &mut scratch),
+            GainDecision::Keep
+        );
         assert_eq!(node.stats().count, 0);
     }
 

@@ -1,0 +1,82 @@
+//! Reusable scratch buffers for the Dynamic Model Tree update loop.
+//!
+//! The per-instance cost of a streaming learner must stay constant and small
+//! (the paper reports test/train runtime as a headline result, Table V).
+//! Allocating per instance — or per node per batch — makes the allocator the
+//! dominant cost of the hot loop, so all intermediate storage the update path
+//! needs lives in one [`UpdateScratch`] owned by the tree and reused across
+//! batches. In steady state (buffers grown to their high-water mark) the
+//! learn/predict path performs **no** per-instance heap allocations.
+
+/// Scratch buffers threaded through `DynamicModelTree::learn_batch` →
+/// `DmtNode::learn` → `NodeStats::update_with_batch` → the GLM `*_into`
+/// methods.
+///
+/// All buffers are resized on demand and retain their capacity, so after the
+/// first few batches the hot path stops touching the allocator entirely.
+#[derive(Debug, Default)]
+pub struct UpdateScratch {
+    /// Per-instance losses of the node currently being updated, indexed by
+    /// position within the node's index slice.
+    pub(crate) losses: Vec<f64>,
+    /// Flattened per-instance gradients of the node currently being updated
+    /// (row-major, stride = number of model parameters).
+    pub(crate) grads: Vec<f64>,
+    /// Gradient accumulator handed to the per-instance SGD steps.
+    pub(crate) grad_buf: Vec<f64>,
+    /// Per-class scratch handed to the GLM `*_into` methods (softmax
+    /// probabilities / logits).
+    pub(crate) class_buf: Vec<f64>,
+    /// Instance indices of the current batch; inner nodes partition this
+    /// in place to route instances to their children.
+    pub(crate) indices: Vec<usize>,
+    /// Holding pen for right-routed indices during the stable partition.
+    pub(crate) partition_buf: Vec<usize>,
+    /// Sort buffer for per-feature values during candidate proposal.
+    pub(crate) values_buf: Vec<f64>,
+}
+
+impl UpdateScratch {
+    /// Create an empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepare the per-node buffers for `instances` rows of `num_params`
+    /// gradient entries and `num_classes` classes.
+    pub(crate) fn prepare_node(&mut self, instances: usize, num_params: usize, num_classes: usize) {
+        self.losses.clear();
+        self.losses.resize(instances, 0.0);
+        self.grads.clear();
+        self.grads.resize(instances * num_params, 0.0);
+        self.grad_buf.clear();
+        self.grad_buf.resize(num_params, 0.0);
+        self.class_buf.clear();
+        self.class_buf.resize(num_classes, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_node_sizes_buffers() {
+        let mut scratch = UpdateScratch::new();
+        scratch.prepare_node(10, 3, 2);
+        assert_eq!(scratch.losses.len(), 10);
+        assert_eq!(scratch.grads.len(), 30);
+        assert_eq!(scratch.grad_buf.len(), 3);
+        assert_eq!(scratch.class_buf.len(), 2);
+    }
+
+    #[test]
+    fn prepare_node_reuses_capacity() {
+        let mut scratch = UpdateScratch::new();
+        scratch.prepare_node(100, 5, 3);
+        let capacity = scratch.grads.capacity();
+        scratch.prepare_node(10, 5, 3);
+        scratch.prepare_node(100, 5, 3);
+        assert_eq!(scratch.grads.capacity(), capacity);
+    }
+}

@@ -6,6 +6,7 @@ use dmt_stream::schema::StreamSchema;
 
 use crate::explain::{DecisionStep, LeafExplanation};
 use crate::node::{DmtNode, GainDecision};
+use crate::scratch::UpdateScratch;
 
 /// Hyperparameters of the Dynamic Model Tree with the defaults proposed in
 /// §V-D of the paper.
@@ -79,6 +80,9 @@ pub struct DynamicModelTree {
     /// prunes, replacements), recorded for interpretability: every change can
     /// be reported and linked to the loss gain that caused it.
     decisions: Vec<(u64, GainDecision)>,
+    /// Reusable buffers for the update loop; after the first batches the
+    /// learn path performs no per-instance heap allocations.
+    scratch: UpdateScratch,
 }
 
 impl DynamicModelTree {
@@ -97,6 +101,7 @@ impl DynamicModelTree {
             root: DmtNode::leaf(root_model),
             observations: 0,
             decisions: Vec::new(),
+            scratch: UpdateScratch::new(),
         }
     }
 
@@ -174,13 +179,32 @@ impl DynamicModelTree {
     pub fn learn_batch_traced(&mut self, xs: Rows<'_>, ys: &[usize]) -> GainDecision {
         assert_eq!(xs.len(), ys.len(), "xs and ys must have the same length");
         self.observations += xs.len() as u64;
-        let decision = self
-            .root
-            .learn(xs, ys, &self.nominal_features, &self.config);
+        // The index vector is owned by the scratch space and reused across
+        // batches; it is taken out for the duration of the recursion because
+        // the nodes partition it while also borrowing the scratch buffers.
+        let mut indices = std::mem::take(&mut self.scratch.indices);
+        indices.clear();
+        indices.extend(0..xs.len());
+        let decision = self.root.learn(
+            xs,
+            ys,
+            &mut indices,
+            &self.nominal_features,
+            &self.config,
+            &mut self.scratch,
+        );
+        self.scratch.indices = indices;
         if decision != GainDecision::Keep {
             self.decisions.push((self.observations, decision.clone()));
         }
         decision
+    }
+
+    /// Class probabilities of the responsible leaf written into `out`
+    /// (`out.len() == num_classes`); the allocation-free analogue of
+    /// [`OnlineClassifier::predict_proba`].
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.root.predict_proba_into(x, out);
     }
 }
 
@@ -194,7 +218,8 @@ impl OnlineClassifier for DynamicModelTree {
     }
 
     fn predict(&self, x: &[f64]) -> usize {
-        dmt_models::argmax(&self.predict_proba(x))
+        // Allocation-free: descend to the leaf and argmax its linear scores.
+        self.root.predict(x)
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
@@ -321,7 +346,8 @@ mod tests {
 
     #[test]
     fn decision_log_records_structural_changes() {
-        let mut tree = DynamicModelTree::new(StreamSchema::numeric("step", 1, 2), DmtConfig::default());
+        let mut tree =
+            DynamicModelTree::new(StreamSchema::numeric("step", 1, 2), DmtConfig::default());
         // A step concept forces at least one split eventually.
         for _ in 0..400 {
             let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
@@ -343,7 +369,10 @@ mod tests {
         let _ = prequential_accuracy(&mut tree, 0, 30, 100, 9);
         let explanation = tree.explain(&[0.2, 0.9, 0.5]);
         assert_eq!(explanation.weights.len(), 3);
-        assert_eq!(explanation.path.len(), tree.depth().min(explanation.path.len()));
+        assert_eq!(
+            explanation.path.len(),
+            tree.depth().min(explanation.path.len())
+        );
         assert!(explanation.predicted_class < 2);
     }
 

@@ -8,15 +8,13 @@
 //! This implementation uses the exponential-histogram bucket structure of the
 //! original paper, so memory is `O(M log(W/M))` for window length `W`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::DriftDetector;
 
 /// Maximum number of buckets per row of the exponential histogram.
 const MAX_BUCKETS_PER_ROW: usize = 5;
 
 /// One row of the exponential histogram: buckets of identical capacity.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct BucketRow {
     /// Sums of the values in each bucket.
     totals: Vec<f64>,
@@ -25,7 +23,7 @@ struct BucketRow {
 }
 
 /// The ADWIN drift detector.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Adwin {
     delta: f64,
     rows: Vec<BucketRow>,
@@ -86,7 +84,8 @@ impl Adwin {
         // Insert a new bucket of capacity 1 at row 0.
         if self.width > 0 {
             let mean = self.mean();
-            self.variance += (self.width as f64 / (self.width + 1) as f64) * (value - mean) * (value - mean);
+            self.variance +=
+                (self.width as f64 / (self.width + 1) as f64) * (value - mean) * (value - mean);
         }
         self.width += 1;
         self.total += value;
@@ -115,7 +114,9 @@ impl Adwin {
             // Variance of the merged bucket (parallel combination).
             let mean1 = t1 / capacity;
             let mean2 = t2 / capacity;
-            let merged_var = v1 + v2 + capacity * capacity / (2.0 * capacity) * (mean1 - mean2) * (mean1 - mean2);
+            let merged_var = v1
+                + v2
+                + capacity * capacity / (2.0 * capacity) * (mean1 - mean2) * (mean1 - mean2);
             self.rows[row + 1].totals.insert(0, t1 + t2);
             self.rows[row + 1].variances.insert(0, merged_var);
             row += 1;
@@ -149,7 +150,7 @@ impl Adwin {
         }
         let total_width = self.width as f64;
         let total_sum = self.total;
-        let variance = self.variance() .max(1e-12);
+        let variance = self.variance().max(1e-12);
         let delta_prime = self.delta / (total_width.ln().max(1.0));
 
         // Walk from the oldest bucket to the newest, maintaining the running
@@ -187,7 +188,7 @@ impl DriftDetector for Adwin {
         self.insert(value);
         self.since_last_drift += 1;
         self.drift = false;
-        if self.since_last_drift % self.clock == 0 {
+        if self.since_last_drift.is_multiple_of(self.clock) {
             // Repeatedly drop old buckets while a significant cut exists.
             let mut any_cut = false;
             while self.detect_cut() {
@@ -287,7 +288,11 @@ mod tests {
         for _ in 0..3_000 {
             adwin.update(if rng.gen::<f64>() < 0.7 { 1.0 } else { 0.0 });
         }
-        assert!(adwin.mean() > 0.5, "mean {} should track the new level", adwin.mean());
+        assert!(
+            adwin.mean() > 0.5,
+            "mean {} should track the new level",
+            adwin.mean()
+        );
     }
 
     #[test]

@@ -6,12 +6,10 @@
 //! `p_t + s_t ≥ p_min + 3 s_min`. Provided for the extension experiments
 //! (e.g. alternative FIMT-DD adaptation strategies).
 
-use serde::{Deserialize, Serialize};
-
 use crate::DriftDetector;
 
 /// Current state of the DDM detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DdmState {
     /// No change suspected.
     Stable,
@@ -22,7 +20,7 @@ pub enum DdmState {
 }
 
 /// The DDM drift detector.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ddm {
     min_instances: u64,
     warning_level: f64,

@@ -6,13 +6,11 @@
 //! deviation of the observations from their running mean and signals change
 //! when the deviation exceeds a threshold `lambda`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::DriftDetector;
 
 /// The Page-Hinkley change detector (detects increases of the monitored
 /// statistic, e.g. the error).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PageHinkley {
     /// Minimum number of observations before alarms are raised.
     min_instances: u64,
@@ -84,8 +82,8 @@ impl DriftDetector for PageHinkley {
         if self.cumulative < self.minimum {
             self.minimum = self.cumulative;
         }
-        self.drift = self.count >= self.min_instances
-            && (self.cumulative - self.minimum) > self.lambda;
+        self.drift =
+            self.count >= self.min_instances && (self.cumulative - self.minimum) > self.lambda;
         self.drift
     }
 

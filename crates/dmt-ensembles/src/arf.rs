@@ -177,7 +177,11 @@ impl AdaptiveRandomForest {
         let config = self.config.clone();
         for member in self.members.iter_mut() {
             let projected = member.project(x);
-            let error = if member.tree.predict(&projected) == y { 0.0 } else { 1.0 };
+            let error = if member.tree.predict(&projected) == y {
+                0.0
+            } else {
+                1.0
+            };
             let warning = member.warning.update(error);
             let drift = member.drift.update(error);
 
@@ -301,7 +305,11 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / 1_000.0 > 0.75, "accuracy {}", correct as f64 / 1_000.0);
+        assert!(
+            correct as f64 / 1_000.0 > 0.75,
+            "accuracy {}",
+            correct as f64 / 1_000.0
+        );
     }
 
     #[test]
@@ -341,7 +349,11 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / 1_000.0 > 0.7, "post-drift accuracy {}", correct as f64 / 1_000.0);
+        assert!(
+            correct as f64 / 1_000.0 > 0.7,
+            "post-drift accuracy {}",
+            correct as f64 / 1_000.0
+        );
     }
 
     #[test]

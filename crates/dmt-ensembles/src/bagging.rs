@@ -209,7 +209,11 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / 1_000.0 > 0.85, "accuracy {}", correct as f64 / 1_000.0);
+        assert!(
+            correct as f64 / 1_000.0 > 0.85,
+            "accuracy {}",
+            correct as f64 / 1_000.0
+        );
     }
 
     #[test]

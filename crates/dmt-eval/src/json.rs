@@ -1,0 +1,635 @@
+//! Dependency-free JSON value type, parser and writer.
+//!
+//! The build environment has no crates-registry access, so instead of
+//! `serde`/`serde_json` the workspace serialises results through this small
+//! module: a [`Json`] value enum, a recursive-descent parser, a
+//! compact/pretty writer and the [`ToJson`]/[`FromJson`] conversion traits
+//! implemented by the result types (e.g.
+//! [`PrequentialResult`](crate::PrequentialResult)).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; integers up to 2⁵³ survive exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced by [`Json::parse`] or [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (`None` for other variants / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number (`null` reads as NaN so that
+    /// non-finite floats round-trip through their `null` encoding).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i| {
+                    let (key, value) = &members[i];
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/inf literals; encode them as null.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) && !(n == 0.0 && n.is_sign_negative()) {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // `{}` on f64 produces the shortest representation that round-trips
+        // (including "-0" for the negative zero excluded above).
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid UTF-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("invalid number '{text}' at byte {start}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(JsonError::new(format!(
+                                "unknown escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be reconstructed from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Convert from a JSON value.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_f64()
+            .ok_or_else(|| JsonError::new(format!("expected number, got {json}")))
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_u64()
+            .ok_or_else(|| JsonError::new(format!("expected integer, got {json}")))
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new(format!("expected string, got {json}")))
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_array()
+            .ok_or_else(|| JsonError::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+/// Fetch and convert a required object member.
+pub fn member<T: FromJson>(json: &Json, key: &str) -> Result<T, JsonError> {
+    let value = json
+        .get(key)
+        .ok_or_else(|| JsonError::new(format!("missing member '{key}'")))?;
+    T::from_json(value).map_err(|e| JsonError::new(format!("member '{key}': {}", e.message)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(value: &Json) {
+        assert_eq!(&Json::parse(&value.to_compact_string()).unwrap(), value);
+        assert_eq!(&Json::parse(&value.to_pretty_string()).unwrap(), value);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Json::Null);
+        roundtrip(&Json::Bool(true));
+        roundtrip(&Json::Bool(false));
+        roundtrip(&Json::Num(0.0));
+        roundtrip(&Json::Num(-12.75));
+        roundtrip(&Json::Num(1e-30));
+        roundtrip(&Json::Num(123456789.0));
+        roundtrip(&Json::Str("hello".to_string()));
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        for &v in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.5e-7,
+            -0.0,
+            0.0,
+            -7.0,
+        ] {
+            let text = Json::Num(v).to_compact_string();
+            let parsed = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v} vs {parsed}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_encode_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact_string(), "null");
+        assert!(Json::Null.as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "a\"b\\c\nd\te\u{1}f κόσμε";
+        roundtrip(&Json::Str(tricky.to_string()));
+    }
+
+    #[test]
+    fn arrays_and_objects_roundtrip() {
+        let value = Json::Obj(vec![
+            ("name".to_string(), Json::Str("DMT".to_string())),
+            (
+                "scores".to_string(),
+                Json::Arr(vec![Json::Num(0.5), Json::Num(0.25)]),
+            ),
+            ("empty_arr".to_string(), Json::Arr(vec![])),
+            ("empty_obj".to_string(), Json::Obj(vec![])),
+            (
+                "nested".to_string(),
+                Json::Obj(vec![("deep".to_string(), Json::Bool(true))]),
+            ),
+        ]);
+        roundtrip(&value);
+        assert_eq!(value.get("name").unwrap().as_str(), Some("DMT"));
+        assert_eq!(value.get("scores").unwrap().as_array().unwrap().len(), 2);
+        assert!(value.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_everywhere() {
+        let parsed = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn member_helper_reports_missing_keys() {
+        let obj = Json::Obj(vec![("x".to_string(), Json::Num(3.0))]);
+        assert_eq!(member::<f64>(&obj, "x").unwrap(), 3.0);
+        assert!(member::<f64>(&obj, "y").is_err());
+        assert!(member::<String>(&obj, "x").is_err());
+    }
+
+    #[test]
+    fn to_json_impls_cover_primitives() {
+        assert_eq!(1.5f64.to_json(), Json::Num(1.5));
+        assert_eq!(3u64.to_json(), Json::Num(3.0));
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!("s".to_json(), Json::Str("s".to_string()));
+        assert_eq!(
+            vec![1.0f64, 2.0].to_json(),
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])
+        );
+        let vec_u64: Vec<u64> = Vec::from_json(&Json::Arr(vec![Json::Num(1.0)])).unwrap();
+        assert_eq!(vec_u64, vec![1]);
+    }
+}

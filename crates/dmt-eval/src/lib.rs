@@ -13,15 +13,19 @@
 //!   the transformation behind Figure 3.
 //! * [`stats`] — small mean/standard-deviation helpers used by the result
 //!   tables.
+//! * [`json`] — a dependency-free JSON value/parser/writer used to persist
+//!   results (the environment has no crates-registry access for `serde`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod json;
 pub mod metrics;
 pub mod prequential;
 pub mod stats;
 pub mod trace;
 
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use metrics::ConfusionMatrix;
 pub use prequential::{PrequentialConfig, PrequentialResult, PrequentialRun};
 pub use stats::{mean, mean_std, std_dev};

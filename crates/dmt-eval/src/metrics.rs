@@ -5,10 +5,8 @@
 //! F1 over the classes present in the evaluation window is used; accuracy and
 //! Cohen's kappa are provided for diagnostics and extension experiments.
 
-use serde::{Deserialize, Serialize};
-
 /// An incrementally updatable confusion matrix.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfusionMatrix {
     /// `counts[actual][predicted]`
     counts: Vec<Vec<u64>>,

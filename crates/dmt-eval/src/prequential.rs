@@ -13,8 +13,8 @@ use std::time::Instant;
 
 use dmt_models::online::OnlineClassifier;
 use dmt_stream::stream::DataStream;
-use serde::{Deserialize, Serialize};
 
+use crate::json::{self, FromJson, Json, JsonError, ToJson};
 use crate::metrics::ConfusionMatrix;
 use crate::stats::mean_std;
 
@@ -48,7 +48,7 @@ impl PrequentialConfig {
 }
 
 /// Per-batch measurements of one prequential run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PrequentialResult {
     /// Name of the evaluated model.
     pub model: String,
@@ -94,6 +94,50 @@ impl PrequentialResult {
     /// Number of evaluation steps (batches).
     pub fn num_batches(&self) -> usize {
         self.f1_per_batch.len()
+    }
+}
+
+impl ToJson for PrequentialResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("model".to_string(), self.model.to_json()),
+            ("dataset".to_string(), self.dataset.to_json()),
+            ("f1_per_batch".to_string(), self.f1_per_batch.to_json()),
+            (
+                "splits_per_batch".to_string(),
+                self.splits_per_batch.to_json(),
+            ),
+            (
+                "params_per_batch".to_string(),
+                self.params_per_batch.to_json(),
+            ),
+            (
+                "seconds_per_batch".to_string(),
+                self.seconds_per_batch.to_json(),
+            ),
+            (
+                "overall_accuracy".to_string(),
+                self.overall_accuracy.to_json(),
+            ),
+            ("overall_f1".to_string(), self.overall_f1.to_json()),
+            ("instances".to_string(), self.instances.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PrequentialResult {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            model: json::member(value, "model")?,
+            dataset: json::member(value, "dataset")?,
+            f1_per_batch: json::member(value, "f1_per_batch")?,
+            splits_per_batch: json::member(value, "splits_per_batch")?,
+            params_per_batch: json::member(value, "params_per_batch")?,
+            seconds_per_batch: json::member(value, "seconds_per_batch")?,
+            overall_accuracy: json::member(value, "overall_accuracy")?,
+            overall_f1: json::member(value, "overall_f1")?,
+            instances: json::member(value, "instances")?,
+        })
     }
 }
 
@@ -216,7 +260,10 @@ mod tests {
             if total == 0 {
                 vec![1.0 / self.counts.len() as f64; self.counts.len()]
             } else {
-                self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+                self.counts
+                    .iter()
+                    .map(|&c| c as f64 / total as f64)
+                    .collect()
             }
         }
         fn learn_batch(&mut self, _xs: Rows<'_>, ys: &[usize]) {

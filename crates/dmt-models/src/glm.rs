@@ -5,15 +5,13 @@
 //! a multinomial logit (softmax) model otherwise. [`Glm`] hides that choice
 //! behind one concrete type so that tree code does not need trait objects.
 
-use serde::{Deserialize, Serialize};
-
 use crate::logit::LogitModel;
 use crate::softmax::SoftmaxModel;
 use crate::{Rows, SimpleModel};
 
 /// A Generalized Linear Model: binary logit or multinomial logit, selected by
 /// the number of classes.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Glm {
     /// Binary logistic regression (used when `num_classes == 2`).
     Logit(LogitModel),
@@ -102,24 +100,44 @@ impl SimpleModel for Glm {
         }
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
-            Glm::Logit(m) => m.predict_proba(x),
-            Glm::Softmax(m) => m.predict_proba(x),
+            Glm::Logit(m) => m.predict_proba_into(x, out),
+            Glm::Softmax(m) => m.predict_proba_into(x, out),
         }
     }
 
-    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+    fn predict(&self, x: &[f64]) -> usize {
         match self {
-            Glm::Logit(m) => m.loss_and_gradient(xs, ys),
-            Glm::Softmax(m) => m.loss_and_gradient(xs, ys),
+            Glm::Logit(m) => m.predict(x),
+            Glm::Softmax(m) => m.predict(x),
         }
     }
 
-    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64 {
+    fn loss_and_gradient_into(
+        &self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        grad: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
         match self {
-            Glm::Logit(m) => m.sgd_step(xs, ys, learning_rate),
-            Glm::Softmax(m) => m.sgd_step(xs, ys, learning_rate),
+            Glm::Logit(m) => m.loss_and_gradient_into(xs, ys, grad, class_buf),
+            Glm::Softmax(m) => m.loss_and_gradient_into(xs, ys, grad, class_buf),
+        }
+    }
+
+    fn sgd_step_into(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
+        match self {
+            Glm::Logit(m) => m.sgd_step_into(xs, ys, learning_rate, grad_buf, class_buf),
+            Glm::Softmax(m) => m.sgd_step_into(xs, ys, learning_rate, grad_buf, class_buf),
         }
     }
 

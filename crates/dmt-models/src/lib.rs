@@ -55,14 +55,23 @@ pub type Rows<'a> = &'a [&'a [f64]];
 ///
 /// The three core operations mirror Algorithm 1 of the paper:
 ///
-/// * [`SimpleModel::loss_and_gradient`] returns the *negative log-likelihood*
-///   of a batch evaluated at the current parameters together with the gradient
-///   with respect to the flattened parameter vector. The DMT accumulates both
-///   per node and per split candidate.
-/// * [`SimpleModel::sgd_step`] performs one stochastic-gradient step with a
-///   constant learning rate (§V-A).
-/// * [`SimpleModel::predict_proba`] yields class probabilities for prediction
-///   and for the adaptive leaf policies of the baselines.
+/// * [`SimpleModel::loss_and_gradient_into`] returns the *negative
+///   log-likelihood* of a batch evaluated at the current parameters and writes
+///   the gradient with respect to the flattened parameter vector into a
+///   caller-provided buffer. The DMT accumulates both per node and per split
+///   candidate.
+/// * [`SimpleModel::sgd_step_into`] performs one stochastic-gradient step with
+///   a constant learning rate (§V-A).
+/// * [`SimpleModel::predict_proba_into`] yields class probabilities for
+///   prediction and for the adaptive leaf policies of the baselines.
+///
+/// The `*_into` methods are the required primitives: they write into
+/// caller-provided buffers so the per-instance tree update loop performs no
+/// heap allocations (the buffers are owned by `dmt_core`'s `UpdateScratch`
+/// and reused across instances and batches). The allocating variants
+/// ([`SimpleModel::loss_and_gradient`], [`SimpleModel::predict_proba`],
+/// [`SimpleModel::sgd_step`]) are provided conveniences defined in terms of
+/// the `*_into` primitives, so both API families always agree bit-for-bit.
 pub trait SimpleModel: Send + Sync {
     /// Number of free (estimated) parameters `k` of the model.
     ///
@@ -82,28 +91,77 @@ pub trait SimpleModel: Send + Sync {
     /// Mutable flattened view of the current parameter vector.
     fn params_mut(&mut self) -> &mut [f64];
 
+    /// Class probabilities for a single instance, written into `out`
+    /// (`out.len() == num_classes`).
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]);
+
     /// Class-probability vector for a single instance (length = `num_classes`).
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
+    ///
+    /// Allocates; hot paths should use [`SimpleModel::predict_proba_into`].
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_classes()];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
 
     /// Most probable class for a single instance.
+    ///
+    /// The default goes through [`SimpleModel::predict_proba`] (and therefore
+    /// allocates); the GLM implementations override it with an allocation-free
+    /// argmax over the linear scores.
     fn predict(&self, x: &[f64]) -> usize {
         let proba = self.predict_proba(x);
         argmax(&proba)
     }
 
     /// Negative log-likelihood of the batch evaluated at the *current*
-    /// parameters, plus the gradient of that loss w.r.t. the flattened
-    /// parameter vector.
+    /// parameters; the gradient of that loss w.r.t. the flattened parameter
+    /// vector is written into `grad` (`grad.len() == num_params`, fully
+    /// overwritten).
     ///
     /// Both quantities are *sums* over the batch (not means), matching the
     /// additive accumulation of Algorithm 1 lines 1–2 and 8–9.
-    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>);
+    ///
+    /// `class_buf` is caller-provided scratch of length `num_classes`; models
+    /// that need per-class intermediates (softmax probabilities) use it
+    /// instead of allocating.
+    fn loss_and_gradient_into(
+        &self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        grad: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64;
 
-    /// One constant-learning-rate SGD step on the batch.
+    /// Allocating convenience form of [`SimpleModel::loss_and_gradient_into`].
+    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+        let mut grad = vec![0.0; self.num_params()];
+        let mut class_buf = vec![0.0; self.num_classes()];
+        let loss = self.loss_and_gradient_into(xs, ys, &mut grad, &mut class_buf);
+        (loss, grad)
+    }
+
+    /// One constant-learning-rate SGD step on the batch, using the
+    /// caller-provided gradient buffer (`grad_buf.len() == num_params`) and
+    /// per-class scratch (`class_buf.len() == num_classes`).
     ///
     /// Returns the batch loss *before* the update so callers can reuse it
     /// (the DMT accumulates the pre-update loss, Algorithm 1 line 1).
-    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64;
+    fn sgd_step_into(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64;
+
+    /// Allocating convenience form of [`SimpleModel::sgd_step_into`].
+    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64 {
+        let mut grad_buf = vec![0.0; self.num_params()];
+        let mut class_buf = vec![0.0; self.num_classes()];
+        self.sgd_step_into(xs, ys, learning_rate, &mut grad_buf, &mut class_buf)
+    }
 
     /// Total number of observations this model has been trained on.
     fn observations_seen(&self) -> u64;

@@ -38,10 +38,36 @@ pub fn add_assign(y: &mut [f64], x: &[f64]) {
 }
 
 /// Element-wise difference `a - b` as a new vector.
+///
+/// Allocation-free callers should prefer [`sub_into`].
 #[inline]
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
     a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise difference written into a caller-provided buffer:
+/// `out[i] = a[i] - b[i]`.
+#[inline]
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+    debug_assert_eq!(a.len(), out.len(), "sub_into: output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x - y;
+    }
+}
+
+/// Squared Euclidean norm of the element-wise difference `||a - b||²`,
+/// computed without materialising the difference.
+#[inline]
+pub fn sub_norm_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sub_norm_sq: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
 }
 
 /// Squared Euclidean norm `||v||²`.
@@ -81,25 +107,43 @@ pub fn sigmoid(z: f64) -> f64 {
 /// Numerically stable softmax over the logits, returning a probability vector.
 ///
 /// Subtracts the maximum logit before exponentiation. Returns the uniform
-/// distribution for an empty input.
+/// distribution for an empty input. Allocation-free callers should prefer
+/// [`softmax_in_place`] (or [`softmax_into`] when the logits must survive).
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
-    if logits.is_empty() {
-        return Vec::new();
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Numerically stable softmax computed in place: `values` holds logits on
+/// entry and the corresponding probability vector on exit.
+pub fn softmax_in_place(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
     }
-    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let mut out: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
-    let sum: f64 = out.iter().sum();
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
     if sum > 0.0 && sum.is_finite() {
-        for p in out.iter_mut() {
-            *p /= sum;
+        for v in values.iter_mut() {
+            *v /= sum;
         }
     } else {
-        let uniform = 1.0 / out.len() as f64;
-        for p in out.iter_mut() {
-            *p = uniform;
+        let uniform = 1.0 / values.len() as f64;
+        for v in values.iter_mut() {
+            *v = uniform;
         }
     }
-    out
+}
+
+/// Numerically stable softmax written into a caller-provided buffer.
+pub fn softmax_into(logits: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(logits.len(), out.len(), "softmax_into: length mismatch");
+    out.copy_from_slice(logits);
+    softmax_in_place(out);
 }
 
 /// Clamp a probability away from 0 and 1 so that `ln` stays finite.
@@ -181,6 +225,31 @@ mod tests {
         // sigmoid(-z) = 1 - sigmoid(z)
         for &z in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
             assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sub_into_matches_sub_bit_for_bit() {
+        let a = [1.0, -2.5, 3.125, 1e-300];
+        let b = [0.5, 0.25, -1.0, 2e-300];
+        let allocated = sub(&a, &b);
+        let mut out = [0.0; 4];
+        sub_into(&a, &b, &mut out);
+        for (x, y) in allocated.iter().zip(out.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!((sub_norm_sq(&a, &b) - norm_sq(&allocated)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_into_matches_softmax_bit_for_bit() {
+        for logits in [vec![1.0, 2.0, 3.0], vec![0.0], vec![-1e6, 0.0, 1e6]] {
+            let allocated = softmax(&logits);
+            let mut out = vec![0.0; logits.len()];
+            softmax_into(&logits, &mut out);
+            for (x, y) in allocated.iter().zip(out.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 

@@ -6,13 +6,12 @@
 
 use rand::Rng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::linalg::{dot, log1p_exp, sigmoid};
 use crate::{Rows, SimpleModel};
 
 /// Binary logistic-regression model with an intercept term.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogitModel {
     /// Flattened parameters: `m` weights followed by a single bias term.
     params: Vec<f64>,
@@ -103,16 +102,32 @@ impl SimpleModel for LogitModel {
         &mut self.params
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), 2, "predict_proba_into: buffer length");
         let p = self.proba_positive(x);
-        vec![1.0 - p, p]
+        out[0] = 1.0 - p;
+        out[1] = p;
     }
 
-    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+    fn predict(&self, x: &[f64]) -> usize {
+        // argmax([1-p, p]) == 1 exactly when p > 0.5 (ties resolve toward
+        // class 0); computing it through the same rounded sigmoid keeps this
+        // bit-compatible with `predict_proba` while never allocating.
+        usize::from(self.proba_positive(x) > 0.5)
+    }
+
+    fn loss_and_gradient_into(
+        &self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        grad: &mut [f64],
+        _class_buf: &mut [f64],
+    ) -> f64 {
         debug_assert_eq!(xs.len(), ys.len());
+        debug_assert_eq!(grad.len(), self.params.len());
         let m = self.num_features;
         let mut loss = 0.0;
-        let mut grad = vec![0.0; m + 1];
+        grad.fill(0.0);
         for (x, &y) in xs.iter().zip(ys.iter()) {
             let z = self.decision_function(x);
             let y_f = if y >= 1 { 1.0 } else { 0.0 };
@@ -124,19 +139,26 @@ impl SimpleModel for LogitModel {
             }
             grad[m] += residual;
         }
-        (loss, grad)
+        loss
     }
 
-    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64 {
+    fn sgd_step_into(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
         let n = xs.len();
         if n == 0 {
             return 0.0;
         }
-        let (loss, grad) = self.loss_and_gradient(xs, ys);
+        let loss = self.loss_and_gradient_into(xs, ys, grad_buf, class_buf);
         // Mean-gradient step: a constant learning rate over the batch mean
         // keeps the step size independent of the batch size (eq. 6 uses λ/|C|).
         let step = learning_rate / n as f64;
-        for (p, g) in self.params.iter_mut().zip(grad.iter()) {
+        for (p, g) in self.params.iter_mut().zip(grad_buf.iter()) {
             *p -= step * g;
         }
         self.seen += n as u64;
@@ -238,6 +260,7 @@ mod tests {
         let mut model = LogitModel::new_random(2, 7);
         let (_, grad) = model.loss_and_gradient(&rows, &ys);
         let h = 1e-6;
+        #[allow(clippy::needless_range_loop)] // `i` indexes params and grad in lockstep
         for i in 0..model.num_params() {
             let orig = model.params()[i];
             model.params_mut()[i] = orig + h;

@@ -6,13 +6,11 @@
 //! incrementally with Welford's algorithm, which is numerically stable for
 //! long streams.
 
-use serde::{Deserialize, Serialize};
-
 use crate::linalg::clamp_proba;
 use crate::{argmax, Rows, SimpleModel};
 
 /// Welford running estimator of mean and variance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -88,7 +86,7 @@ impl RunningStats {
 }
 
 /// Incremental Gaussian Naive Bayes classifier.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaussianNaiveBayes {
     /// `stats[class][feature]`
     stats: Vec<Vec<RunningStats>>,
@@ -125,22 +123,35 @@ impl GaussianNaiveBayes {
     /// Per-class joint log-likelihood `log P(class) + Σ log P(x_i | class)`,
     /// with Laplace-smoothed priors.
     pub fn joint_log_likelihood(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.class_counts.len()];
+        self.joint_log_likelihood_into(x, &mut out);
+        out
+    }
+
+    /// [`GaussianNaiveBayes::joint_log_likelihood`] written into a
+    /// caller-provided buffer.
+    pub fn joint_log_likelihood_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.class_counts.len(),
+            "joint_log_likelihood_into: buffer length"
+        );
         let total = self.seen as f64;
         let c = self.class_counts.len() as f64;
-        self.stats
-            .iter()
+        for ((o, feature_stats), &count) in out
+            .iter_mut()
+            .zip(self.stats.iter())
             .zip(self.class_counts.iter())
-            .map(|(feature_stats, &count)| {
-                let prior = (count as f64 + 1.0) / (total + c);
-                let mut ll = prior.ln();
-                if count > 0 {
-                    for (stat, &value) in feature_stats.iter().zip(x.iter()) {
-                        ll += stat.log_density(value);
-                    }
+        {
+            let prior = (count as f64 + 1.0) / (total + c);
+            let mut ll = prior.ln();
+            if count > 0 {
+                for (stat, &value) in feature_stats.iter().zip(x.iter()) {
+                    ll += stat.log_density(value);
                 }
-                ll
-            })
-            .collect()
+            }
+            *o = ll;
+        }
     }
 
     /// Majority class observed so far (ties toward the lower index).
@@ -181,36 +192,54 @@ impl SimpleModel for GaussianNaiveBayes {
         &mut []
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        let c = self.class_counts.len();
+        assert_eq!(out.len(), c, "predict_proba_into: buffer length");
         if self.seen == 0 {
-            let c = self.class_counts.len();
-            return vec![1.0 / c as f64; c];
+            out.fill(1.0 / c as f64);
+            return;
         }
-        let jll = self.joint_log_likelihood(x);
-        let max = jll.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut probs: Vec<f64> = jll.iter().map(|&l| (l - max).exp()).collect();
-        let sum: f64 = probs.iter().sum();
+        self.joint_log_likelihood_into(x, out);
+        let max = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for p in out.iter_mut() {
+            *p = (*p - max).exp();
+            sum += *p;
+        }
         if sum > 0.0 && sum.is_finite() {
-            for p in probs.iter_mut() {
+            for p in out.iter_mut() {
                 *p /= sum;
             }
         }
-        probs
     }
 
-    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+    fn loss_and_gradient_into(
+        &self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        grad: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
         // Naive Bayes has no gradient-trainable parameters; the loss is the
-        // NLL of its probabilistic predictions and the gradient is empty.
+        // NLL of its probabilistic predictions and the gradient is zero.
+        grad.fill(0.0);
         let mut loss = 0.0;
         for (x, &y) in xs.iter().zip(ys.iter()) {
-            let p = self.predict_proba(x);
-            loss += -clamp_proba(p.get(y).copied().unwrap_or(0.0)).ln();
+            self.predict_proba_into(x, class_buf);
+            loss += -clamp_proba(class_buf.get(y).copied().unwrap_or(0.0)).ln();
         }
-        (loss, Vec::new())
+        loss
     }
 
-    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], _learning_rate: f64) -> f64 {
-        let (loss, _) = self.loss_and_gradient(xs, ys);
+    fn sgd_step_into(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        _learning_rate: f64,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
+        let loss = self.loss_and_gradient_into(xs, ys, grad_buf, class_buf);
         for (x, &y) in xs.iter().zip(ys.iter()) {
             self.update(x, y);
         }

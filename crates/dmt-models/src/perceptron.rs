@@ -5,14 +5,12 @@
 //! models, §V-A). It also mirrors the "Fast Perceptron Decision Tree" leaf
 //! models of Bifet et al. (2010), which the related-work section cites.
 
-use serde::{Deserialize, Serialize};
-
-use crate::linalg::{dot, softmax};
+use crate::linalg::{dot, softmax_in_place};
 use crate::{Rows, SimpleModel};
 
 /// Multi-class averaged perceptron with one weight vector (plus bias) per
 /// class.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AveragedPerceptron {
     /// Current class-major weights, `c * (m + 1)` entries.
     params: Vec<f64>,
@@ -37,14 +35,13 @@ impl AveragedPerceptron {
         }
     }
 
-    fn scores(&self, x: &[f64]) -> Vec<f64> {
+    fn scores_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_classes, "scores_into: buffer length");
         let stride = self.num_features + 1;
-        (0..self.num_classes)
-            .map(|c| {
-                let block = &self.params[c * stride..(c + 1) * stride];
-                dot(&block[..self.num_features], x) + block[self.num_features]
-            })
-            .collect()
+        for (c, o) in out.iter_mut().enumerate() {
+            let block = &self.params[c * stride..(c + 1) * stride];
+            *o = dot(&block[..self.num_features], x) + block[self.num_features];
+        }
     }
 
     /// Averaged weights accumulated over all updates (stabilised predictor).
@@ -80,21 +77,29 @@ impl SimpleModel for AveragedPerceptron {
         &mut self.params
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        softmax(&self.scores(x))
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.scores_into(x, out);
+        softmax_in_place(out);
     }
 
-    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+    fn loss_and_gradient_into(
+        &self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        grad: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
         // Perceptron (hinge-like) loss: sum over mistakes of the margin
         // deficit; the gradient follows the classic update rule.
+        debug_assert_eq!(grad.len(), self.params.len());
         let stride = self.num_features + 1;
         let mut loss = 0.0;
-        let mut grad = vec![0.0; self.params.len()];
+        grad.fill(0.0);
         for (x, &y) in xs.iter().zip(ys.iter()) {
-            let scores = self.scores(x);
-            let pred = crate::argmax(&scores);
+            self.scores_into(x, class_buf);
+            let pred = crate::argmax(class_buf);
             if pred != y && y < self.num_classes {
-                loss += (scores[pred] - scores[y]).max(0.0) + 1.0;
+                loss += (class_buf[pred] - class_buf[y]).max(0.0) + 1.0;
                 // Gradient: +x for the wrongly predicted class, -x for the
                 // true class.
                 for (i, &xi) in x.iter().enumerate() {
@@ -105,16 +110,23 @@ impl SimpleModel for AveragedPerceptron {
                 grad[y * stride + self.num_features] -= 1.0;
             }
         }
-        (loss, grad)
+        loss
     }
 
-    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64 {
+    fn sgd_step_into(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
         let n = xs.len();
         if n == 0 {
             return 0.0;
         }
-        let (loss, grad) = self.loss_and_gradient(xs, ys);
-        for (p, g) in self.params.iter_mut().zip(grad.iter()) {
+        let loss = self.loss_and_gradient_into(xs, ys, grad_buf, class_buf);
+        for (p, g) in self.params.iter_mut().zip(grad_buf.iter()) {
             *p -= learning_rate * g;
         }
         for (a, p) in self.averaged.iter_mut().zip(self.params.iter()) {

@@ -8,13 +8,12 @@
 
 use rand::Rng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
-use crate::linalg::{clamp_proba, dot, softmax};
+use crate::linalg::{clamp_proba, dot, softmax_in_place};
 use crate::{Rows, SimpleModel};
 
 /// Multinomial logistic-regression model with per-class intercepts.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftmaxModel {
     /// Flattened class-major parameters, `c * (m + 1)` entries.
     params: Vec<f64>,
@@ -62,14 +61,24 @@ impl SoftmaxModel {
 
     /// Per-class linear scores (logits) for one instance.
     pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_classes];
+        self.logits_into(x, &mut out);
+        out
+    }
+
+    /// Per-class linear scores written into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != num_classes` — a short buffer would silently
+    /// drop classes, so the length contract is enforced in release builds too.
+    pub fn logits_into(&self, x: &[f64], out: &mut [f64]) {
         debug_assert_eq!(x.len(), self.num_features);
+        assert_eq!(out.len(), self.num_classes, "logits_into: buffer length");
         let stride = self.num_features + 1;
-        (0..self.num_classes)
-            .map(|c| {
-                let block = &self.params[c * stride..(c + 1) * stride];
-                dot(&block[..self.num_features], x) + block[self.num_features]
-            })
-            .collect()
+        for (c, o) in out.iter_mut().enumerate() {
+            let block = &self.params[c * stride..(c + 1) * stride];
+            *o = dot(&block[..self.num_features], x) + block[self.num_features];
+        }
     }
 
     /// Weight vector of a particular class (excluding the intercept).
@@ -106,23 +115,52 @@ impl SimpleModel for SoftmaxModel {
         &mut self.params
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        softmax(&self.logits(x))
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.logits_into(x, out);
+        softmax_in_place(out);
     }
 
-    fn loss_and_gradient(&self, xs: Rows<'_>, ys: &[usize]) -> (f64, Vec<f64>) {
+    fn predict(&self, x: &[f64]) -> usize {
+        // Softmax is monotone in the logits, so the argmax over the raw
+        // scores avoids both the exponentiation and any allocation. (In the
+        // measure-zero case where two distinct logits round to bitwise-equal
+        // probabilities after exp, this picks the truly larger score while
+        // argmax-over-probabilities would pick the lower index.)
+        debug_assert_eq!(x.len(), self.num_features);
+        let stride = self.num_features + 1;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for c in 0..self.num_classes {
+            let block = &self.params[c * stride..(c + 1) * stride];
+            let score = dot(&block[..self.num_features], x) + block[self.num_features];
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn loss_and_gradient_into(
+        &self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        grad: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
         debug_assert_eq!(xs.len(), ys.len());
+        debug_assert_eq!(grad.len(), self.params.len());
         let m = self.num_features;
         let stride = m + 1;
         let mut loss = 0.0;
-        let mut grad = vec![0.0; self.params.len()];
+        grad.fill(0.0);
         for (x, &y) in xs.iter().zip(ys.iter()) {
-            let proba = softmax(&self.logits(x));
-            let p_true = proba.get(y).copied().unwrap_or(0.0);
+            self.predict_proba_into(x, class_buf);
+            let p_true = class_buf.get(y).copied().unwrap_or(0.0);
             loss += -clamp_proba(p_true).ln();
             for c in 0..self.num_classes {
                 let target = if c == y { 1.0 } else { 0.0 };
-                let residual = proba[c] - target;
+                let residual = class_buf[c] - target;
                 let block = &mut grad[c * stride..(c + 1) * stride];
                 for (g, &xi) in block[..m].iter_mut().zip(x.iter()) {
                     *g += residual * xi;
@@ -130,17 +168,24 @@ impl SimpleModel for SoftmaxModel {
                 block[m] += residual;
             }
         }
-        (loss, grad)
+        loss
     }
 
-    fn sgd_step(&mut self, xs: Rows<'_>, ys: &[usize], learning_rate: f64) -> f64 {
+    fn sgd_step_into(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
         let n = xs.len();
         if n == 0 {
             return 0.0;
         }
-        let (loss, grad) = self.loss_and_gradient(xs, ys);
+        let loss = self.loss_and_gradient_into(xs, ys, grad_buf, class_buf);
         let step = learning_rate / n as f64;
-        for (p, g) in self.params.iter_mut().zip(grad.iter()) {
+        for (p, g) in self.params.iter_mut().zip(grad_buf.iter()) {
             *p -= step * g;
         }
         self.seen += n as u64;
@@ -245,6 +290,7 @@ mod tests {
         let mut model = SoftmaxModel::new_random(3, 3, 21);
         let (_, grad) = model.loss_and_gradient(&rows, &ys);
         let h = 1e-6;
+        #[allow(clippy::needless_range_loop)] // `i` indexes params and grad in lockstep
         for i in 0..model.num_params() {
             let orig = model.params()[i];
             model.params_mut()[i] = orig + h;

@@ -44,19 +44,110 @@ pub struct DatasetInfo {
 
 /// Table I, in paper order.
 pub const TABLE1: [DatasetInfo; 13] = [
-    DatasetInfo { name: "Electricity", samples: 45_312, features: 8, classes: 2, majority: Some(26_075), known_drift: None },
-    DatasetInfo { name: "Airlines", samples: 539_383, features: 7, classes: 2, majority: Some(299_119), known_drift: None },
-    DatasetInfo { name: "Bank", samples: 45_211, features: 16, classes: 2, majority: Some(39_922), known_drift: None },
-    DatasetInfo { name: "TüEyeQ", samples: 15_762, features: 76, classes: 2, majority: Some(12_975), known_drift: Some("abrupt") },
-    DatasetInfo { name: "Poker-Hand", samples: 1_025_000, features: 10, classes: 9, majority: Some(513_701), known_drift: None },
-    DatasetInfo { name: "KDDCup", samples: 494_020, features: 41, classes: 23, majority: Some(280_790), known_drift: None },
-    DatasetInfo { name: "Covertype", samples: 581_012, features: 54, classes: 7, majority: Some(283_301), known_drift: None },
-    DatasetInfo { name: "Gas", samples: 13_910, features: 128, classes: 6, majority: Some(3_009), known_drift: None },
-    DatasetInfo { name: "Insects-Abrupt", samples: 355_275, features: 33, classes: 6, majority: Some(101_256), known_drift: Some("abrupt") },
-    DatasetInfo { name: "Insects-Incremental", samples: 452_044, features: 33, classes: 6, majority: Some(134_717), known_drift: Some("incremental") },
-    DatasetInfo { name: "SEA", samples: 1_000_000, features: 3, classes: 2, majority: None, known_drift: Some("abrupt") },
-    DatasetInfo { name: "Agrawal", samples: 1_000_000, features: 9, classes: 2, majority: None, known_drift: Some("incremental") },
-    DatasetInfo { name: "Hyperplane", samples: 500_000, features: 50, classes: 2, majority: None, known_drift: Some("incremental") },
+    DatasetInfo {
+        name: "Electricity",
+        samples: 45_312,
+        features: 8,
+        classes: 2,
+        majority: Some(26_075),
+        known_drift: None,
+    },
+    DatasetInfo {
+        name: "Airlines",
+        samples: 539_383,
+        features: 7,
+        classes: 2,
+        majority: Some(299_119),
+        known_drift: None,
+    },
+    DatasetInfo {
+        name: "Bank",
+        samples: 45_211,
+        features: 16,
+        classes: 2,
+        majority: Some(39_922),
+        known_drift: None,
+    },
+    DatasetInfo {
+        name: "TüEyeQ",
+        samples: 15_762,
+        features: 76,
+        classes: 2,
+        majority: Some(12_975),
+        known_drift: Some("abrupt"),
+    },
+    DatasetInfo {
+        name: "Poker-Hand",
+        samples: 1_025_000,
+        features: 10,
+        classes: 9,
+        majority: Some(513_701),
+        known_drift: None,
+    },
+    DatasetInfo {
+        name: "KDDCup",
+        samples: 494_020,
+        features: 41,
+        classes: 23,
+        majority: Some(280_790),
+        known_drift: None,
+    },
+    DatasetInfo {
+        name: "Covertype",
+        samples: 581_012,
+        features: 54,
+        classes: 7,
+        majority: Some(283_301),
+        known_drift: None,
+    },
+    DatasetInfo {
+        name: "Gas",
+        samples: 13_910,
+        features: 128,
+        classes: 6,
+        majority: Some(3_009),
+        known_drift: None,
+    },
+    DatasetInfo {
+        name: "Insects-Abrupt",
+        samples: 355_275,
+        features: 33,
+        classes: 6,
+        majority: Some(101_256),
+        known_drift: Some("abrupt"),
+    },
+    DatasetInfo {
+        name: "Insects-Incremental",
+        samples: 452_044,
+        features: 33,
+        classes: 6,
+        majority: Some(134_717),
+        known_drift: Some("incremental"),
+    },
+    DatasetInfo {
+        name: "SEA",
+        samples: 1_000_000,
+        features: 3,
+        classes: 2,
+        majority: None,
+        known_drift: Some("abrupt"),
+    },
+    DatasetInfo {
+        name: "Agrawal",
+        samples: 1_000_000,
+        features: 9,
+        classes: 2,
+        majority: None,
+        known_drift: Some("incremental"),
+    },
+    DatasetInfo {
+        name: "Hyperplane",
+        samples: 500_000,
+        features: 50,
+        classes: 2,
+        majority: None,
+        known_drift: Some("incremental"),
+    },
 ];
 
 /// Names of the data sets with *known* concept drift, used by Fig. 3 and the
@@ -156,7 +247,11 @@ impl AgrawalPaperStream {
                 // Inside window i: mix base i and i+1 with linearly growing
                 // probability of the new concept.
                 let p_new = (frac - from) / (until - from);
-                return if self.rng.gen::<f64>() < p_new { i + 1 } else { i };
+                return if self.rng.gen::<f64>() < p_new {
+                    i + 1
+                } else {
+                    i
+                };
             }
         }
         base
@@ -264,7 +359,12 @@ mod tests {
     fn every_catalog_entry_builds_and_matches_its_schema() {
         for info in &TABLE1 {
             let mut stream = build_stream(info.name, 0.01, 7).unwrap();
-            assert_eq!(stream.schema().num_features(), info.features, "{}", info.name);
+            assert_eq!(
+                stream.schema().num_features(),
+                info.features,
+                "{}",
+                info.name
+            );
             assert_eq!(stream.schema().num_classes, info.classes, "{}", info.name);
             let inst = stream.next_instance().unwrap();
             assert_eq!(inst.x.len(), info.features);

@@ -115,9 +115,13 @@ impl<A: DataStream, B: DataStream> DataStream for GradualDriftStream<A, B> {
         let p_after = self.probability_after(self.emitted);
         let use_after = self.rng.gen::<f64>() < p_after;
         let instance = if use_after {
-            self.after.next_instance().or_else(|| self.before.next_instance())
+            self.after
+                .next_instance()
+                .or_else(|| self.before.next_instance())
         } else {
-            self.before.next_instance().or_else(|| self.after.next_instance())
+            self.before
+                .next_instance()
+                .or_else(|| self.after.next_instance())
         };
         if instance.is_some() {
             self.emitted += 1;
@@ -207,13 +211,7 @@ mod tests {
 
     #[test]
     fn gradual_drift_probability_is_sigmoidal() {
-        let s = GradualDriftStream::new(
-            constant_stream(10, 0),
-            constant_stream(10, 1),
-            100,
-            20,
-            1,
-        );
+        let s = GradualDriftStream::new(constant_stream(10, 0), constant_stream(10, 1), 100, 20, 1);
         assert!(s.probability_after(0) < 0.01);
         assert!((s.probability_after(100) - 0.5).abs() < 1e-9);
         assert!(s.probability_after(200) > 0.99);
@@ -242,9 +240,18 @@ mod tests {
                 after_window += y;
             }
         }
-        assert!(before_window < 30, "early labels should be mostly old concept");
-        assert!(in_window > 200 && in_window < 600, "transition should mix: {in_window}");
-        assert!(after_window > 570, "late labels should be mostly new concept");
+        assert!(
+            before_window < 30,
+            "early labels should be mostly old concept"
+        );
+        assert!(
+            in_window > 200 && in_window < 600,
+            "transition should mix: {in_window}"
+        );
+        assert!(
+            after_window > 570,
+            "late labels should be mostly new concept"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl AgrawalGenerator {
 
     /// Switch the labelling rule (concept drift).
     pub fn set_classification_function(&mut self, f: usize) {
-        assert!(f < NUM_FUNCTIONS, "Agrawal has classification functions 0..=9");
+        assert!(
+            f < NUM_FUNCTIONS,
+            "Agrawal has classification functions 0..=9"
+        );
         self.classification_function = f;
     }
 
@@ -95,7 +98,7 @@ impl AgrawalGenerator {
         let hyears = x[7];
         let loan = x[8];
         let group_a = match function {
-            0 => age < 40.0 || age >= 60.0,
+            0 => !(40.0..60.0).contains(&age),
             1 => in_salary_band(age, salary),
             2 => in_elevel_band(age, elevel),
             3 => {
@@ -139,9 +142,7 @@ impl AgrawalGenerator {
             5 => in_salary_band(age, salary + commission),
             6 => 2.0 * (salary + commission) / 3.0 - loan / 5.0 - 20_000.0 > 0.0,
             7 => 2.0 * (salary + commission) / 3.0 - 5_000.0 * elevel - 20_000.0 > 0.0,
-            8 => {
-                2.0 * (salary + commission) / 3.0 - 5_000.0 * elevel - loan / 5.0 - 10_000.0 > 0.0
-            }
+            8 => 2.0 * (salary + commission) / 3.0 - 5_000.0 * elevel - loan / 5.0 - 10_000.0 > 0.0,
             9 => {
                 let equity = if hyears >= 20.0 {
                     hvalue * (hyears - 20.0) / 10.0
@@ -270,7 +271,9 @@ mod tests {
         // disposable = 2*(salary+commission)/3 - loan/5 - 20000
         let a = vec![90_000.0, 0.0, 30.0, 0.0, 1.0, 1.0, 100_000.0, 5.0, 0.0];
         assert_eq!(AgrawalGenerator::classify(&a, 6), 0);
-        let b = vec![30_000.0, 0.0, 30.0, 0.0, 1.0, 1.0, 100_000.0, 5.0, 400_000.0];
+        let b = vec![
+            30_000.0, 0.0, 30.0, 0.0, 1.0, 1.0, 100_000.0, 5.0, 400_000.0,
+        ];
         assert_eq!(AgrawalGenerator::classify(&b, 6), 1);
     }
 

@@ -208,6 +208,9 @@ mod tests {
                 disagreements += 1;
             }
         }
-        assert!(disagreements > 0, "weights drifted but the concept did not change");
+        assert!(
+            disagreements > 0,
+            "weights drifted but the concept did not change"
+        );
     }
 }

@@ -84,7 +84,13 @@ impl DataStream for LedGenerator {
         // Start with random noise everywhere, then write the (possibly noisy)
         // segments into the relevant positions.
         let mut x: Vec<f64> = (0..total)
-            .map(|_| if self.rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f64>() < 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         for (seg, &pos) in SEGMENTS[digit].iter().zip(self.relevant_positions.iter()) {
             let mut bit = *seg as f64;
@@ -126,7 +132,7 @@ mod tests {
     #[test]
     fn all_digits_appear() {
         let mut gen = LedGenerator::new(0, 0.0, 21);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..2_000 {
             seen[gen.next_instance().unwrap().y] = true;
         }

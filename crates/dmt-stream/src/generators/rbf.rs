@@ -40,12 +40,7 @@ pub struct RandomRbfGenerator {
 
 impl RandomRbfGenerator {
     /// Create a generator with `num_centroids` stationary centroids.
-    pub fn new(
-        num_features: usize,
-        num_classes: usize,
-        num_centroids: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(num_features: usize, num_classes: usize, num_centroids: usize, seed: u64) -> Self {
         Self::with_drift(num_features, num_classes, num_centroids, 0.0, seed)
     }
 
@@ -71,7 +66,12 @@ impl RandomRbfGenerator {
             let mut direction: Vec<f64> = (0..num_features)
                 .map(|_| rng.gen_range(-1.0..1.0))
                 .collect();
-            let norm: f64 = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            let norm: f64 = direction
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt()
+                .max(1e-12);
             for d in direction.iter_mut() {
                 *d /= norm;
             }
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn produces_multiple_classes() {
         let mut gen = RandomRbfGenerator::new(4, 4, 20, 9);
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for _ in 0..5_000 {
             seen[gen.next_instance().unwrap().y] = true;
         }
@@ -203,7 +203,10 @@ mod tests {
                         .sqrt()
                 })
                 .fold(f64::INFINITY, f64::min);
-            assert!(min_dist < 0.05, "instance too far from every centroid: {min_dist}");
+            assert!(
+                min_dist < 0.05,
+                "instance too far from every centroid: {min_dist}"
+            );
         }
     }
 

@@ -1,9 +1,7 @@
 //! Instance and batch containers.
 
-use serde::{Deserialize, Serialize};
-
 /// A single labelled observation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
     /// Dense feature vector.
     pub x: Vec<f64>,
@@ -23,7 +21,7 @@ impl Instance {
 /// The paper processes the stream in batches of 0.1 % of the data
 /// ("batch-incremental" learning); [`Batch`] is the unit handed to every
 /// classifier's `learn`/`predict` methods.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Batch {
     /// Feature rows.
     pub xs: Vec<Vec<f64>>,
@@ -142,7 +140,12 @@ mod tests {
 
     fn toy_batch() -> Batch {
         Batch::new(
-            vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0], vec![3.0, 1.0]],
+            vec![
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![2.0, 2.0],
+                vec![3.0, 1.0],
+            ],
             vec![0, 1, 1, 0],
         )
     }

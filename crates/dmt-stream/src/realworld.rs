@@ -433,10 +433,7 @@ mod tests {
 
     #[test]
     fn abrupt_drift_moves_cluster_centres() {
-        let mut sim = ConceptSim::new(
-            small_spec(vec![DriftEvent::Abrupt { at: 0.5 }]),
-            11,
-        );
+        let mut sim = ConceptSim::new(small_spec(vec![DriftEvent::Abrupt { at: 0.5 }]), 11);
         for _ in 0..1_000 {
             let _ = sim.next_instance();
         }
@@ -455,7 +452,10 @@ mod tests {
     #[test]
     fn incremental_drift_moves_centres_gradually() {
         let mut sim = ConceptSim::new(
-            small_spec(vec![DriftEvent::Incremental { from: 0.2, until: 0.8 }]),
+            small_spec(vec![DriftEvent::Incremental {
+                from: 0.2,
+                until: 0.8,
+            }]),
             13,
         );
         for _ in 0..1_100 {
@@ -470,7 +470,10 @@ mod tests {
             .iter()
             .zip(mid.iter())
             .any(|(a, b)| a.iter().zip(b.iter()).any(|(x, y)| (x - y).abs() > 1e-4));
-        assert!(moved, "incremental drift should move centres during the window");
+        assert!(
+            moved,
+            "incremental drift should move centres during the window"
+        );
         // Still within bounds.
         for c in &sim.clusters {
             assert!(c.center.iter().all(|&v| (0.0..=1.0).contains(&v)));

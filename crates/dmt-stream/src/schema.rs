@@ -1,9 +1,7 @@
 //! Stream schema descriptions: feature names/types and the label space.
 
-use serde::{Deserialize, Serialize};
-
 /// The type of a single feature column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FeatureType {
     /// A continuous numeric feature.
     Numeric,
@@ -23,7 +21,7 @@ impl FeatureType {
 }
 
 /// Description of one feature column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureSpec {
     /// Human-readable feature name.
     pub name: String,
@@ -51,7 +49,7 @@ impl FeatureSpec {
 
 /// Schema of a classification data stream: feature columns plus the number of
 /// target classes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamSchema {
     /// Name of the stream (e.g. `"SEA"`, `"Electricity (sim)"`).
     pub name: String,
@@ -64,7 +62,10 @@ pub struct StreamSchema {
 impl StreamSchema {
     /// Build a schema with `m` anonymous numeric features.
     pub fn numeric(name: impl Into<String>, num_features: usize, num_classes: usize) -> Self {
-        assert!(num_classes >= 2, "a classification stream needs >= 2 classes");
+        assert!(
+            num_classes >= 2,
+            "a classification stream needs >= 2 classes"
+        );
         let features = (0..num_features)
             .map(|i| FeatureSpec::numeric(format!("x{i}")))
             .collect();
@@ -77,7 +78,10 @@ impl StreamSchema {
 
     /// Build a schema from explicit feature specs.
     pub fn new(name: impl Into<String>, features: Vec<FeatureSpec>, num_classes: usize) -> Self {
-        assert!(num_classes >= 2, "a classification stream needs >= 2 classes");
+        assert!(
+            num_classes >= 2,
+            "a classification stream needs >= 2 classes"
+        );
         Self {
             name: name.into(),
             features,

@@ -61,7 +61,7 @@ fn main() {
             params,
             secs
         );
-        if best.as_ref().map_or(true, |(_, b)| f1 > *b) {
+        if best.as_ref().is_none_or(|(_, b)| f1 > *b) {
             best = Some((kind.display_name().to_string(), f1));
         }
     }

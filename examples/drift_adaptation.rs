@@ -17,10 +17,8 @@ const STREAM_LEN: u64 = 40_000;
 fn evaluate(kind: ModelKind) -> (String, PrequentialResult) {
     // The paper's SEA stream: abrupt drifts at 20/40/60/80 % of the stream,
     // 10 % label noise, min-max normalised.
-    let mut stream = MinMaxNormalize::with_ranges(
-        SeaPaperStream::new(STREAM_LEN, 7),
-        vec![(0.0, 10.0); 3],
-    );
+    let mut stream =
+        MinMaxNormalize::with_ranges(SeaPaperStream::new(STREAM_LEN, 7), vec![(0.0, 10.0); 3]);
     let schema = stream.schema().clone();
     let mut model = build_model(kind, &schema, 7);
     let runner = PrequentialRun::new(PrequentialConfig::default());
@@ -34,7 +32,12 @@ fn main() {
         "{:<12} {:>12} {:>14} {:>12}",
         "model", "F1 (mean)", "F1 (last 20%)", "splits"
     );
-    for kind in [ModelKind::Dmt, ModelKind::VfdtMc, ModelKind::FimtDd, ModelKind::HtAda] {
+    for kind in [
+        ModelKind::Dmt,
+        ModelKind::VfdtMc,
+        ModelKind::FimtDd,
+        ModelKind::HtAda,
+    ] {
         let (name, result) = evaluate(kind);
         let (f1, _) = result.f1_mean_std();
         let tail_start = result.f1_per_batch.len() * 4 / 5;
@@ -48,10 +51,8 @@ fn main() {
     // the loss gain that caused it, which is exactly the "why did you change
     // at time t?" interpretability property of §I-A.
     println!("\nDMT structural decision log (observation count, decision):");
-    let mut stream = MinMaxNormalize::with_ranges(
-        SeaPaperStream::new(STREAM_LEN, 7),
-        vec![(0.0, 10.0); 3],
-    );
+    let mut stream =
+        MinMaxNormalize::with_ranges(SeaPaperStream::new(STREAM_LEN, 7), vec![(0.0, 10.0); 3]);
     let schema = stream.schema().clone();
     let mut tree = DynamicModelTree::new(schema, DmtConfig::default());
     let runner = PrequentialRun::new(PrequentialConfig::default());
@@ -64,7 +65,10 @@ fn main() {
                 format!("split on feature {} (gain {:.1})", key.feature, gain)
             }
             GainDecision::Replace { key, gain } => {
-                format!("replaced subtree with split on feature {} (gain {:.1})", key.feature, gain)
+                format!(
+                    "replaced subtree with split on feature {} (gain {:.1})",
+                    key.feature, gain
+                )
             }
             GainDecision::Prune { gain } => format!("pruned subtree to a leaf (gain {:.1})", gain),
             GainDecision::Keep => continue,

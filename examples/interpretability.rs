@@ -17,7 +17,15 @@ use dmt::stream::generators::AgrawalGenerator;
 use dmt::stream::MinMaxNormalize;
 
 const FEATURE_NAMES: [&str; 9] = [
-    "salary", "commission", "age", "elevel", "car", "zipcode", "hvalue", "hyears", "loan",
+    "salary",
+    "commission",
+    "age",
+    "elevel",
+    "car",
+    "zipcode",
+    "hvalue",
+    "hyears",
+    "loan",
 ];
 
 fn main() {
@@ -49,23 +57,31 @@ fn main() {
     );
 
     // Explain two contrasting applicants.
-    let wealthy = normalised_applicant(140_000.0, 0.0, 45.0, 4.0, 3.0, 2.0, 500_000.0, 25.0, 10_000.0);
-    let indebted = normalised_applicant(25_000.0, 12_000.0, 30.0, 0.0, 10.0, 5.0, 80_000.0, 2.0, 480_000.0);
+    let wealthy = normalised_applicant(
+        140_000.0, 0.0, 45.0, 4.0, 3.0, 2.0, 500_000.0, 25.0, 10_000.0,
+    );
+    let indebted = normalised_applicant(
+        25_000.0, 12_000.0, 30.0, 0.0, 10.0, 5.0, 80_000.0, 2.0, 480_000.0,
+    );
 
-    for (label, applicant) in [("wealthy applicant", wealthy), ("indebted applicant", indebted)] {
+    for (label, applicant) in [
+        ("wealthy applicant", wealthy),
+        ("indebted applicant", indebted),
+    ] {
         let explanation = tree.explain(&applicant);
         println!("=== {label} ===");
         println!("decision path : {}", explanation.describe_path());
         println!(
             "prediction    : class {} (p = {:.2})",
-            explanation.predicted_class,
-            explanation.probabilities[explanation.predicted_class]
+            explanation.predicted_class, explanation.probabilities[explanation.predicted_class]
         );
         println!("top features by |weight * value|:");
         for feature in explanation.top_features(3) {
             println!(
                 "  {:<11} weight {:+.3}  contribution {:+.3}",
-                FEATURE_NAMES[feature], explanation.weights[feature], explanation.contributions[feature]
+                FEATURE_NAMES[feature],
+                explanation.weights[feature],
+                explanation.contributions[feature]
             );
         }
         println!();
@@ -90,7 +106,9 @@ fn normalised_applicant(
     hyears: f64,
     loan: f64,
 ) -> Vec<f64> {
-    let raw = [salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan];
+    let raw = [
+        salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan,
+    ];
     raw.iter()
         .zip(agrawal_ranges())
         .map(|(v, (lo, hi))| ((v - lo) / (hi - lo)).clamp(0.0, 1.0))

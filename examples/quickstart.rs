@@ -12,8 +12,8 @@ fn main() {
     //    paper's Table I; `scale` shrinks the published stream lengths so the
     //    example finishes in seconds.
     let scale = 0.02;
-    let mut stream = dmt::stream::catalog::build_stream("SEA", scale, 42)
-        .expect("SEA is part of the catalog");
+    let mut stream =
+        dmt::stream::catalog::build_stream("SEA", scale, 42).expect("SEA is part of the catalog");
     let schema = stream.schema().clone();
     println!(
         "Stream: {} ({} features, {} classes, {} instances)",

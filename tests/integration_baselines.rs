@@ -114,7 +114,12 @@ fn table1_catalog_metadata_is_consistent_with_built_streams() {
     for info in &dmt::stream::catalog::TABLE1 {
         let mut stream = dmt::stream::catalog::build_stream(info.name, 0.002, 8).unwrap();
         assert_eq!(stream.schema().num_classes, info.classes, "{}", info.name);
-        assert_eq!(stream.schema().num_features(), info.features, "{}", info.name);
+        assert_eq!(
+            stream.schema().num_features(),
+            info.features,
+            "{}",
+            info.name
+        );
         // Majority ratio sanity for the simulated real-world streams.
         if let Some(majority) = info.majority {
             let expected_ratio = majority as f64 / info.samples as f64;

@@ -68,19 +68,15 @@ fn dmt_decision_log_reacts_to_a_hard_concept_inversion() {
     // Train on one concept, then feed the inverted labels: the loss-based
     // gains must trigger at least one structural change (replace or prune) or
     // the leaf models must adapt enough to keep the F1 from collapsing.
-    let mut stream_a = MinMaxNormalize::with_ranges(
-        SeaPaperStream::new(10_000, 21),
-        vec![(0.0, 10.0); 3],
-    );
+    let mut stream_a =
+        MinMaxNormalize::with_ranges(SeaPaperStream::new(10_000, 21), vec![(0.0, 10.0); 3]);
     let schema = stream_a.schema().clone();
     let mut tree = dmt::core::DynamicModelTree::new(schema, dmt::core::DmtConfig::default());
     while let Some(batch) = stream_a.next_batch(50) {
         tree.learn_batch(&batch.rows(), &batch.ys);
     }
-    let mut stream_b = MinMaxNormalize::with_ranges(
-        SeaPaperStream::new(10_000, 22),
-        vec![(0.0, 10.0); 3],
-    );
+    let mut stream_b =
+        MinMaxNormalize::with_ranges(SeaPaperStream::new(10_000, 22), vec![(0.0, 10.0); 3]);
     let mut correct = 0u64;
     let mut total = 0u64;
     while let Some(batch) = stream_b.next_batch(50) {
@@ -133,5 +129,8 @@ fn drift_detectors_fire_on_model_error_streams() {
         }
     }
     assert!(adwin_fired, "ADWIN never fired on a drifting error stream");
-    assert!(ph_fired, "Page-Hinkley never fired on a drifting error stream");
+    assert!(
+        ph_fired,
+        "Page-Hinkley never fired on a drifting error stream"
+    );
 }

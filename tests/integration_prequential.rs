@@ -34,7 +34,10 @@ fn dmt_handles_the_hyperplane_stream_with_few_splits() {
     assert!(f1 > 0.55, "DMT F1 on Hyperplane too low: {f1}");
     // The rotating hyperplane is linearly separable at every time step: the
     // DMT should represent it with very few splits (Table III reports 2.2).
-    assert!(splits < 30.0, "DMT used too many splits on Hyperplane: {splits}");
+    assert!(
+        splits < 30.0,
+        "DMT used too many splits on Hyperplane: {splits}"
+    );
 }
 
 #[test]
@@ -76,7 +79,10 @@ fn complexity_series_are_monotone_for_the_plain_vfdt() {
     let result = run(ModelKind::VfdtMc, "SEA", 0.01, 6);
     let mut last = 0.0;
     for &s in &result.splits_per_batch {
-        assert!(s + 1e-9 >= last, "VFDT split count decreased: {last} -> {s}");
+        assert!(
+            s + 1e-9 >= last,
+            "VFDT split count decreased: {last} -> {s}"
+        );
         last = s;
     }
 }
@@ -97,9 +103,15 @@ fn dmt_uses_fewer_splits_than_vfdt_on_sea() {
 
 #[test]
 fn prequential_result_serialises_to_json() {
+    use dmt::eval::json::{FromJson, Json, ToJson};
+
     let result = run(ModelKind::Dmt, "SEA", 0.005, 8);
-    let json = serde_json::to_string(&result).expect("serialisable");
+    let json = result.to_json().to_compact_string();
     assert!(json.contains("\"model\""));
-    let parsed: PrequentialResult = serde_json::from_str(&json).expect("round-trips");
+    let parsed =
+        PrequentialResult::from_json(&Json::parse(&json).expect("parses")).expect("round-trips");
     assert_eq!(parsed.num_batches(), result.num_batches());
+    assert_eq!(parsed.model, result.model);
+    assert_eq!(parsed.f1_per_batch, result.f1_per_batch);
+    assert_eq!(parsed.instances, result.instances);
 }

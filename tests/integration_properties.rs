@@ -178,6 +178,123 @@ proptest! {
         let goes_left = key.goes_left(&x);
         prop_assert_eq!(goes_left, x[feature] <= value);
     }
+
+    // ---- `*_into` / allocating API equivalence -----------------------------
+    //
+    // The allocation-free `*_into` methods are the hot-path primitives; the
+    // allocating variants are defined in terms of them. These properties pin
+    // the contract down to bit-identical results for both GLM variants
+    // (binary logit via 2 classes, multinomial softmax via 3+), so the
+    // scratch-buffer plumbing can never drift numerically.
+
+    #[test]
+    fn predict_proba_into_is_bit_identical(
+        (xs, ys) in labelled_batch(4, 3, 30),
+        probe in unit_vector(4),
+        classes in 2usize..5,
+    ) {
+        let mut glm = Glm::new_random(4, classes, 11);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let ys: Vec<usize> = ys.iter().map(|&y| y % classes).collect();
+        glm.sgd_step(&rows, &ys, 0.1);
+        let allocated = glm.predict_proba(&probe);
+        let mut buffer = vec![0.0f64; classes];
+        glm.predict_proba_into(&probe, &mut buffer);
+        prop_assert_eq!(allocated.len(), buffer.len());
+        for (a, b) in allocated.iter().zip(buffer.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The allocation-free predict agrees with the argmax convention.
+        prop_assert_eq!(glm.predict(&probe), dmt::models::argmax(&allocated));
+    }
+
+    #[test]
+    fn loss_and_gradient_into_is_bit_identical(
+        (xs, ys) in labelled_batch(3, 4, 40),
+        classes in 2usize..5,
+    ) {
+        let glm = Glm::new_random(3, classes, 7);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let ys: Vec<usize> = ys.iter().map(|&y| y % classes).collect();
+        let (loss_alloc, grad_alloc) = glm.loss_and_gradient(&rows, &ys);
+        // Dirty buffers: `_into` must fully overwrite, not accumulate.
+        let mut grad = vec![f64::NAN; glm.num_params()];
+        let mut class_buf = vec![f64::NAN; classes];
+        let loss_into = glm.loss_and_gradient_into(&rows, &ys, &mut grad, &mut class_buf);
+        prop_assert_eq!(loss_alloc.to_bits(), loss_into.to_bits());
+        prop_assert_eq!(grad_alloc.len(), grad.len());
+        for (a, b) in grad_alloc.iter().zip(grad.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sgd_step_into_is_bit_identical(
+        (xs, ys) in labelled_batch(3, 3, 30),
+        classes in 2usize..4,
+        steps in 1usize..4,
+    ) {
+        let mut via_alloc = Glm::new_random(3, classes, 3);
+        let mut via_into = via_alloc.clone();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let ys: Vec<usize> = ys.iter().map(|&y| y % classes).collect();
+        let mut grad_buf = vec![0.0f64; via_into.num_params()];
+        let mut class_buf = vec![0.0f64; classes];
+        for _ in 0..steps {
+            let loss_a = via_alloc.sgd_step(&rows, &ys, 0.05);
+            let loss_b = via_into.sgd_step_into(&rows, &ys, 0.05, &mut grad_buf, &mut class_buf);
+            prop_assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        }
+        prop_assert_eq!(via_alloc.params().len(), via_into.params().len());
+        for (a, b) in via_alloc.params().iter().zip(via_into.params().iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(via_alloc.observations_seen(), via_into.observations_seen());
+    }
+
+    #[test]
+    fn tree_predict_proba_into_matches_allocating(
+        batches in proptest::collection::vec(labelled_batch(3, 3, 30), 1..5),
+        probe in unit_vector(3),
+    ) {
+        let schema = StreamSchema::numeric("prop-into", 3, 3);
+        let mut tree = DynamicModelTree::new(schema, DmtConfig::default());
+        for (xs, ys) in &batches {
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, ys);
+        }
+        let allocated = tree.predict_proba(&probe);
+        let mut buffer = [f64::NAN; 3];
+        tree.predict_proba_into(&probe, &mut buffer);
+        for (a, b) in allocated.iter().zip(buffer.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(tree.predict(&probe), dmt::models::argmax(&allocated));
+    }
+
+    #[test]
+    fn linalg_into_helpers_are_bit_identical(
+        a in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        b_seed in 0.0f64..1.0,
+    ) {
+        use dmt::models::linalg;
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v * b_seed + i as f64).collect();
+        let allocated = linalg::sub(&a, &b);
+        let mut out = vec![f64::NAN; a.len()];
+        linalg::sub_into(&a, &b, &mut out);
+        for (x, y) in allocated.iter().zip(out.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let norm_direct = linalg::sub_norm_sq(&a, &b);
+        prop_assert_eq!(norm_direct.to_bits(), linalg::norm_sq(&allocated).to_bits());
+
+        let soft_alloc = linalg::softmax(&a);
+        let mut soft_out = vec![f64::NAN; a.len()];
+        linalg::softmax_into(&a, &mut soft_out);
+        for (x, y) in soft_alloc.iter().zip(soft_out.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }
 
 #[test]

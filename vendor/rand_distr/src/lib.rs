@@ -1,0 +1,159 @@
+//! Minimal, API-compatible shim for the subset of the [`rand_distr`] crate
+//! this workspace uses: the [`Distribution`] trait plus the [`Normal`] and
+//! [`Poisson`] distributions over `f64`.
+//!
+//! [`rand_distr`]: https://crates.io/crates/rand_distr
+
+#![deny(unsafe_code)]
+
+use rand::RngCore;
+
+/// Types that can draw samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution `N(mean, std_dev²)` sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution; fails for negative or non-finite σ.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 is pushed away from exactly 0 so ln stays finite.
+        let u1: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.next_f64();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * radius * angle.cos()
+    }
+}
+
+/// Error constructing a [`Poisson`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoissonError;
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be finite and positive")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Poisson distribution with rate `lambda`, sampled with Knuth's product
+/// method for small rates and a clamped Gaussian approximation for large ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution; fails for non-positive or non-finite λ.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(PoissonError);
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: count multiplications until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut product = rng.next_f64();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.next_f64();
+                count += 1;
+            }
+            count as f64
+        } else {
+            let normal = Normal::new(self.lambda, self.lambda.sqrt()).expect("valid");
+            normal.sample(rng).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_rejects_negative_sigma() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let normal = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+        assert!(Poisson::new(6.0).is_ok());
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let poisson = Poisson::new(6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| poisson.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 6.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_gaussian_branch() {
+        let poisson = Poisson::new(100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| poisson.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        for _ in 0..1_000 {
+            assert!(poisson.sample(&mut rng) >= 0.0);
+        }
+    }
+}
