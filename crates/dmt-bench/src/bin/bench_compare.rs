@@ -1,0 +1,202 @@
+//! CI throughput-regression gate: compare a fresh `bench_throughput` run
+//! against a committed `BENCH_<n>.json` baseline and fail (exit code 1) when
+//! a tracked model regresses beyond the tolerance band.
+//!
+//! Raw instances/sec depends on the machine, so the comparison is also
+//! normalised by a *control* model: for every stream, the ratio
+//! `current/baseline` of the model under test is divided by the same ratio of
+//! the control (`VFDT (MC)`, whose code path the perf-sensitive PRs do not
+//! touch), cancelling a uniformly slower CI runner. A cell fails only when
+//! *both* the raw and the control-normalised ratios fall below the tolerance
+//! band — a true regression shows up in both views, while control-row jitter
+//! or machine-speed changes alone show up in exactly one. Pass `--control ""`
+//! to gate on the raw ratio only (e.g. for two runs on the same machine).
+//!
+//! ```bash
+//! cargo run --release -p dmt-bench --bin bench_compare -- \
+//!     --baseline BENCH_2.json --current /tmp/bench.json \
+//!     --tolerance 0.15 --models "DMT (ours)"
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use dmt::eval::json::Json;
+
+struct Options {
+    baseline: String,
+    current: String,
+    /// Maximum tolerated relative regression (0.15 = fail below 85 % of the
+    /// baseline throughput).
+    tolerance: f64,
+    /// Control model used to cancel machine speed; empty = raw comparison.
+    control: String,
+    /// Models the gate applies to (comma-separated display names).
+    models: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            baseline: "BENCH_2.json".to_string(),
+            current: "/tmp/bench_current.json".to_string(),
+            tolerance: 0.15,
+            control: "VFDT (MC)".to_string(),
+            models: vec!["DMT (ours)".to_string()],
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut options = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--baseline" => {
+                if let Some(v) = value {
+                    options.baseline = v.clone();
+                    i += 1;
+                }
+            }
+            "--current" => {
+                if let Some(v) = value {
+                    options.current = v.clone();
+                    i += 1;
+                }
+            }
+            "--tolerance" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.tolerance = v;
+                    i += 1;
+                }
+            }
+            "--control" => {
+                if let Some(v) = value {
+                    options.control = v.clone();
+                    i += 1;
+                }
+            }
+            "--models" => {
+                if let Some(v) = value {
+                    options.models = v.split(',').map(|s| s.trim().to_string()).collect();
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    options
+}
+
+/// `(model, stream) -> instances_per_sec` of one bench_throughput JSON file.
+fn load_throughput(path: &str) -> Result<BTreeMap<(String, String), f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    let mut out = BTreeMap::new();
+    for cell in results {
+        let model = cell
+            .get("model")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}: cell without model"))?;
+        let stream = cell
+            .get("stream")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}: cell without stream"))?;
+        let ips = cell
+            .get("instances_per_sec")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{path}: cell without instances_per_sec"))?;
+        out.insert((model.to_string(), stream.to_string()), ips);
+    }
+    Ok(out)
+}
+
+fn run(options: &Options) -> Result<bool, String> {
+    let baseline = load_throughput(&options.baseline)?;
+    let current = load_throughput(&options.current)?;
+
+    // Per-stream machine-speed factor from the control model.
+    let mut control_ratio: BTreeMap<String, f64> = BTreeMap::new();
+    if !options.control.is_empty() {
+        for ((model, stream), &base_ips) in &baseline {
+            if model == &options.control {
+                if let Some(&cur_ips) = current.get(&(model.clone(), stream.clone())) {
+                    if base_ips > 0.0 {
+                        control_ratio.insert(stream.clone(), cur_ips / base_ips);
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "{:<14}{:<10}{:>14}{:>14}{:>10}{:>12}  status",
+        "Model", "Stream", "base i/s", "cur i/s", "ratio", "normalised"
+    );
+    let mut failed = false;
+    let mut compared = 0usize;
+    for ((model, stream), &base_ips) in &baseline {
+        if !options.models.iter().any(|m| m == model) {
+            continue;
+        }
+        let Some(&cur_ips) = current.get(&(model.clone(), stream.clone())) else {
+            return Err(format!("current run misses cell ({model}, {stream})"));
+        };
+        if base_ips <= 0.0 {
+            continue;
+        }
+        let raw_ratio = cur_ips / base_ips;
+        let machine = control_ratio.get(stream).copied().unwrap_or(1.0);
+        let normalised = raw_ratio / machine;
+        // A true regression shows up in both views: raw (same-machine
+        // comparisons) and control-normalised (slower CI runners). Requiring
+        // both keeps control-row jitter from failing an unchanged model.
+        let floor = 1.0 - options.tolerance;
+        let ok = raw_ratio >= floor || normalised >= floor;
+        failed |= !ok;
+        compared += 1;
+        println!(
+            "{:<14}{:<10}{:>14.0}{:>14.0}{:>10.3}{:>12.3}  {}",
+            model,
+            stream,
+            base_ips,
+            cur_ips,
+            raw_ratio,
+            normalised,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no cells of {:?} found in both files",
+            options.models
+        ));
+    }
+    if failed {
+        eprintln!(
+            "throughput regression beyond {:.0} % tolerance (baseline {})",
+            options.tolerance * 100.0,
+            options.baseline
+        );
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    match run(&options) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_compare: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Throughput tracking for the repository's perf trajectory: test-then-train
 //! instances/sec of the DMT and the stand-alone baseline trees on the SEA,
-//! Agrawal and RBF generators, written to `BENCH_1.json`.
+//! Agrawal and RBF generators, written to `BENCH_<n>.json`.
 //!
 //! The protocol mirrors the paper's evaluation loop (predict a batch, then
 //! learn it) but times nothing except the models: all stream batches are
@@ -8,19 +8,23 @@
 //! cost per iteration; here it is normalised to instances/sec so successive
 //! PRs can be compared directly.
 //!
+//! Streams and seeds come from the shared harness
+//! ([`dmt_bench::throughput_stream`], [`dmt_bench::bench_seed`]): the stream
+//! is rebuilt with the same seed for every model row, so all rows of one run
+//! consume identical instance sequences. CI re-runs this binary on the same
+//! pinned configuration and gates regressions with `bench_compare`.
+//!
 //! ```bash
 //! cargo run -p dmt-bench --release --bin bench_throughput
 //! cargo run -p dmt-bench --release --bin bench_throughput -- \
-//!     --warmup 2000 --instances 40000 --batch 100 --out BENCH_1.json
+//!     --warmup 2000 --instances 40000 --batch 100 --out BENCH_2.json
 //! ```
 
 use std::time::Instant;
 
 use dmt::eval::json::{Json, ToJson};
 use dmt::prelude::*;
-use dmt::stream::generators::{AgrawalGenerator, RandomRbfGenerator, SeaGenerator};
-use dmt::stream::transform::MinMaxNormalize;
-use dmt::stream::DataStream;
+use dmt_bench::{bench_seed, throughput_stream, THROUGHPUT_STREAMS};
 
 struct Options {
     warmup: usize,
@@ -35,7 +39,7 @@ impl Default for Options {
             warmup: 2_000,
             instances: 40_000,
             batch: 100,
-            out: "BENCH_1.json".to_string(),
+            out: "BENCH_2.json".to_string(),
         }
     }
 }
@@ -78,23 +82,6 @@ fn parse_options() -> Options {
     options
 }
 
-/// The three synthetic streams of the throughput suite. Numeric features are
-/// normalised to [0, 1] like the catalog does, so the GLM-based models run in
-/// their intended regime.
-fn build_stream(name: &str, seed: u64) -> Box<dyn DataStream> {
-    match name {
-        "SEA" => Box::new(MinMaxNormalize::with_ranges(
-            SeaGenerator::new(0, 0.1, seed),
-            vec![(0.0, 10.0); 3],
-        )),
-        "Agrawal" => Box::new(MinMaxNormalize::online(AgrawalGenerator::new(
-            0, 0.05, seed,
-        ))),
-        "RBF" => Box::new(RandomRbfGenerator::new(10, 4, 25, seed)),
-        other => panic!("unknown bench stream {other}"),
-    }
-}
-
 struct CellResult {
     model: String,
     stream: String,
@@ -128,9 +115,10 @@ impl ToJson for CellResult {
 }
 
 fn run_cell(kind: ModelKind, stream_name: &str, options: &Options) -> CellResult {
-    let mut stream = build_stream(stream_name, 42);
+    let mut stream = throughput_stream(stream_name, bench_seed::STREAM)
+        .unwrap_or_else(|| panic!("unknown bench stream {stream_name}"));
     let schema = stream.schema().clone();
-    let mut model = build_model(kind, &schema, 1);
+    let mut model = build_model(kind, &schema, bench_seed::MODEL);
 
     // Materialise everything up front; only the model is timed.
     let warmup: Vec<Batch> = (0..options.warmup.div_ceil(options.batch))
@@ -173,14 +161,13 @@ fn run_cell(kind: ModelKind, stream_name: &str, options: &Options) -> CellResult
 
 fn main() {
     let options = parse_options();
-    let streams = ["SEA", "Agrawal", "RBF"];
     let mut results: Vec<CellResult> = Vec::new();
 
     println!(
         "{:<14}{:<10}{:>16}{:>16}{:>12}",
         "Model", "Stream", "inst/sec", "µs/batch", "splits"
     );
-    for stream in streams {
+    for stream in THROUGHPUT_STREAMS {
         for kind in STANDALONE_MODELS {
             let cell = run_cell(kind, stream, &options);
             println!(

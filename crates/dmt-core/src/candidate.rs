@@ -13,6 +13,8 @@
 //! between the node statistics and the left-child statistics (Algorithm 1,
 //! note before line 4), which halves memory.
 
+use dmt_models::linalg::{self, MatRef};
+
 /// Identity of a split candidate: which feature is tested and against what.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateKey {
@@ -26,15 +28,20 @@ pub struct CandidateKey {
 }
 
 impl CandidateKey {
-    /// Whether an instance is routed to the left child by this candidate.
+    /// Whether a raw feature value passes the split test (left routing).
     #[inline]
-    pub fn goes_left(&self, x: &[f64]) -> bool {
-        let v = x[self.feature];
+    pub fn test_value(&self, v: f64) -> bool {
         if self.is_nominal {
             (v - self.value).abs() < 1e-9
         } else {
             v <= self.value
         }
+    }
+
+    /// Whether an instance is routed to the left child by this candidate.
+    #[inline]
+    pub fn goes_left(&self, x: &[f64]) -> bool {
+        self.test_value(x[self.feature])
     }
 
     /// Two keys are considered the same candidate when they test the same
@@ -77,10 +84,29 @@ impl SplitCandidate {
     /// Accumulate the loss/gradient of one left-routed observation.
     pub fn accumulate(&mut self, loss: f64, grad: &[f64]) {
         self.loss_sum += loss;
-        for (g, &gi) in self.grad_sum.iter_mut().zip(grad.iter()) {
-            *g += gi;
-        }
+        linalg::add_assign(&mut self.grad_sum, grad);
         self.count += 1;
+    }
+
+    /// Accumulate every left-routed row of a gathered batch in row order:
+    /// `xs` holds the instances (row-major), `losses[i]`/`grads.row(i)` the
+    /// per-row loss and gradient from a batched model pass.
+    ///
+    /// This is the *reference* per-row accumulation — the definition of which
+    /// rows a candidate owns. The tree's hot path does **not** call it; it
+    /// uses the per-feature sorted prefix-sum pass in `dmt_core::node`, which
+    /// selects the same row set (pinned by tests) while touching each
+    /// gradient row once per feature instead of once per candidate.
+    pub fn accumulate_batch(&mut self, xs: MatRef<'_>, losses: &[f64], grads: MatRef<'_>) {
+        debug_assert_eq!(xs.rows(), losses.len());
+        debug_assert_eq!(xs.rows(), grads.rows());
+        let m = xs.cols();
+        let data = xs.as_slice();
+        for i in 0..xs.rows() {
+            if self.key.test_value(data[i * m + self.key.feature]) {
+                self.accumulate(losses[i], grads.row(i));
+            }
+        }
     }
 
     /// Reset the accumulated statistics (used after structural changes).
@@ -128,33 +154,100 @@ pub fn propose_from_batch_indexed(
     for feature in 0..m {
         values.clear();
         values.extend(idx.iter().map(|&i| xs[i][feature]));
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let is_nominal = nominal_features.get(feature).copied().unwrap_or(false);
-        if is_nominal {
-            values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-        } else {
-            // Keep only the 25 %, 50 % and 75 % batch quantiles.
-            let n = values.len();
-            let quantiles = [values[n / 4], values[n / 2], values[(3 * n / 4).min(n - 1)]];
-            values.clear();
-            values.extend_from_slice(&quantiles);
-            values.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        }
-        values.retain(|v| v.is_finite());
-        for &value in values.iter() {
-            let key = CandidateKey {
-                feature,
-                value,
-                is_nominal,
-            };
-            let already_stored = existing.iter().any(|c| c.key.same_as(&key))
-                || proposals.iter().any(|p: &CandidateKey| p.same_as(&key));
-            if !already_stored {
-                proposals.push(key);
-            }
-        }
+        push_feature_proposals(values, feature, nominal_features, existing, &mut proposals);
     }
     proposals
+}
+
+/// [`propose_from_batch`] over a gathered, contiguous row-major batch (the
+/// tree's hot path): feature columns are read straight out of the matrix and
+/// the numeric quantiles come from an O(n) selection instead of a full sort.
+pub fn propose_from_rows(
+    xs: MatRef<'_>,
+    nominal_features: &[bool],
+    existing: &[SplitCandidate],
+    values: &mut Vec<f64>,
+) -> Vec<CandidateKey> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs.cols();
+    let data = xs.as_slice();
+    let mut proposals = Vec::new();
+    for feature in 0..m {
+        values.clear();
+        values.extend((0..xs.rows()).map(|r| data[r * m + feature]));
+        push_feature_proposals(values, feature, nominal_features, existing, &mut proposals);
+    }
+    proposals
+}
+
+/// Total order over `f64` used by the proposal machinery (NaNs compare equal;
+/// they are filtered out before any key is built).
+#[inline]
+fn cmp_f64(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+/// Replace `values` (arbitrary order) with the batch's 25 %, 50 % and 75 %
+/// order statistics — the same three elements a full sort would pick at
+/// `n/4`, `n/2` and `min(3n/4, n-1)` — using `select_nth_unstable` so the
+/// per-batch cost is O(n) instead of O(n log n).
+fn keep_batch_quantiles(values: &mut Vec<f64>) {
+    let n = values.len();
+    if n == 0 {
+        return;
+    }
+    let i1 = n / 4;
+    let i2 = n / 2;
+    let i3 = (3 * n / 4).min(n - 1);
+    let (lo, mid, hi) = values.select_nth_unstable_by(i2, cmp_f64);
+    let q2 = *mid;
+    let q1 = if i1 == i2 {
+        q2
+    } else {
+        *lo.select_nth_unstable_by(i1, cmp_f64).1
+    };
+    let q3 = if i3 == i2 {
+        q2
+    } else {
+        *hi.select_nth_unstable_by(i3 - i2 - 1, cmp_f64).1
+    };
+    values.clear();
+    values.extend([q1, q2, q3]);
+}
+
+/// Shared per-feature proposal step: reduce the raw column `values` to the
+/// candidate split values (distinct codes for nominal features, batch
+/// quantiles for numeric ones) and append the keys not already stored.
+fn push_feature_proposals(
+    values: &mut Vec<f64>,
+    feature: usize,
+    nominal_features: &[bool],
+    existing: &[SplitCandidate],
+    proposals: &mut Vec<CandidateKey>,
+) {
+    let is_nominal = nominal_features.get(feature).copied().unwrap_or(false);
+    if is_nominal {
+        values.sort_by(cmp_f64);
+        values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    } else {
+        keep_batch_quantiles(values);
+        values.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    }
+    values.retain(|v| v.is_finite());
+    for &value in values.iter() {
+        let key = CandidateKey {
+            feature,
+            value,
+            is_nominal,
+        };
+        let already_stored = existing.iter().any(|c| c.key.same_as(&key))
+            || proposals.iter().any(|p: &CandidateKey| p.same_as(&key));
+        if !already_stored {
+            proposals.push(key);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +360,76 @@ mod tests {
     #[test]
     fn empty_batch_proposes_nothing() {
         assert!(propose_from_batch(&[], &[false], &[]).is_empty());
+        let empty = MatRef::new(&[], 0, 0);
+        assert!(propose_from_rows(empty, &[false], &[], &mut Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn propose_from_rows_matches_scattered_proposals() {
+        // Mixed numeric + nominal batch, compared against the row-pointer
+        // variant: identical keys in identical order.
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i * 7 % 50) as f64 / 50.0, (i % 5) as f64, i as f64])
+            .collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let nominal = [false, true, false];
+        let scattered = propose_from_batch(&rows, &nominal, &[]);
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let mat = MatRef::new(&flat, 50, 3);
+        let contiguous = propose_from_rows(mat, &nominal, &[], &mut Vec::new());
+        assert_eq!(scattered.len(), contiguous.len());
+        for (a, b) in scattered.iter().zip(contiguous.iter()) {
+            assert_eq!(a.feature, b.feature);
+            assert_eq!(a.is_nominal, b.is_nominal);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantile_selection_matches_full_sort() {
+        for n in 1..60usize {
+            let mut values: Vec<f64> = (0..n).map(|i| ((i * 31) % n) as f64 * 0.5).collect();
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let expected = [sorted[n / 4], sorted[n / 2], sorted[(3 * n / 4).min(n - 1)]];
+            keep_batch_quantiles(&mut values);
+            assert_eq!(values.len(), 3, "n={n}");
+            for (a, b) in values.iter().zip(expected.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_batch_matches_per_row_accumulation() {
+        let key = CandidateKey {
+            feature: 1,
+            value: 0.5,
+            is_nominal: false,
+        };
+        let flat: Vec<f64> = (0..20)
+            .flat_map(|i| [i as f64 / 20.0, ((i * 3) % 20) as f64 / 20.0])
+            .collect();
+        let xs = MatRef::new(&flat, 20, 2);
+        let losses: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let grads_flat: Vec<f64> = (0..20 * 3).map(|i| i as f64 * 0.01).collect();
+        let grads = MatRef::new(&grads_flat, 20, 3);
+
+        let mut batched = SplitCandidate::new(key, 3);
+        batched.accumulate_batch(xs, &losses, grads);
+
+        let mut sequential = SplitCandidate::new(key, 3);
+        for (i, &loss) in losses.iter().enumerate() {
+            if key.goes_left(xs.row(i)) {
+                sequential.accumulate(loss, grads.row(i));
+            }
+        }
+        assert_eq!(batched.count, sequential.count);
+        assert!(batched.count > 0);
+        assert_eq!(batched.loss_sum.to_bits(), sequential.loss_sum.to_bits());
+        for (a, b) in batched.grad_sum.iter().zip(sequential.grad_sum.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -58,3 +58,7 @@ pub use export::TreeSummary;
 pub use node::{GainDecision, NodeStats};
 pub use scratch::UpdateScratch;
 pub use tree::{DmtConfig, DynamicModelTree};
+
+// Re-exported so `DmtConfig::batch_mode` can be set without a direct
+// `dmt-models` dependency.
+pub use dmt_models::BatchMode;

@@ -1,9 +1,10 @@
 //! Node statistics, loss-based gains and the recursive learning procedure of
 //! the Dynamic Model Tree.
 
-use dmt_models::{linalg, Glm, SimpleModel as _};
+use dmt_models::linalg::{self, MatMut, MatRef};
+use dmt_models::{Glm, SimpleModel as _};
 
-use crate::candidate::{propose_from_batch_indexed, CandidateKey, SplitCandidate};
+use crate::candidate::{propose_from_rows, CandidateKey, SplitCandidate};
 use crate::scratch::UpdateScratch;
 use crate::tree::DmtConfig;
 
@@ -174,6 +175,14 @@ impl NodeStats {
     /// (indices into `xs`/`ys`), with all intermediates written into the
     /// reusable `scratch` buffers — the steady-state path performs no heap
     /// allocation per instance.
+    ///
+    /// The routed sub-batch is gathered into the scratch space's contiguous
+    /// row-major matrix once; a single batched model pass then produces every
+    /// per-row loss and gradient (one enum dispatch per node instead of one
+    /// per instance), the node and candidate accumulators are fed from that
+    /// shared gradient buffer, and the final SGD sweep runs through
+    /// [`dmt_models::SimpleModel::learn_batch_into`] in the configured
+    /// [`dmt_models::BatchMode`].
     pub fn update_with_batch_indexed(
         &mut self,
         xs: &[&[f64]],
@@ -187,34 +196,61 @@ impl NodeStats {
             return;
         }
         let k = self.model.num_params();
-        scratch.prepare_node(idx.len(), k, self.model.num_classes());
+        let m = xs[idx[0]].len();
+        let b = idx.len();
+        scratch.prepare_node(b, k, self.model.num_classes());
+        scratch.gather(xs, ys, idx);
+        // Split the scratch space into disjoint borrows: the gathered batch
+        // is read through matrix views while the per-row outputs are written.
+        let UpdateScratch {
+            losses,
+            grads,
+            grad_buf,
+            class_buf,
+            values_buf,
+            xbuf,
+            ybuf,
+            sort_pairs,
+            prefix_losses,
+            prefix_grads,
+            ..
+        } = scratch;
+        let xmat = MatRef::new(xbuf, b, m);
 
         // Per-instance loss and gradient at the *current* parameters
-        // (lines 1–3): row `row` of the flattened gradient matrix belongs to
-        // instance `idx[row]`.
-        for (row, &i) in idx.iter().enumerate() {
-            let grad_row = &mut scratch.grads[row * k..(row + 1) * k];
-            let loss = self.model.loss_and_gradient_into(
-                &[xs[i]],
-                &[ys[i]],
-                grad_row,
-                &mut scratch.class_buf,
-            );
-            scratch.losses[row] = loss;
+        // (lines 1–3), one batched kernel pass: row `row` of the gradient
+        // matrix belongs to instance `idx[row]`.
+        self.model.loss_and_gradient_batch_into(
+            xmat,
+            ybuf,
+            losses,
+            MatMut::new(grads, b, k),
+            class_buf,
+        );
+        let gradmat = MatRef::new(grads, b, k);
+        for (row, &loss) in losses.iter().enumerate() {
             self.loss_sum += loss;
-            linalg::add_assign(&mut self.grad_sum, grad_row);
+            linalg::add_assign(&mut self.grad_sum, gradmat.row(row));
         }
-        self.count += idx.len() as u64;
+        self.count += b as u64;
 
-        // Candidate accumulation (lines 6–10).
-        for candidate in self.candidates.iter_mut() {
-            for (row, &i) in idx.iter().enumerate() {
-                if candidate.key.goes_left(xs[i]) {
-                    candidate
-                        .accumulate(scratch.losses[row], &scratch.grads[row * k..(row + 1) * k]);
-                }
-            }
-        }
+        // Candidate accumulation (lines 6–10) and proposal initialisation
+        // (§V-D), both fed from the batched gradient buffer of the model pass
+        // above through one per-feature prefix-sum pass: a candidate's
+        // left-subset statistics become an O(k) prefix difference instead of
+        // an O(batch · k) row scan.
+        let proposal_keys = propose_from_rows(xmat, nominal_features, &self.candidates, values_buf);
+        let proposals = Self::accumulate_via_feature_prefixes(
+            &mut self.candidates,
+            proposal_keys,
+            k,
+            xmat,
+            losses,
+            gradmat,
+            sort_pairs,
+            prefix_losses,
+            prefix_grads,
+        );
 
         // Refresh the stored candidates' gain estimates. Borrowing the
         // accumulator fields directly lets the pool be iterated mutably
@@ -228,61 +264,148 @@ impl NodeStats {
                     .unwrap_or(f64::NEG_INFINITY);
         }
 
-        // Candidate pool management (§V-D): propose new candidates from the
-        // batch and let them displace at most `replacement_rate` of the pool.
-        self.manage_candidate_pool(xs, idx, nominal_features, config, scratch);
+        // Candidate pool management (§V-D): let the freshly proposed
+        // candidates displace at most `replacement_rate` of the pool.
+        self.manage_candidate_pool(xmat.cols(), config, proposals);
 
-        // Finally, train the simple model with constant-learning-rate SGD:
-        // one pass over the batch, one step per instance (§V-A).
-        for &i in idx {
-            self.model.sgd_step_into(
-                &[xs[i]],
-                &[ys[i]],
-                config.learning_rate,
-                &mut scratch.grad_buf,
-                &mut scratch.class_buf,
-            );
-        }
+        // Finally, train the simple model with constant-learning-rate SGD
+        // over the gathered batch (§V-A); `config.batch_mode` selects the
+        // per-instance reference sweep or the windowed batched kernel.
+        self.model.learn_batch_into(
+            xmat,
+            ybuf,
+            config.learning_rate,
+            config.batch_mode,
+            grad_buf,
+            class_buf,
+        );
     }
 
+    /// One per-feature prefix pass over the batched gradient buffer that
+    /// feeds every stored candidate *and* initialises every fresh proposal:
+    /// row indices are sorted by the tested feature column, the per-row
+    /// losses/gradient rows are prefix-summed in that order, and each
+    /// candidate's left subset becomes a contiguous sorted range — numeric
+    /// thresholds a prefix, nominal equality (within the routing tolerance) a
+    /// run of equal values — so its accumulation is an O(k) prefix difference
+    /// (identical row set as a per-row scan with `CandidateKey::goes_left`;
+    /// only the floating-point summation order differs). Features without any
+    /// candidate skip the pass entirely.
+    ///
+    /// Returns the proposals as initialised [`SplitCandidate`]s (statistics
+    /// from the current batch only; the paper accepts this initial bias).
+    #[allow(clippy::too_many_arguments)] // threaded scratch buffers, not state
+    fn accumulate_via_feature_prefixes(
+        candidates: &mut [SplitCandidate],
+        proposal_keys: Vec<CandidateKey>,
+        k: usize,
+        xs: MatRef<'_>,
+        losses: &[f64],
+        grads: MatRef<'_>,
+        sort_pairs: &mut Vec<(f64, u32)>,
+        prefix_losses: &mut Vec<f64>,
+        prefix_grads: &mut Vec<f64>,
+    ) -> Vec<SplitCandidate> {
+        let b = xs.rows();
+        let m = xs.cols();
+        let data = xs.as_slice();
+        let mut proposals: Vec<SplitCandidate> = proposal_keys
+            .into_iter()
+            .map(|key| SplitCandidate::new(key, k))
+            .collect();
+        prefix_losses.resize(b + 1, 0.0);
+        prefix_grads.resize((b + 1) * k, 0.0);
+        for feature in 0..m {
+            let wanted = |c: &SplitCandidate| c.key.feature == feature;
+            if !candidates.iter().any(wanted) && !proposals.iter().any(wanted) {
+                continue;
+            }
+            // Row order sorted by this feature column (deterministic:
+            // `sort_unstable` has no randomness; NaNs compare equal and are
+            // never proposed as split values). The value is packed next to
+            // the row index so neither the sort nor the boundary searches
+            // chase pointers.
+            sort_pairs.clear();
+            sort_pairs.extend((0..b).map(|r| (data[r * m + feature], r as u32)));
+            sort_pairs.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Prefix sums of losses and gradient rows in sorted order.
+            prefix_losses[0] = 0.0;
+            prefix_grads[..k].fill(0.0);
+            for (pos, &(_, r)) in sort_pairs.iter().enumerate() {
+                prefix_losses[pos + 1] = prefix_losses[pos] + losses[r as usize];
+                let (done, rest) = prefix_grads.split_at_mut((pos + 1) * k);
+                let prev = &done[pos * k..];
+                let out = &mut rest[..k];
+                let row = grads.row(r as usize);
+                for l in 0..k {
+                    out[l] = prev[l] + row[l];
+                }
+            }
+            for candidate in candidates.iter_mut().filter(|c| wanted(c)) {
+                Self::add_prefix_range(candidate, sort_pairs, prefix_losses, prefix_grads, k);
+            }
+            for candidate in proposals.iter_mut().filter(|c| wanted(c)) {
+                Self::add_prefix_range(candidate, sort_pairs, prefix_losses, prefix_grads, k);
+            }
+        }
+        proposals
+    }
+
+    /// Add one batch's left-subset statistics to `candidate` from the sorted
+    /// prefix arrays. The range bounds use exactly the arithmetic of
+    /// [`CandidateKey::test_value`], so the selected row set matches per-row
+    /// routing bit-for-bit.
+    fn add_prefix_range(
+        candidate: &mut SplitCandidate,
+        sort_pairs: &[(f64, u32)],
+        prefix_losses: &[f64],
+        prefix_grads: &[f64],
+        k: usize,
+    ) {
+        let key = candidate.key;
+        let (lo, hi) = if key.is_nominal {
+            // `test_value` passes iff |v - key.value| < 1e-9, i.e. the run of
+            // sorted rows with v - key.value in (-1e-9, 1e-9).
+            let lo = sort_pairs.partition_point(|&(v, _)| v - key.value <= -1e-9);
+            let hi = sort_pairs.partition_point(|&(v, _)| v - key.value < 1e-9);
+            (lo, hi.max(lo))
+        } else {
+            (0, sort_pairs.partition_point(|&(v, _)| v <= key.value))
+        };
+        if hi <= lo {
+            return;
+        }
+        candidate.loss_sum += prefix_losses[hi] - prefix_losses[lo];
+        let ph = &prefix_grads[hi * k..(hi + 1) * k];
+        let pl = &prefix_grads[lo * k..(lo + 1) * k];
+        for ((g, &a), &b) in candidate.grad_sum.iter_mut().zip(ph.iter()).zip(pl.iter()) {
+            *g += a - b;
+        }
+        candidate.count += (hi - lo) as u64;
+    }
+
+    /// Candidate pool management (§V-D): rank the freshly initialised
+    /// proposals and let them displace at most `replacement_rate` of the
+    /// stored pool.
     fn manage_candidate_pool(
         &mut self,
-        xs: &[&[f64]],
-        idx: &[usize],
-        nominal_features: &[bool],
+        num_features: usize,
         config: &DmtConfig,
-        scratch: &mut UpdateScratch,
+        proposals: Vec<SplitCandidate>,
     ) {
-        let num_features = xs[idx[0]].len();
-        let k = self.k();
         let max_candidates = config.max_candidates(num_features);
         let max_replacements = ((max_candidates as f64) * config.replacement_rate).ceil() as usize;
 
-        let proposals = propose_from_batch_indexed(
-            xs,
-            idx,
-            nominal_features,
-            &self.candidates,
-            &mut scratch.values_buf,
-        );
         if proposals.is_empty() {
             return;
         }
-        // Initialise proposal statistics from the current batch only (the
-        // paper accepts this initial bias; it washes out over time).
-        let mut new_candidates: Vec<SplitCandidate> = Vec::with_capacity(proposals.len());
-        for key in proposals {
-            let mut candidate = SplitCandidate::new(key, k);
-            for (row, &i) in idx.iter().enumerate() {
-                if key.goes_left(xs[i]) {
-                    candidate
-                        .accumulate(scratch.losses[row], &scratch.grads[row * k..(row + 1) * k]);
-                }
-            }
+        let mut new_candidates = proposals;
+        for candidate in new_candidates.iter_mut() {
             candidate.last_gain = self
-                .candidate_gain(&candidate, self.loss_sum, config.learning_rate)
+                .candidate_gain(candidate, self.loss_sum, config.learning_rate)
                 .unwrap_or(f64::NEG_INFINITY);
-            new_candidates.push(candidate);
         }
         new_candidates.sort_by(|a, b| {
             b.last_gain
@@ -508,12 +631,16 @@ impl DmtNode {
                 // partition of the index slice (left prefix, right suffix)
                 // using the reusable holding pen for the right side. The pen
                 // is drained before the recursion, so child partitions can
-                // reuse it.
+                // reuse it. The split test reads the tested feature column
+                // out of the matrix the node update just gathered (`xbuf` row
+                // `pos` is `xs[idx[pos]]`), avoiding one pointer chase per
+                // instance.
                 scratch.partition_buf.clear();
+                let m = xs[idx[0]].len();
                 let mut write = 0usize;
                 for pos in 0..idx.len() {
                     let i = idx[pos];
-                    if key.goes_left(xs[i]) {
+                    if key.test_value(scratch.xbuf[pos * m + key.feature]) {
                         idx[write] = i;
                         write += 1;
                     } else {
@@ -654,6 +781,51 @@ mod tests {
         let best = stats.best_candidate(stats.loss_sum, cfg.learning_rate);
         let (_, gain) = best.expect("a candidate must exist");
         assert!(gain > 0.0, "gain {gain}");
+    }
+
+    #[test]
+    fn prefix_accumulation_matches_per_row_candidate_stats() {
+        // One batch through a fresh node, then recompute every stored
+        // candidate's statistics by scanning the batch per row with the
+        // pre-update model. Counts and row sets must match exactly; the sums
+        // may differ only by prefix-reassociation rounding.
+        let cfg = config();
+        let mut stats = NodeStats::new(Glm::new_random(2, 2, 7));
+        let model_before = stats.model.clone();
+        let (xs, ys) = separable_batch(80);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        stats.update_with_batch(&rows, &ys, &[false, false], &cfg);
+        assert!(!stats.candidates.is_empty());
+        for candidate in &stats.candidates {
+            let mut count = 0u64;
+            let mut loss_sum = 0.0;
+            let mut grad_sum = vec![0.0; stats.k()];
+            for (x, &y) in rows.iter().zip(ys.iter()) {
+                if candidate.key.goes_left(x) {
+                    let (loss, grad) = model_before.loss_and_gradient(&[x], &[y]);
+                    count += 1;
+                    loss_sum += loss;
+                    linalg::add_assign(&mut grad_sum, &grad);
+                }
+            }
+            assert_eq!(
+                candidate.count, count,
+                "row set diverged: {:?}",
+                candidate.key
+            );
+            assert!(
+                (candidate.loss_sum - loss_sum).abs() <= 1e-9 * loss_sum.abs().max(1.0),
+                "loss sum diverged: {} vs {}",
+                candidate.loss_sum,
+                loss_sum
+            );
+            for (a, b) in candidate.grad_sum.iter().zip(grad_sum.iter()) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "gradient sum diverged: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,21 @@ pub struct UpdateScratch {
     pub(crate) partition_buf: Vec<usize>,
     /// Sort buffer for per-feature values during candidate proposal.
     pub(crate) values_buf: Vec<f64>,
+    /// The node's routed sub-batch gathered into one contiguous row-major
+    /// matrix (`instances × features`); every batched kernel of the update
+    /// loop runs over this buffer instead of chasing scattered row pointers.
+    pub(crate) xbuf: Vec<f64>,
+    /// Labels of the gathered sub-batch, aligned with `xbuf` rows.
+    pub(crate) ybuf: Vec<usize>,
+    /// `(feature value, row)` pairs sorted by value (candidate prefix pass);
+    /// packing the key next to the row index keeps the sort comparator and
+    /// the boundary searches free of indirect loads.
+    pub(crate) sort_pairs: Vec<(f64, u32)>,
+    /// Prefix sums of the per-row losses in sorted order (`instances + 1`).
+    pub(crate) prefix_losses: Vec<f64>,
+    /// Prefix sums of the per-row gradient rows in sorted order, row-major
+    /// (`(instances + 1) × num_params`).
+    pub(crate) prefix_grads: Vec<f64>,
 }
 
 impl UpdateScratch {
@@ -44,15 +59,28 @@ impl UpdateScratch {
 
     /// Prepare the per-node buffers for `instances` rows of `num_params`
     /// gradient entries and `num_classes` classes.
+    ///
+    /// The buffers are only re-sized, not re-zeroed: the batched model pass
+    /// fully overwrites `losses` and `grads`, and the SGD/`class_buf` scratch
+    /// is cleared by its consumers, so zero-filling here would add one
+    /// `instances × num_params` memory sweep per node per batch for nothing.
     pub(crate) fn prepare_node(&mut self, instances: usize, num_params: usize, num_classes: usize) {
-        self.losses.clear();
         self.losses.resize(instances, 0.0);
-        self.grads.clear();
         self.grads.resize(instances * num_params, 0.0);
-        self.grad_buf.clear();
         self.grad_buf.resize(num_params, 0.0);
-        self.class_buf.clear();
         self.class_buf.resize(num_classes, 0.0);
+    }
+
+    /// Gather the sub-batch selected by `idx` into the contiguous `xbuf`
+    /// (row-major) and `ybuf` buffers. Capacity is retained across batches,
+    /// so in steady state this is a straight copy with no allocation.
+    pub(crate) fn gather(&mut self, xs: &[&[f64]], ys: &[usize], idx: &[usize]) {
+        self.xbuf.clear();
+        self.ybuf.clear();
+        for &i in idx {
+            self.xbuf.extend_from_slice(xs[i]);
+            self.ybuf.push(ys[i]);
+        }
     }
 }
 
@@ -68,6 +96,25 @@ mod tests {
         assert_eq!(scratch.grads.len(), 30);
         assert_eq!(scratch.grad_buf.len(), 3);
         assert_eq!(scratch.class_buf.len(), 2);
+    }
+
+    #[test]
+    fn gather_builds_contiguous_rows_in_index_order() {
+        let mut scratch = UpdateScratch::new();
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let c = [5.0, 6.0];
+        let xs: Vec<&[f64]> = vec![&a, &b, &c];
+        let ys = vec![0usize, 1, 0];
+        scratch.gather(&xs, &ys, &[2, 0]);
+        assert_eq!(scratch.xbuf, vec![5.0, 6.0, 1.0, 2.0]);
+        assert_eq!(scratch.ybuf, vec![0, 0]);
+        // Re-gathering reuses the buffers.
+        let capacity = scratch.xbuf.capacity();
+        scratch.gather(&xs, &ys, &[1]);
+        assert_eq!(scratch.xbuf, vec![3.0, 4.0]);
+        assert_eq!(scratch.ybuf, vec![1]);
+        assert_eq!(scratch.xbuf.capacity(), capacity);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The public [`DynamicModelTree`] classifier and its configuration.
 
 use dmt_models::online::{Complexity, OnlineClassifier};
-use dmt_models::{AicTest, Glm, Rows};
+use dmt_models::{AicTest, BatchMode, Glm, Rows};
 use dmt_stream::schema::StreamSchema;
 
 use crate::explain::{DecisionStep, LeafExplanation};
@@ -33,6 +33,16 @@ pub struct DmtConfig {
     pub min_observations_split: u64,
     /// Seed for the random initial weights of the root model.
     pub seed: u64,
+    /// How the node models traverse a routed batch during training:
+    /// [`BatchMode::Deterministic`] reproduces the per-instance SGD sweep
+    /// bit-for-bit, [`BatchMode::Batched`] (the default) applies one
+    /// summed-gradient step per window through the SIMD-friendly kernels.
+    /// The per-pass loss/gradient and prediction kernels are bit-identical
+    /// *given identical parameters*; the modes differ only in SGD step
+    /// granularity — but that difference compounds, so trained weights (and
+    /// therefore downstream predictions) diverge between modes after the
+    /// first window.
+    pub batch_mode: BatchMode,
 }
 
 impl Default for DmtConfig {
@@ -45,6 +55,7 @@ impl Default for DmtConfig {
             replacement_rate: 0.5,
             min_observations_split: 50,
             seed: 42,
+            batch_mode: BatchMode::default(),
         }
     }
 }

@@ -5,9 +5,10 @@
 //! a multinomial logit (softmax) model otherwise. [`Glm`] hides that choice
 //! behind one concrete type so that tree code does not need trait objects.
 
+use crate::linalg::{MatMut, MatRef};
 use crate::logit::LogitModel;
 use crate::softmax::SoftmaxModel;
-use crate::{Rows, SimpleModel};
+use crate::{BatchMode, Rows, SimpleModel};
 
 /// A Generalized Linear Model: binary logit or multinomial logit, selected by
 /// the number of classes.
@@ -138,6 +139,42 @@ impl SimpleModel for Glm {
         match self {
             Glm::Logit(m) => m.sgd_step_into(xs, ys, learning_rate, grad_buf, class_buf),
             Glm::Softmax(m) => m.sgd_step_into(xs, ys, learning_rate, grad_buf, class_buf),
+        }
+    }
+
+    fn predict_proba_batch_into(&self, xs: MatRef<'_>, out: &mut [f64]) {
+        match self {
+            Glm::Logit(m) => m.predict_proba_batch_into(xs, out),
+            Glm::Softmax(m) => m.predict_proba_batch_into(xs, out),
+        }
+    }
+
+    fn loss_and_gradient_batch_into(
+        &self,
+        xs: MatRef<'_>,
+        ys: &[usize],
+        losses: &mut [f64],
+        grads: MatMut<'_>,
+        class_buf: &mut [f64],
+    ) -> f64 {
+        match self {
+            Glm::Logit(m) => m.loss_and_gradient_batch_into(xs, ys, losses, grads, class_buf),
+            Glm::Softmax(m) => m.loss_and_gradient_batch_into(xs, ys, losses, grads, class_buf),
+        }
+    }
+
+    fn learn_batch_into(
+        &mut self,
+        xs: MatRef<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        mode: BatchMode,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
+        match self {
+            Glm::Logit(m) => m.learn_batch_into(xs, ys, learning_rate, mode, grad_buf, class_buf),
+            Glm::Softmax(m) => m.learn_batch_into(xs, ys, learning_rate, mode, grad_buf, class_buf),
         }
     }
 

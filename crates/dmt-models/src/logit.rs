@@ -7,8 +7,8 @@
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::linalg::{dot, log1p_exp, sigmoid};
-use crate::{Rows, SimpleModel};
+use crate::linalg::{axpy, dot, log1p_exp, sigmoid, MatMut, MatRef};
+use crate::{BatchMode, Rows, SimpleModel};
 
 /// Binary logistic-regression model with an intercept term.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +79,17 @@ impl LogitModel {
     pub fn bias(&self) -> f64 {
         self.params[self.num_features]
     }
+
+    /// Per-row negative log-likelihood and residual `σ(z) − y` at the current
+    /// parameters. Shared by the scalar and batched paths so that both stay
+    /// bit-identical.
+    #[inline]
+    fn row_loss_residual(&self, x: &[f64], y: usize) -> (f64, f64) {
+        let z = self.decision_function(x);
+        let y_f = if y >= 1 { 1.0 } else { 0.0 };
+        // NLL of the Bernoulli likelihood: log(1 + e^z) - y*z.
+        (log1p_exp(z) - y_f * z, sigmoid(z) - y_f)
+    }
 }
 
 impl SimpleModel for LogitModel {
@@ -129,14 +140,9 @@ impl SimpleModel for LogitModel {
         let mut loss = 0.0;
         grad.fill(0.0);
         for (x, &y) in xs.iter().zip(ys.iter()) {
-            let z = self.decision_function(x);
-            let y_f = if y >= 1 { 1.0 } else { 0.0 };
-            // NLL of the Bernoulli likelihood: log(1 + e^z) - y*z.
-            loss += log1p_exp(z) - y_f * z;
-            let residual = sigmoid(z) - y_f;
-            for (g, &xi) in grad[..m].iter_mut().zip(x.iter()) {
-                *g += residual * xi;
-            }
+            let (row_loss, residual) = self.row_loss_residual(x, y);
+            loss += row_loss;
+            axpy(residual, x, &mut grad[..m]);
             grad[m] += residual;
         }
         loss
@@ -163,6 +169,90 @@ impl SimpleModel for LogitModel {
         }
         self.seen += n as u64;
         loss
+    }
+
+    fn predict_proba_batch_into(&self, xs: MatRef<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), xs.rows() * 2, "batch buffer length");
+        for (x, out_row) in xs.row_iter().zip(out.chunks_exact_mut(2)) {
+            let p = self.proba_positive(x);
+            out_row[0] = 1.0 - p;
+            out_row[1] = p;
+        }
+    }
+
+    fn loss_and_gradient_batch_into(
+        &self,
+        xs: MatRef<'_>,
+        ys: &[usize],
+        losses: &mut [f64],
+        mut grads: MatMut<'_>,
+        _class_buf: &mut [f64],
+    ) -> f64 {
+        debug_assert_eq!(xs.rows(), ys.len());
+        debug_assert_eq!(losses.len(), xs.rows());
+        debug_assert_eq!(grads.rows(), xs.rows());
+        debug_assert_eq!(grads.cols(), self.params.len());
+        let m = self.num_features;
+        let mut total = 0.0;
+        for i in 0..xs.rows() {
+            let x = xs.row(i);
+            let (row_loss, residual) = self.row_loss_residual(x, ys[i]);
+            losses[i] = row_loss;
+            total += row_loss;
+            let g = grads.row_mut(i);
+            for (gj, &xj) in g[..m].iter_mut().zip(x.iter()) {
+                *gj = residual * xj;
+            }
+            g[m] = residual;
+        }
+        total
+    }
+
+    fn learn_batch_into(
+        &mut self,
+        xs: MatRef<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        mode: BatchMode,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
+        debug_assert_eq!(xs.rows(), ys.len());
+        let b = xs.rows();
+        if b == 0 {
+            return 0.0;
+        }
+        match mode {
+            BatchMode::Deterministic => {
+                let mut total = 0.0;
+                for (x, &y) in xs.row_iter().zip(ys.iter()) {
+                    total += self.sgd_step_into(&[x], &[y], learning_rate, grad_buf, class_buf);
+                }
+                total
+            }
+            BatchMode::Batched { window } => {
+                let window = window.max(1);
+                let m = self.num_features;
+                let mut total = 0.0;
+                let mut start = 0;
+                while start < b {
+                    let end = (start + window).min(b);
+                    grad_buf.fill(0.0);
+                    for (x, &y) in (start..end).map(|i| xs.row(i)).zip(ys[start..end].iter()) {
+                        let (row_loss, residual) = self.row_loss_residual(x, y);
+                        total += row_loss;
+                        axpy(residual, x, &mut grad_buf[..m]);
+                        grad_buf[m] += residual;
+                    }
+                    // One summed-gradient step per window: the first-order
+                    // equivalent of `end - start` per-instance steps.
+                    axpy(-learning_rate, grad_buf, &mut self.params);
+                    start = end;
+                }
+                self.seen += b as u64;
+                total
+            }
+        }
     }
 
     fn observations_seen(&self) -> u64 {

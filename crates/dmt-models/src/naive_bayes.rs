@@ -109,6 +109,18 @@ impl GaussianNaiveBayes {
         }
     }
 
+    /// Incorporate a whole labelled batch, row by row. Semantically identical
+    /// to calling [`GaussianNaiveBayes::update`] per row in order (the Welford
+    /// recurrences are inherently sequential); provided so batch-level
+    /// callers that already hold a gathered matrix share the same contiguous
+    /// [`crate::linalg::MatRef`] entry point as the GLM kernels.
+    pub fn update_batch(&mut self, xs: crate::linalg::MatRef<'_>, ys: &[usize]) {
+        debug_assert_eq!(xs.rows(), ys.len());
+        for (x, &y) in xs.row_iter().zip(ys.iter()) {
+            self.update(x, y);
+        }
+    }
+
     /// Incorporate a single labelled instance.
     pub fn update(&mut self, x: &[f64], y: usize) {
         debug_assert!(y < self.class_counts.len());

@@ -9,8 +9,8 @@
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::linalg::{clamp_proba, dot, softmax_in_place};
-use crate::{Rows, SimpleModel};
+use crate::linalg::{axpy, clamp_proba, dot, gemv_bias_into, softmax_in_place, MatMut, MatRef};
+use crate::{BatchMode, Rows, SimpleModel};
 
 /// Multinomial logistic-regression model with per-class intercepts.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,10 +75,17 @@ impl SoftmaxModel {
         debug_assert_eq!(x.len(), self.num_features);
         assert_eq!(out.len(), self.num_classes, "logits_into: buffer length");
         let stride = self.num_features + 1;
-        for (c, o) in out.iter_mut().enumerate() {
-            let block = &self.params[c * stride..(c + 1) * stride];
-            *o = dot(&block[..self.num_features], x) + block[self.num_features];
-        }
+        gemv_bias_into(MatRef::new(&self.params, self.num_classes, stride), x, out);
+    }
+
+    /// Per-row softmax probabilities (written into `class_buf`) and negative
+    /// log-likelihood at the current parameters. Shared by the scalar and
+    /// batched gradient paths so that both stay bit-identical.
+    #[inline]
+    fn row_loss_probs(&self, x: &[f64], y: usize, class_buf: &mut [f64]) -> f64 {
+        self.predict_proba_into(x, class_buf);
+        let p_true = class_buf.get(y).copied().unwrap_or(0.0);
+        -clamp_proba(p_true).ln()
     }
 
     /// Weight vector of a particular class (excluding the intercept).
@@ -155,16 +162,12 @@ impl SimpleModel for SoftmaxModel {
         let mut loss = 0.0;
         grad.fill(0.0);
         for (x, &y) in xs.iter().zip(ys.iter()) {
-            self.predict_proba_into(x, class_buf);
-            let p_true = class_buf.get(y).copied().unwrap_or(0.0);
-            loss += -clamp_proba(p_true).ln();
+            loss += self.row_loss_probs(x, y, class_buf);
             for c in 0..self.num_classes {
                 let target = if c == y { 1.0 } else { 0.0 };
                 let residual = class_buf[c] - target;
                 let block = &mut grad[c * stride..(c + 1) * stride];
-                for (g, &xi) in block[..m].iter_mut().zip(x.iter()) {
-                    *g += residual * xi;
-                }
+                axpy(residual, x, &mut block[..m]);
                 block[m] += residual;
             }
         }
@@ -190,6 +193,104 @@ impl SimpleModel for SoftmaxModel {
         }
         self.seen += n as u64;
         loss
+    }
+
+    fn predict_proba_batch_into(&self, xs: MatRef<'_>, out: &mut [f64]) {
+        let c = self.num_classes;
+        debug_assert_eq!(out.len(), xs.rows() * c, "batch buffer length");
+        let stride = self.num_features + 1;
+        let w = MatRef::new(&self.params, c, stride);
+        for (x, out_row) in xs.row_iter().zip(out.chunks_exact_mut(c)) {
+            gemv_bias_into(w, x, out_row);
+            softmax_in_place(out_row);
+        }
+    }
+
+    fn loss_and_gradient_batch_into(
+        &self,
+        xs: MatRef<'_>,
+        ys: &[usize],
+        losses: &mut [f64],
+        mut grads: MatMut<'_>,
+        class_buf: &mut [f64],
+    ) -> f64 {
+        debug_assert_eq!(xs.rows(), ys.len());
+        debug_assert_eq!(losses.len(), xs.rows());
+        debug_assert_eq!(grads.rows(), xs.rows());
+        debug_assert_eq!(grads.cols(), self.params.len());
+        let m = self.num_features;
+        let stride = m + 1;
+        let mut total = 0.0;
+        for i in 0..xs.rows() {
+            let x = xs.row(i);
+            let y = ys[i];
+            let row_loss = self.row_loss_probs(x, y, class_buf);
+            losses[i] = row_loss;
+            total += row_loss;
+            let g = grads.row_mut(i);
+            for c in 0..self.num_classes {
+                let target = if c == y { 1.0 } else { 0.0 };
+                let residual = class_buf[c] - target;
+                let block = &mut g[c * stride..(c + 1) * stride];
+                for (gj, &xj) in block[..m].iter_mut().zip(x.iter()) {
+                    *gj = residual * xj;
+                }
+                block[m] = residual;
+            }
+        }
+        total
+    }
+
+    fn learn_batch_into(
+        &mut self,
+        xs: MatRef<'_>,
+        ys: &[usize],
+        learning_rate: f64,
+        mode: BatchMode,
+        grad_buf: &mut [f64],
+        class_buf: &mut [f64],
+    ) -> f64 {
+        debug_assert_eq!(xs.rows(), ys.len());
+        let b = xs.rows();
+        if b == 0 {
+            return 0.0;
+        }
+        match mode {
+            BatchMode::Deterministic => {
+                let mut total = 0.0;
+                for (x, &y) in xs.row_iter().zip(ys.iter()) {
+                    total += self.sgd_step_into(&[x], &[y], learning_rate, grad_buf, class_buf);
+                }
+                total
+            }
+            BatchMode::Batched { window } => {
+                let window = window.max(1);
+                let m = self.num_features;
+                let stride = m + 1;
+                let mut total = 0.0;
+                let mut start = 0;
+                while start < b {
+                    let end = (start + window).min(b);
+                    grad_buf.fill(0.0);
+                    for (x, &y) in (start..end).map(|i| xs.row(i)).zip(ys[start..end].iter()) {
+                        total += self.row_loss_probs(x, y, class_buf);
+                        for c in 0..self.num_classes {
+                            let target = if c == y { 1.0 } else { 0.0 };
+                            let residual = class_buf[c] - target;
+                            let block = &mut grad_buf[c * stride..(c + 1) * stride];
+                            axpy(residual, x, &mut block[..m]);
+                            block[m] += residual;
+                        }
+                    }
+                    // One summed-gradient step per window: the first-order
+                    // equivalent of `end - start` per-instance steps.
+                    axpy(-learning_rate, grad_buf, &mut self.params);
+                    start = end;
+                }
+                self.seen += b as u64;
+                total
+            }
+        }
     }
 
     fn observations_seen(&self) -> u64 {

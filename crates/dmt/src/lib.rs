@@ -9,8 +9,8 @@
 //!
 //! | Re-export | Contents |
 //! |---|---|
-//! | [`core`] | the Dynamic Model Tree ([`DynamicModelTree`], [`DmtConfig`]) |
-//! | [`models`] | GLMs, Naive Bayes, AIC, the [`OnlineClassifier`] trait |
+//! | [`core`] | the Dynamic Model Tree ([`core::DynamicModelTree`], [`core::DmtConfig`]) |
+//! | [`models`] | GLMs, Naive Bayes, AIC, the [`models::OnlineClassifier`] trait |
 //! | [`stream`] | stream abstractions, generators, the Table I catalog |
 //! | [`drift`] | ADWIN, Page-Hinkley, DDM drift detectors |
 //! | [`baselines`] | VFDT (MC/NBA), HT-Ada, EFDT, FIMT-DD |
@@ -51,7 +51,7 @@ pub mod zoo;
 pub mod prelude {
     pub use crate::core::{DmtConfig, DynamicModelTree};
     pub use crate::eval::{PrequentialConfig, PrequentialResult, PrequentialRun};
-    pub use crate::models::{Complexity, OnlineClassifier, SimpleModel};
+    pub use crate::models::{BatchMode, Complexity, OnlineClassifier, SimpleModel};
     pub use crate::stream::{Batch, DataStream, Instance, StreamSchema};
     pub use crate::zoo::{build_model, ModelKind, ALL_MODELS, STANDALONE_MODELS};
 }

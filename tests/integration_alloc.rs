@@ -57,8 +57,24 @@ fn make_batch(n: usize, offset: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
 
 #[test]
 fn steady_state_hot_path_is_allocation_free_per_instance() {
+    // Both SGD traversals share the gather + batched-kernel plumbing; the
+    // contract must hold for the batched default and the deterministic
+    // reference alike.
+    for mode in [
+        dmt::models::BatchMode::default(),
+        dmt::models::BatchMode::Deterministic,
+    ] {
+        steady_state_measurement(mode);
+    }
+}
+
+fn steady_state_measurement(batch_mode: dmt::models::BatchMode) {
     let schema = StreamSchema::numeric("alloc-probe", 3, 2);
-    let mut tree = DynamicModelTree::new(schema, DmtConfig::default());
+    let config = DmtConfig {
+        batch_mode,
+        ..DmtConfig::default()
+    };
+    let mut tree = DynamicModelTree::new(schema, config);
 
     // Pre-materialise all data so the measured region only runs the tree.
     let (small_xs, small_ys) = make_batch(100, 0);

@@ -5,9 +5,20 @@
 use dmt::core::{DmtConfig, DynamicModelTree};
 use dmt::drift::{Adwin, DriftDetector, PageHinkley};
 use dmt::eval::ConfusionMatrix;
-use dmt::models::{aic_split_threshold, Glm, OnlineClassifier, SimpleModel};
+use dmt::models::linalg::{MatMut, MatRef};
+use dmt::models::{aic_split_threshold, BatchMode, Glm, OnlineClassifier, SimpleModel};
 use dmt::stream::schema::StreamSchema;
 use proptest::prelude::*;
+
+/// The batch sizes the batched-kernel contracts are pinned at: the scalar
+/// edge case, a non-multiple of the 8-lane unroll width, and a full window
+/// multiple.
+const PINNED_BATCH_SIZES: [usize; 3] = [1, 7, 64];
+
+/// Flatten the first `n` generated rows into a contiguous row-major buffer.
+fn flatten(xs: &[Vec<f64>], n: usize) -> Vec<f64> {
+    xs[..n].iter().flat_map(|row| row.iter().copied()).collect()
+}
 
 /// Strategy: a feature vector of the given length with values in [0, 1].
 fn unit_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -250,6 +261,176 @@ proptest! {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
         prop_assert_eq!(via_alloc.observations_seen(), via_into.observations_seen());
+    }
+
+    // ---- batched kernel layer / scalar path equivalence --------------------
+    //
+    // The batched primitives (`predict_proba_batch_into`,
+    // `loss_and_gradient_batch_into`, `learn_batch_into`) are the hot-path
+    // kernels of the DMT update loop. These properties pin them to
+    // bit-identical results against the scalar `*_into` reference at batch
+    // sizes 1, 7 and 64 (below, astride and at multiples of the 8-lane
+    // unroll width), for both GLM variants.
+
+    #[test]
+    fn predict_proba_batch_into_is_bit_identical_to_scalar(
+        (xs, ys) in labelled_batch(4, 3, 65),
+        classes in 2usize..5,
+    ) {
+        let mut glm = Glm::new_random(4, classes, 19);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let ys: Vec<usize> = ys.iter().map(|&y| y % classes).collect();
+        glm.sgd_step(&rows, &ys, 0.1);
+        for &size in &PINNED_BATCH_SIZES {
+            let n = size.min(xs.len());
+            let flat = flatten(&xs, n);
+            let mat = MatRef::new(&flat, n, 4);
+            let mut batch_out = vec![f64::NAN; n * classes];
+            glm.predict_proba_batch_into(mat, &mut batch_out);
+            let mut row_out = vec![f64::NAN; classes];
+            for i in 0..n {
+                glm.predict_proba_into(&xs[i], &mut row_out);
+                for (a, b) in row_out.iter().zip(batch_out[i * classes..(i + 1) * classes].iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "batch size {}", n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loss_and_gradient_batch_into_is_bit_identical_to_scalar(
+        (xs, ys) in labelled_batch(3, 4, 65),
+        classes in 2usize..5,
+    ) {
+        let glm = Glm::new_random(3, classes, 23);
+        let ys: Vec<usize> = ys.iter().map(|&y| y % classes).collect();
+        let k = glm.num_params();
+        for &size in &PINNED_BATCH_SIZES {
+            let n = size.min(xs.len());
+            let flat = flatten(&xs, n);
+            let mat = MatRef::new(&flat, n, 3);
+            let mut losses = vec![f64::NAN; n];
+            let mut grads = vec![f64::NAN; n * k];
+            let mut class_buf = vec![f64::NAN; classes];
+            let total = glm.loss_and_gradient_batch_into(
+                mat,
+                &ys[..n],
+                &mut losses,
+                MatMut::new(&mut grads, n, k),
+                &mut class_buf,
+            );
+            let mut expected_total = 0.0;
+            let mut row_grad = vec![f64::NAN; k];
+            for i in 0..n {
+                let loss = glm.loss_and_gradient_into(
+                    &[xs[i].as_slice()],
+                    &[ys[i]],
+                    &mut row_grad,
+                    &mut class_buf,
+                );
+                expected_total += loss;
+                prop_assert_eq!(loss.to_bits(), losses[i].to_bits(), "batch size {}", n);
+                for (a, b) in row_grad.iter().zip(grads[i * k..(i + 1) * k].iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "batch size {}", n);
+                }
+            }
+            prop_assert_eq!(expected_total.to_bits(), total.to_bits());
+        }
+    }
+
+    #[test]
+    fn learn_batch_into_deterministic_is_bit_identical_to_scalar_sweep(
+        (xs, ys) in labelled_batch(3, 3, 65),
+        classes in 2usize..4,
+    ) {
+        let ys: Vec<usize> = ys.iter().map(|&y| y % classes).collect();
+        for &size in &PINNED_BATCH_SIZES {
+            let n = size.min(xs.len());
+            let flat = flatten(&xs, n);
+            let mat = MatRef::new(&flat, n, 3);
+            let mut via_scalar = Glm::new_random(3, classes, 29);
+            let mut via_batch = via_scalar.clone();
+            let k = via_scalar.num_params();
+            let mut grad_buf = vec![0.0f64; k];
+            let mut class_buf = vec![0.0f64; classes];
+            let mut scalar_loss = 0.0;
+            for i in 0..n {
+                scalar_loss += via_scalar.sgd_step_into(
+                    &[xs[i].as_slice()],
+                    &[ys[i]],
+                    0.05,
+                    &mut grad_buf,
+                    &mut class_buf,
+                );
+            }
+            let batch_loss = via_batch.learn_batch_into(
+                mat,
+                &ys[..n],
+                0.05,
+                BatchMode::Deterministic,
+                &mut grad_buf,
+                &mut class_buf,
+            );
+            prop_assert_eq!(scalar_loss.to_bits(), batch_loss.to_bits(), "batch size {}", n);
+            for (a, b) in via_scalar.params().iter().zip(via_batch.params().iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "batch size {}", n);
+            }
+            prop_assert_eq!(via_scalar.observations_seen(), via_batch.observations_seen());
+        }
+    }
+
+    #[test]
+    fn learn_batch_into_window_one_equals_deterministic(
+        (xs, ys) in labelled_batch(3, 3, 40),
+        classes in 2usize..4,
+    ) {
+        // A window of 1 recomputes the gradient at every row, so the
+        // summed-gradient step degenerates to the per-instance sweep exactly.
+        let ys: Vec<usize> = ys.iter().map(|&y| y % classes).collect();
+        let n = xs.len();
+        let flat = flatten(&xs, n);
+        let mat = MatRef::new(&flat, n, 3);
+        let mut deterministic = Glm::new_random(3, classes, 31);
+        let mut windowed = deterministic.clone();
+        let k = deterministic.num_params();
+        let mut grad_buf = vec![0.0f64; k];
+        let mut class_buf = vec![0.0f64; classes];
+        let loss_det = deterministic.learn_batch_into(
+            mat, &ys, 0.05, BatchMode::Deterministic, &mut grad_buf, &mut class_buf,
+        );
+        let loss_win = windowed.learn_batch_into(
+            mat, &ys, 0.05, BatchMode::Batched { window: 1 }, &mut grad_buf, &mut class_buf,
+        );
+        prop_assert_eq!(loss_det.to_bits(), loss_win.to_bits());
+        for (a, b) in deterministic.params().iter().zip(windowed.params().iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_mode_trees_stay_valid_classifiers(
+        batches in proptest::collection::vec(labelled_batch(3, 3, 30), 1..5),
+        probe in unit_vector(3),
+        window in 1usize..20,
+    ) {
+        // The windowed batched mode changes SGD step granularity but must
+        // always produce a valid probabilistic classifier.
+        let schema = StreamSchema::numeric("prop-batched", 3, 3);
+        let config = DmtConfig {
+            batch_mode: BatchMode::Batched { window },
+            ..DmtConfig::default()
+        };
+        let mut tree = DynamicModelTree::new(schema, config);
+        for (xs, ys) in &batches {
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, ys);
+        }
+        let proba = tree.predict_proba(&probe);
+        prop_assert_eq!(proba.len(), 3);
+        let sum: f64 = proba.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(proba.iter().all(|p| p.is_finite()));
+        prop_assert_eq!(tree.num_inner_nodes() + 1, tree.num_leaves());
     }
 
     #[test]

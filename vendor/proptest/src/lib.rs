@@ -1,7 +1,7 @@
 //! Minimal, API-compatible shim for the subset of the [`proptest`] crate this
 //! workspace uses.
 //!
-//! It provides the [`Strategy`] trait (ranges, tuples, `collection::vec`,
+//! It provides the [`strategy::Strategy`] trait (ranges, tuples, `collection::vec`,
 //! `prop_map`), the [`proptest!`] macro and the `prop_assert*` macros. Instead
 //! of proptest's guided shrinking, failing inputs are simply reported via the
 //! panic message of the underlying assertion together with the case number,
@@ -121,7 +121,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
