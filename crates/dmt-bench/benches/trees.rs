@@ -37,6 +37,69 @@ fn bench_tree_batch_updates(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched arena descent in isolation: a synthetic balanced DMT tree of the
+/// given depth (numeric splits on rotating features, random GLM leaves), one
+/// 100-row batch routed level-by-level through
+/// `NodeArena::predict_batch_into`. Depths 1 / 4 / 8 chart how the
+/// single-pass routing scales with tree height — the quantity the
+/// `Box`-pointer layout paid one dependent cache miss per level for.
+fn bench_batched_descent(c: &mut Criterion) {
+    use dmt::core::{CandidateKey, NodeArena, NodeId, NodeStats, PredictScratch};
+    use dmt::models::Glm;
+
+    const FEATURES: usize = 8;
+
+    fn grow(arena: &mut NodeArena, id: NodeId, depth: usize, lo: f64, hi: f64, level: usize) {
+        if depth == 0 {
+            return;
+        }
+        let mid = (lo + hi) / 2.0;
+        let key = CandidateKey {
+            feature: level % FEATURES,
+            value: mid,
+            is_nominal: false,
+        };
+        let seed = (depth * 31 + level * 7) as u64;
+        let (left, right) = arena.install_split(
+            id,
+            key,
+            NodeStats::new(Glm::new_random(FEATURES, 2, seed)),
+            NodeStats::new(Glm::new_random(FEATURES, 2, seed + 1)),
+        );
+        grow(arena, left, depth - 1, lo, mid, level + 1);
+        grow(arena, right, depth - 1, mid, hi, level + 1);
+    }
+
+    // Deterministic pseudo-random batch covering the whole [0, 1] cube.
+    let xs: Vec<Vec<f64>> = (0..100)
+        .map(|i| {
+            (0..FEATURES)
+                .map(|j| ((i * 31 + j * 17 + i * j) % 97) as f64 / 97.0)
+                .collect()
+        })
+        .collect();
+    let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+
+    let mut group = c.benchmark_group("batched_arena_descent_100_instances");
+    for depth in [1usize, 4, 8] {
+        let (mut arena, root) =
+            NodeArena::with_root(NodeStats::new(Glm::new_random(FEATURES, 2, 1)));
+        grow(&mut arena, root, depth, 0.0, 1.0, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            let mut out = vec![0usize; rows.len()];
+            let mut scratch = PredictScratch::new();
+            // Warm the scratch buffers so the measurement covers routing, not
+            // first-call growth.
+            arena.predict_batch_into(root, &rows, &mut out, &mut scratch);
+            b.iter(|| {
+                arena.predict_batch_into(root, black_box(&rows), &mut out, &mut scratch);
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_dmt_explain(c: &mut Criterion) {
     let mut generator = SeaGenerator::new(0, 0.1, 5);
     let schema = generator.schema().clone();
@@ -51,5 +114,10 @@ fn bench_dmt_explain(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tree_batch_updates, bench_dmt_explain);
+criterion_group!(
+    benches,
+    bench_tree_batch_updates,
+    bench_batched_descent,
+    bench_dmt_explain
+);
 criterion_main!(benches);

@@ -2,8 +2,14 @@
 //! against a committed `BENCH_<n>.json` baseline and fail (exit code 1) when
 //! a tracked model regresses beyond the tolerance band.
 //!
+//! Two metrics are gated per (model, stream) cell: the test-then-train
+//! `instances_per_sec` and — when both files carry it — the predict-only
+//! `predict_instances_per_sec`, so serving-path regressions cannot hide
+//! behind learn-path wins (baselines blessed before the predict-only row
+//! existed are compared on the train metric alone).
+//!
 //! Raw instances/sec depends on the machine, so the comparison is also
-//! normalised by a *control* model: for every stream, the ratio
+//! normalised by a *control* model: for every stream and metric, the ratio
 //! `current/baseline` of the model under test is divided by the same ratio of
 //! the control (`VFDT (MC)`, whose code path the perf-sensitive PRs do not
 //! touch), cancelling a uniformly slower CI runner. A cell fails only when
@@ -14,7 +20,7 @@
 //!
 //! ```bash
 //! cargo run --release -p dmt-bench --bin bench_compare -- \
-//!     --baseline BENCH_2.json --current /tmp/bench.json \
+//!     --baseline BENCH_3.json --current /tmp/bench.json \
 //!     --tolerance 0.15 --models "DMT (ours)"
 //! ```
 
@@ -38,7 +44,7 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Self {
-            baseline: "BENCH_2.json".to_string(),
+            baseline: "BENCH_3.json".to_string(),
             current: "/tmp/bench_current.json".to_string(),
             tolerance: 0.15,
             control: "VFDT (MC)".to_string(),
@@ -91,8 +97,17 @@ fn parse_options() -> Options {
     options
 }
 
-/// `(model, stream) -> instances_per_sec` of one bench_throughput JSON file.
-fn load_throughput(path: &str) -> Result<BTreeMap<(String, String), f64>, String> {
+/// The gated throughput metrics of one `bench_throughput` cell.
+struct CellMetrics {
+    /// Test-then-train `instances_per_sec` (always present).
+    train: f64,
+    /// Predict-only `predict_instances_per_sec` (absent in baselines blessed
+    /// before the predict-only row existed).
+    predict: Option<f64>,
+}
+
+/// `(model, stream) -> metrics` of one bench_throughput JSON file.
+fn load_throughput(path: &str) -> Result<BTreeMap<(String, String), CellMetrics>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
     let results = json
@@ -109,27 +124,44 @@ fn load_throughput(path: &str) -> Result<BTreeMap<(String, String), f64>, String
             .get("stream")
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("{path}: cell without stream"))?;
-        let ips = cell
+        let train = cell
             .get("instances_per_sec")
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("{path}: cell without instances_per_sec"))?;
-        out.insert((model.to_string(), stream.to_string()), ips);
+        let predict = cell
+            .get("predict_instances_per_sec")
+            .and_then(|v| v.as_f64());
+        out.insert(
+            (model.to_string(), stream.to_string()),
+            CellMetrics { train, predict },
+        );
     }
     Ok(out)
 }
+
+/// Accessor pulling one gated metric out of a cell (`None` = not recorded).
+type MetricExtractor = fn(&CellMetrics) -> Option<f64>;
+
+/// The per-cell metrics the gate iterates over.
+const METRICS: [(&str, MetricExtractor); 2] =
+    [("train", |m| Some(m.train)), ("predict", |m| m.predict)];
 
 fn run(options: &Options) -> Result<bool, String> {
     let baseline = load_throughput(&options.baseline)?;
     let current = load_throughput(&options.current)?;
 
-    // Per-stream machine-speed factor from the control model.
-    let mut control_ratio: BTreeMap<String, f64> = BTreeMap::new();
+    // Per-(stream, metric) machine-speed factor from the control model.
+    let mut control_ratio: BTreeMap<(String, &str), f64> = BTreeMap::new();
     if !options.control.is_empty() {
-        for ((model, stream), &base_ips) in &baseline {
+        for ((model, stream), base) in &baseline {
             if model == &options.control {
-                if let Some(&cur_ips) = current.get(&(model.clone(), stream.clone())) {
-                    if base_ips > 0.0 {
-                        control_ratio.insert(stream.clone(), cur_ips / base_ips);
+                if let Some(cur) = current.get(&(model.clone(), stream.clone())) {
+                    for (metric, extract) in METRICS {
+                        if let (Some(b), Some(c)) = (extract(base), extract(cur)) {
+                            if b > 0.0 {
+                                control_ratio.insert((stream.clone(), metric), c / b);
+                            }
+                        }
                     }
                 }
             }
@@ -137,41 +169,53 @@ fn run(options: &Options) -> Result<bool, String> {
     }
 
     println!(
-        "{:<14}{:<10}{:>14}{:>14}{:>10}{:>12}  status",
-        "Model", "Stream", "base i/s", "cur i/s", "ratio", "normalised"
+        "{:<14}{:<10}{:<9}{:>14}{:>14}{:>10}{:>12}  status",
+        "Model", "Stream", "Metric", "base i/s", "cur i/s", "ratio", "normalised"
     );
     let mut failed = false;
     let mut compared = 0usize;
-    for ((model, stream), &base_ips) in &baseline {
+    for ((model, stream), base) in &baseline {
         if !options.models.iter().any(|m| m == model) {
             continue;
         }
-        let Some(&cur_ips) = current.get(&(model.clone(), stream.clone())) else {
+        let Some(cur) = current.get(&(model.clone(), stream.clone())) else {
             return Err(format!("current run misses cell ({model}, {stream})"));
         };
-        if base_ips <= 0.0 {
-            continue;
+        for (metric, extract) in METRICS {
+            // A metric is gated only when both files carry it, so old
+            // baselines without the predict-only row keep working.
+            let (Some(base_ips), Some(cur_ips)) = (extract(base), extract(cur)) else {
+                continue;
+            };
+            if base_ips <= 0.0 {
+                continue;
+            }
+            let raw_ratio = cur_ips / base_ips;
+            let machine = control_ratio
+                .get(&(stream.clone(), metric))
+                .copied()
+                .unwrap_or(1.0);
+            let normalised = raw_ratio / machine;
+            // A true regression shows up in both views: raw (same-machine
+            // comparisons) and control-normalised (slower CI runners).
+            // Requiring both keeps control-row jitter from failing an
+            // unchanged model.
+            let floor = 1.0 - options.tolerance;
+            let ok = raw_ratio >= floor || normalised >= floor;
+            failed |= !ok;
+            compared += 1;
+            println!(
+                "{:<14}{:<10}{:<9}{:>14.0}{:>14.0}{:>10.3}{:>12.3}  {}",
+                model,
+                stream,
+                metric,
+                base_ips,
+                cur_ips,
+                raw_ratio,
+                normalised,
+                if ok { "ok" } else { "REGRESSION" }
+            );
         }
-        let raw_ratio = cur_ips / base_ips;
-        let machine = control_ratio.get(stream).copied().unwrap_or(1.0);
-        let normalised = raw_ratio / machine;
-        // A true regression shows up in both views: raw (same-machine
-        // comparisons) and control-normalised (slower CI runners). Requiring
-        // both keeps control-row jitter from failing an unchanged model.
-        let floor = 1.0 - options.tolerance;
-        let ok = raw_ratio >= floor || normalised >= floor;
-        failed |= !ok;
-        compared += 1;
-        println!(
-            "{:<14}{:<10}{:>14.0}{:>14.0}{:>10.3}{:>12.3}  {}",
-            model,
-            stream,
-            base_ips,
-            cur_ips,
-            raw_ratio,
-            normalised,
-            if ok { "ok" } else { "REGRESSION" }
-        );
     }
     if compared == 0 {
         return Err(format!(

@@ -6,7 +6,10 @@
 //! learn it) but times nothing except the models: all stream batches are
 //! materialised before the clock starts. Table V of the paper reports this
 //! cost per iteration; here it is normalised to instances/sec so successive
-//! PRs can be compared directly.
+//! PRs can be compared directly. A second, predict-only pass over the same
+//! batches (model frozen at its final state, one reused predictions buffer)
+//! isolates the descent/serving cost from training, so inference-path
+//! regressions cannot hide behind learn-path wins.
 //!
 //! Streams and seeds come from the shared harness
 //! ([`dmt_bench::throughput_stream`], [`dmt_bench::bench_seed`]): the stream
@@ -17,7 +20,7 @@
 //! ```bash
 //! cargo run -p dmt-bench --release --bin bench_throughput
 //! cargo run -p dmt-bench --release --bin bench_throughput -- \
-//!     --warmup 2000 --instances 40000 --batch 100 --out BENCH_2.json
+//!     --warmup 2000 --instances 40000 --batch 100 --out BENCH_3.json
 //! ```
 
 use std::time::Instant;
@@ -39,7 +42,7 @@ impl Default for Options {
             warmup: 2_000,
             instances: 40_000,
             batch: 100,
-            out: "BENCH_2.json".to_string(),
+            out: "BENCH_3.json".to_string(),
         }
     }
 }
@@ -89,6 +92,8 @@ struct CellResult {
     seconds: f64,
     instances_per_sec: f64,
     micros_per_batch: f64,
+    predict_seconds: f64,
+    predict_instances_per_sec: f64,
     final_splits: f64,
     final_params: f64,
 }
@@ -107,6 +112,14 @@ impl ToJson for CellResult {
             (
                 "micros_per_batch".to_string(),
                 self.micros_per_batch.to_json(),
+            ),
+            (
+                "predict_seconds".to_string(),
+                self.predict_seconds.to_json(),
+            ),
+            (
+                "predict_instances_per_sec".to_string(),
+                self.predict_instances_per_sec.to_json(),
             ),
             ("final_splits".to_string(), self.final_splits.to_json()),
             ("final_params".to_string(), self.final_params.to_json()),
@@ -146,6 +159,28 @@ fn run_cell(kind: ModelKind, stream_name: &str, options: &Options) -> CellResult
     }
     let seconds = start.elapsed().as_secs_f64();
 
+    // Predict-only passes over the same batches with the model frozen at its
+    // final state, reusing one predictions buffer: isolates the serving-path
+    // (descent + leaf kernel) cost from training. Prediction is an order of
+    // magnitude faster than test-then-train, so the batches are swept
+    // several times — a single sweep finishes in a few milliseconds, far too
+    // short a window for a stable regression gate on a noisy machine.
+    const PREDICT_SWEEPS: usize = 10;
+    let mut predictions = vec![0usize; options.batch];
+    let mut predict_instances = 0u64;
+    let predict_start = Instant::now();
+    for _ in 0..PREDICT_SWEEPS {
+        for batch in &timed {
+            let rows = batch.rows();
+            predictions.clear();
+            predictions.resize(rows.len(), 0);
+            model.predict_batch_into(&rows, &mut predictions);
+            std::hint::black_box(&predictions);
+            predict_instances += rows.len() as u64;
+        }
+    }
+    let predict_seconds = predict_start.elapsed().as_secs_f64();
+
     let complexity = model.complexity();
     CellResult {
         model: kind.display_name().to_string(),
@@ -154,6 +189,8 @@ fn run_cell(kind: ModelKind, stream_name: &str, options: &Options) -> CellResult
         seconds,
         instances_per_sec: instances as f64 / seconds,
         micros_per_batch: seconds * 1e6 / batches.max(1) as f64,
+        predict_seconds,
+        predict_instances_per_sec: predict_instances as f64 / predict_seconds,
         final_splits: complexity.splits,
         final_params: complexity.parameters,
     }
@@ -164,18 +201,19 @@ fn main() {
     let mut results: Vec<CellResult> = Vec::new();
 
     println!(
-        "{:<14}{:<10}{:>16}{:>16}{:>12}",
-        "Model", "Stream", "inst/sec", "µs/batch", "splits"
+        "{:<14}{:<10}{:>16}{:>16}{:>18}{:>12}",
+        "Model", "Stream", "inst/sec", "µs/batch", "predict inst/sec", "splits"
     );
     for stream in THROUGHPUT_STREAMS {
         for kind in STANDALONE_MODELS {
             let cell = run_cell(kind, stream, &options);
             println!(
-                "{:<14}{:<10}{:>16.0}{:>16.1}{:>12.1}",
+                "{:<14}{:<10}{:>16.0}{:>16.1}{:>18.0}{:>12.1}",
                 cell.model,
                 cell.stream,
                 cell.instances_per_sec,
                 cell.micros_per_batch,
+                cell.predict_instances_per_sec,
                 cell.final_splits
             );
             results.push(cell);
@@ -183,10 +221,11 @@ fn main() {
     }
 
     let doc = Json::Obj(vec![
-        ("bench".to_string(), "throughput_v1".to_json()),
+        ("bench".to_string(), "throughput_v2".to_json()),
         (
             "protocol".to_string(),
-            "test-then-train; batches pre-materialised; wall clock covers predict_batch + learn_batch only"
+            "test-then-train; batches pre-materialised; wall clock covers predict_batch + learn_batch only; \
+             predict_* fields re-run the batches predict-only on the final model"
                 .to_json(),
         ),
         (

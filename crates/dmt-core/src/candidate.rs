@@ -94,8 +94,9 @@ impl SplitCandidate {
     ///
     /// This is the *reference* per-row accumulation — the definition of which
     /// rows a candidate owns. The tree's hot path does **not** call it; it
-    /// uses the per-feature sorted prefix-sum pass in `dmt_core::node`, which
-    /// selects the same row set (pinned by tests) while touching each
+    /// uses the per-feature passes in `dmt_core::node` (sorted prefix sums
+    /// for numeric candidates, per-category buckets for nominal ones), which
+    /// select the same row set (pinned by tests) while touching each
     /// gradient row once per feature instead of once per candidate.
     pub fn accumulate_batch(&mut self, xs: MatRef<'_>, losses: &[f64], grads: MatRef<'_>) {
         debug_assert_eq!(xs.rows(), losses.len());
@@ -113,6 +114,19 @@ impl SplitCandidate {
     pub fn reset(&mut self) {
         self.loss_sum = 0.0;
         self.grad_sum.iter_mut().for_each(|g| *g = 0.0);
+        self.count = 0;
+        self.last_gain = f64::NEG_INFINITY;
+    }
+
+    /// Re-initialise a recycled candidate for a fresh key, reusing the
+    /// gradient buffer's allocation. The tree's proposal machinery keeps a
+    /// pool of retired candidates so steady-state proposal generation
+    /// performs no heap allocation.
+    pub fn reset_for(&mut self, key: CandidateKey, num_params: usize) {
+        self.key = key;
+        self.loss_sum = 0.0;
+        self.grad_sum.clear();
+        self.grad_sum.resize(num_params, 0.0);
         self.count = 0;
         self.last_gain = f64::NEG_INFINITY;
     }
@@ -159,9 +173,17 @@ pub fn propose_from_batch_indexed(
     proposals
 }
 
-/// [`propose_from_batch`] over a gathered, contiguous row-major batch (the
-/// tree's hot path): feature columns are read straight out of the matrix and
-/// the numeric quantiles come from an O(n) selection instead of a full sort.
+/// [`propose_from_batch`] over a gathered, contiguous row-major batch:
+/// feature columns are read straight out of the matrix, the numeric
+/// quantiles come from an O(n) selection instead of a full sort, and nominal
+/// columns are reduced to their distinct category codes by one
+/// O(n · categories) scan before the (now tiny) proposal sort.
+///
+/// This is the *standalone* form of the §V-D proposal rules. The tree's hot
+/// path does **not** call it: `dmt_core::node` fuses proposal generation
+/// into its combined per-feature accumulation pass (reusing the column sort
+/// / category buckets it needs anyway) and is pinned by tests to produce
+/// exactly the keys this function produces.
 pub fn propose_from_rows(
     xs: MatRef<'_>,
     nominal_features: &[bool],
@@ -176,7 +198,21 @@ pub fn propose_from_rows(
     let mut proposals = Vec::new();
     for feature in 0..m {
         values.clear();
-        values.extend((0..xs.rows()).map(|r| data[r * m + feature]));
+        if nominal_features.get(feature).copied().unwrap_or(false) {
+            // Distinct category codes (matched by exact bit pattern) in
+            // first-occurrence order; `push_feature_proposals` sorts and
+            // tolerance-dedups this handful of codes, producing exactly the
+            // keys the full-column sort produced.
+            for r in 0..xs.rows() {
+                let v = data[r * m + feature];
+                let bits = v.to_bits();
+                if !values.iter().any(|u| u.to_bits() == bits) {
+                    values.push(v);
+                }
+            }
+        } else {
+            values.extend((0..xs.rows()).map(|r| data[r * m + feature]));
+        }
         push_feature_proposals(values, feature, nominal_features, existing, &mut proposals);
     }
     proposals

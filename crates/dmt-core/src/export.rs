@@ -6,10 +6,15 @@
 //! either as an indented text outline (for logs and terminals) or as Graphviz
 //! DOT (for papers and dashboards), and produces a compact structural summary
 //! that complements the decision log.
+//!
+//! All walks iterate the tree **by id** over the [`NodeArena`]
+//! (`children` / `split_key` / `stats`): ids are `Copy`, cannot dangle, and
+//! the borrow checker never forces intermediate clones the way chained node
+//! references would.
 
 use dmt_models::SimpleModel;
 
-use crate::node::DmtNode;
+use crate::arena::{NodeArena, NodeId};
 use crate::tree::DynamicModelTree;
 
 /// Structural summary of a Dynamic Model Tree at a point in time.
@@ -41,31 +46,24 @@ impl DynamicModelTree {
             windowed_observations: 0,
             features_used: Vec::new(),
         };
-        fn walk(node: &DmtNode, summary: &mut TreeSummary) {
-            match node {
-                DmtNode::Leaf { stats } => {
-                    summary.leaves += 1;
-                    summary.total_model_parameters += stats.model.num_params();
-                    summary.windowed_observations += stats.count;
-                }
-                DmtNode::Inner {
-                    stats,
-                    key,
-                    left,
-                    right,
-                } => {
+        fn walk(arena: &NodeArena, id: NodeId, summary: &mut TreeSummary) {
+            let stats = arena.stats(id);
+            summary.total_model_parameters += stats.model.num_params();
+            summary.windowed_observations += stats.count;
+            match arena.children(id) {
+                None => summary.leaves += 1,
+                Some((left, right)) => {
                     summary.inner_nodes += 1;
-                    summary.total_model_parameters += stats.model.num_params();
-                    summary.windowed_observations += stats.count;
-                    if !summary.features_used.contains(&key.feature) {
-                        summary.features_used.push(key.feature);
+                    let feature = arena.split_key(id).feature;
+                    if !summary.features_used.contains(&feature) {
+                        summary.features_used.push(feature);
                     }
-                    walk(left, summary);
-                    walk(right, summary);
+                    walk(arena, left, summary);
+                    walk(arena, right, summary);
                 }
             }
         }
-        walk(self.root_node(), &mut summary);
+        walk(self.arena(), self.root_id(), &mut summary);
         summary.features_used.sort_unstable();
         summary
     }
@@ -81,33 +79,33 @@ impl DynamicModelTree {
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| format!("x{feature}"))
         }
-        fn walk(node: &DmtNode, names: &[&str], indent: usize, out: &mut String) {
+        fn walk(arena: &NodeArena, id: NodeId, names: &[&str], indent: usize, out: &mut String) {
             let pad = "  ".repeat(indent);
-            match node {
-                DmtNode::Leaf { stats } => {
+            match arena.children(id) {
+                None => {
+                    let stats = arena.stats(id);
                     out.push_str(&format!(
                         "{pad}leaf: {} params, {} obs in window\n",
                         stats.model.num_params(),
                         stats.count
                     ));
                 }
-                DmtNode::Inner {
-                    key, left, right, ..
-                } => {
+                Some((left, right)) => {
+                    let key = arena.split_key(id);
                     let test = if key.is_nominal {
                         format!("{} == {}", name(key.feature, names), key.value)
                     } else {
                         format!("{} <= {:.4}", name(key.feature, names), key.value)
                     };
                     out.push_str(&format!("{pad}if {test}:\n"));
-                    walk(left, names, indent + 1, out);
+                    walk(arena, left, names, indent + 1, out);
                     out.push_str(&format!("{pad}else:\n"));
-                    walk(right, names, indent + 1, out);
+                    walk(arena, right, names, indent + 1, out);
                 }
             }
         }
         let mut out = String::new();
-        walk(self.root_node(), feature_names, 0, &mut out);
+        walk(self.arena(), self.root_id(), feature_names, 0, &mut out);
         out
     }
 
@@ -121,40 +119,46 @@ impl DynamicModelTree {
                 .unwrap_or_else(|| format!("x{feature}"))
         }
         fn walk(
-            node: &DmtNode,
+            arena: &NodeArena,
+            id: NodeId,
             names: &[&str],
             next_id: &mut usize,
             lines: &mut Vec<String>,
         ) -> usize {
-            let id = *next_id;
+            let dot_id = *next_id;
             *next_id += 1;
-            match node {
-                DmtNode::Leaf { stats } => {
+            match arena.children(id) {
+                None => {
                     lines.push(format!(
-                        "  n{id} [shape=box, style=rounded, label=\"GLM leaf\\n{} params\"];",
-                        stats.model.num_params()
+                        "  n{dot_id} [shape=box, style=rounded, label=\"GLM leaf\\n{} params\"];",
+                        arena.stats(id).model.num_params()
                     ));
                 }
-                DmtNode::Inner {
-                    key, left, right, ..
-                } => {
+                Some((left, right)) => {
+                    let key = arena.split_key(id);
                     let test = if key.is_nominal {
                         format!("{} == {}", name(key.feature, names), key.value)
                     } else {
                         format!("{} <= {:.3}", name(key.feature, names), key.value)
                     };
-                    lines.push(format!("  n{id} [shape=ellipse, label=\"{test}\"];"));
-                    let left_id = walk(left, names, next_id, lines);
-                    let right_id = walk(right, names, next_id, lines);
-                    lines.push(format!("  n{id} -> n{left_id} [label=\"yes\"];"));
-                    lines.push(format!("  n{id} -> n{right_id} [label=\"no\"];"));
+                    lines.push(format!("  n{dot_id} [shape=ellipse, label=\"{test}\"];"));
+                    let left_id = walk(arena, left, names, next_id, lines);
+                    let right_id = walk(arena, right, names, next_id, lines);
+                    lines.push(format!("  n{dot_id} -> n{left_id} [label=\"yes\"];"));
+                    lines.push(format!("  n{dot_id} -> n{right_id} [label=\"no\"];"));
                 }
             }
-            id
+            dot_id
         }
         let mut lines = vec!["digraph dmt {".to_string(), "  rankdir=TB;".to_string()];
         let mut next_id = 0usize;
-        walk(self.root_node(), feature_names, &mut next_id, &mut lines);
+        walk(
+            self.arena(),
+            self.root_id(),
+            feature_names,
+            &mut next_id,
+            &mut lines,
+        );
         lines.push("}".to_string());
         lines.join("\n")
     }

@@ -25,6 +25,11 @@
 //! The public entry point is [`DynamicModelTree`]; [`DmtConfig`] carries the
 //! hyperparameters with the paper's defaults.
 //!
+//! The tree structure is stored in a flat, cache-friendly [`NodeArena`]
+//! (struct-of-arrays split keys, [`NodeId`]-based links, free-list slot
+//! reuse on prune); prediction and learning both route whole batches through
+//! it in a single level-by-level pass — see the [`arena`] module docs.
+//!
 //! ```
 //! use dmt_core::{DmtConfig, DynamicModelTree};
 //! use dmt_models::OnlineClassifier;
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod candidate;
 pub mod explain;
 pub mod export;
@@ -52,11 +58,12 @@ pub mod node;
 pub mod scratch;
 pub mod tree;
 
+pub use arena::{NodeArena, NodeId};
 pub use candidate::{CandidateKey, SplitCandidate};
 pub use explain::{DecisionStep, LeafExplanation};
 pub use export::TreeSummary;
 pub use node::{GainDecision, NodeStats};
-pub use scratch::UpdateScratch;
+pub use scratch::{PredictScratch, UpdateScratch};
 pub use tree::{DmtConfig, DynamicModelTree};
 
 // Re-exported so `DmtConfig::batch_mode` can be set without a direct

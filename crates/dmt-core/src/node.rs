@@ -1,10 +1,17 @@
-//! Node statistics, loss-based gains and the recursive learning procedure of
-//! the Dynamic Model Tree.
+//! Node statistics, loss-based gains and the arena-based learning procedure
+//! of the Dynamic Model Tree.
+//!
+//! The tree structure itself lives in [`crate::arena::NodeArena`]; this
+//! module owns the per-node payload ([`NodeStats`]) and the crate-internal
+//! recursive batch learning procedure (`learn_at`) that walks the arena by
+//! [`NodeId`], routing each node's sub-batch with the same stable in-place
+//! index partition the batched prediction pass uses.
 
 use dmt_models::linalg::{self, MatMut, MatRef};
 use dmt_models::{Glm, SimpleModel as _};
 
-use crate::candidate::{propose_from_rows, CandidateKey, SplitCandidate};
+use crate::arena::{NodeArena, NodeId};
+use crate::candidate::{CandidateKey, SplitCandidate};
 use crate::scratch::UpdateScratch;
 use crate::tree::DmtConfig;
 
@@ -33,6 +40,22 @@ pub enum GainDecision {
         /// The gain (eq. 5) that justified the prune.
         gain: f64,
     },
+}
+
+/// Which value source feeds the inner-node routing test during learning.
+///
+/// Both variants select bit-identical row sets — the gathered matrix holds
+/// exact copies of the instance rows — so the learned trees are pinned
+/// bit-for-bit against each other by property tests. The per-instance form
+/// exists purely as the reference the hot path is validated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Routing {
+    /// Read the tested feature out of the contiguous matrix the node update
+    /// just gathered (hot path: no pointer chase per instance).
+    Gathered,
+    /// Re-read the tested feature through the original row pointer, exactly
+    /// as a one-instance-at-a-time descent would (reference path).
+    PerInstance,
 }
 
 /// Per-node accumulated statistics: the simple model, the loss/gradient sums
@@ -211,8 +234,14 @@ impl NodeStats {
             xbuf,
             ybuf,
             sort_pairs,
-            prefix_losses,
-            prefix_grads,
+            boundaries,
+            acc_buf,
+            proposals_buf,
+            retired,
+            bucket_keys,
+            bucket_losses,
+            bucket_counts,
+            bucket_grads,
             ..
         } = scratch;
         let xmat = MatRef::new(xbuf, b, m);
@@ -234,22 +263,33 @@ impl NodeStats {
         }
         self.count += b as u64;
 
-        // Candidate accumulation (lines 6–10) and proposal initialisation
-        // (§V-D), both fed from the batched gradient buffer of the model pass
-        // above through one per-feature prefix-sum pass: a candidate's
-        // left-subset statistics become an O(k) prefix difference instead of
-        // an O(batch · k) row scan.
-        let proposal_keys = propose_from_rows(xmat, nominal_features, &self.candidates, values_buf);
-        let proposals = Self::accumulate_via_feature_prefixes(
+        // Candidate proposal (§V-D) and accumulation (lines 6–10) in ONE
+        // combined pass per feature, fed from the batched gradient buffer of
+        // the model pass above: numeric features sort their column once by
+        // order-preserving bit key and serve both the quantile proposals and
+        // a boundary sweep that hands every candidate its left-prefix sums;
+        // nominal features build per-category bucket accumulators that serve
+        // both the distinct-code proposals and the candidate sums. Proposal
+        // `SplitCandidate`s are recycled through the `retired` pool, so the
+        // whole pass is allocation-free in steady state.
+        proposals_buf.clear();
+        Self::propose_and_accumulate(
             &mut self.candidates,
-            proposal_keys,
+            proposals_buf,
+            retired,
             k,
             xmat,
+            nominal_features,
             losses,
             gradmat,
+            values_buf,
             sort_pairs,
-            prefix_losses,
-            prefix_grads,
+            boundaries,
+            acc_buf,
+            bucket_keys,
+            bucket_losses,
+            bucket_counts,
+            bucket_grads,
         );
 
         // Refresh the stored candidates' gain estimates. Borrowing the
@@ -266,7 +306,7 @@ impl NodeStats {
 
         // Candidate pool management (§V-D): let the freshly proposed
         // candidates displace at most `replacement_rate` of the pool.
-        self.manage_candidate_pool(xmat.cols(), config, proposals);
+        self.manage_candidate_pool(xmat.cols(), config, proposals_buf, retired);
 
         // Finally, train the simple model with constant-learning-rate SGD
         // over the gathered batch (§V-A); `config.batch_mode` selects the
@@ -281,119 +321,314 @@ impl NodeStats {
         );
     }
 
-    /// One per-feature prefix pass over the batched gradient buffer that
-    /// feeds every stored candidate *and* initialises every fresh proposal:
-    /// row indices are sorted by the tested feature column, the per-row
-    /// losses/gradient rows are prefix-summed in that order, and each
-    /// candidate's left subset becomes a contiguous sorted range — numeric
-    /// thresholds a prefix, nominal equality (within the routing tolerance) a
-    /// run of equal values — so its accumulation is an O(k) prefix difference
-    /// (identical row set as a per-row scan with `CandidateKey::goes_left`;
-    /// only the floating-point summation order differs). Features without any
-    /// candidate skip the pass entirely.
+    /// Order-preserving `u64` key of an `f64` feature value: the sort over
+    /// these keys is a branchless integer sort with the same value order as
+    /// `partial_cmp` on finite floats. `-0.0` is normalised onto `+0.0`
+    /// (they compare equal as floats), and every NaN — regardless of sign
+    /// bit — maps to `u64::MAX`, past `+inf`. Split thresholds are always
+    /// finite (proposals drop non-finite values), so the boundary search
+    /// `t(v) <= t(threshold)` selects exactly the rows with `v <= threshold`
+    /// — the arithmetic of [`CandidateKey::test_value`], which NaN rows
+    /// never pass.
+    #[inline]
+    fn numeric_sort_key(v: f64) -> u64 {
+        if v.is_nan() {
+            return u64::MAX;
+        }
+        let bits = (v + 0.0).to_bits();
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | 0x8000_0000_0000_0000
+        }
+    }
+
+    /// Pop a recycled candidate for `key` from the `retired` pool (reusing
+    /// its gradient allocation) or build a fresh one.
+    fn recycled_candidate(
+        retired: &mut Vec<SplitCandidate>,
+        key: CandidateKey,
+        k: usize,
+    ) -> SplitCandidate {
+        match retired.pop() {
+            Some(mut candidate) => {
+                candidate.reset_for(key, k);
+                candidate
+            }
+            None => SplitCandidate::new(key, k),
+        }
+    }
+
+    /// Whether `key` already exists in the stored pool or among the fresh
+    /// proposals (within the [`CandidateKey::same_as`] tolerance).
+    fn already_stored(
+        candidates: &[SplitCandidate],
+        proposals: &[SplitCandidate],
+        key: &CandidateKey,
+    ) -> bool {
+        candidates.iter().any(|c| c.key.same_as(key))
+            || proposals.iter().any(|p| p.key.same_as(key))
+    }
+
+    /// Combined per-feature proposal + accumulation pass over the batched
+    /// loss/gradient buffers, appending fresh proposals to `proposals`:
     ///
-    /// Returns the proposals as initialised [`SplitCandidate`]s (statistics
-    /// from the current batch only; the paper accepts this initial bias).
+    /// * **Numeric features**: the column is sorted once by
+    ///   [`Self::numeric_sort_key`]; the 25 %/50 %/75 % order statistics of
+    ///   that order become the proposals (§V-D, same values a full sort or
+    ///   O(n) selection picks), and one *boundary sweep* walks the sorted
+    ///   rows with a running loss/gradient accumulator, handing every
+    ///   candidate its left-prefix sums the moment the sweep crosses its
+    ///   threshold — no prefix arrays are materialised and the sweep stops
+    ///   at the last boundary.
+    /// * **Nominal features**: per-category bucket accumulators — one scan
+    ///   assigns every row's loss/gradient to its category's bucket
+    ///   (categories matched by exact bit pattern), the sorted distinct
+    ///   codes become the proposals, and each equality candidate sums the
+    ///   buckets passing its [`CandidateKey::test_value`] tolerance.
+    ///   O(batch · categories) index work instead of the former
+    ///   O(batch log batch) float sort with an O(batch · k) prefix build —
+    ///   the Agrawal hot spot. The linear bucket lookup assumes the
+    ///   low-cardinality codes nominal schemas declare; an id-like column
+    ///   with ~unique values degrades to O(batch²) and should be modelled
+    ///   as numeric (or gain a hashed lookup) instead.
+    ///
+    /// Both paths select the identical row set as a per-row scan with
+    /// [`CandidateKey::goes_left`] (pinned by tests); only the floating-point
+    /// summation order differs. Proposal candidates are recycled through
+    /// `retired`, so the steady-state pass performs no heap allocation.
     #[allow(clippy::too_many_arguments)] // threaded scratch buffers, not state
-    fn accumulate_via_feature_prefixes(
+    fn propose_and_accumulate(
         candidates: &mut [SplitCandidate],
-        proposal_keys: Vec<CandidateKey>,
+        proposals: &mut Vec<SplitCandidate>,
+        retired: &mut Vec<SplitCandidate>,
         k: usize,
         xs: MatRef<'_>,
+        nominal_features: &[bool],
         losses: &[f64],
         grads: MatRef<'_>,
-        sort_pairs: &mut Vec<(f64, u32)>,
-        prefix_losses: &mut Vec<f64>,
-        prefix_grads: &mut Vec<f64>,
-    ) -> Vec<SplitCandidate> {
+        values_buf: &mut Vec<f64>,
+        sort_pairs: &mut Vec<(u64, u32)>,
+        boundaries: &mut Vec<(u32, u32)>,
+        acc_buf: &mut Vec<f64>,
+        bucket_keys: &mut Vec<f64>,
+        bucket_losses: &mut Vec<f64>,
+        bucket_counts: &mut Vec<u64>,
+        bucket_grads: &mut Vec<f64>,
+    ) {
+        /// Tag bit marking a boundary that belongs to the proposal list.
+        const PROPOSAL_TAG: u32 = 1 << 31;
         let b = xs.rows();
         let m = xs.cols();
         let data = xs.as_slice();
-        let mut proposals: Vec<SplitCandidate> = proposal_keys
-            .into_iter()
-            .map(|key| SplitCandidate::new(key, k))
-            .collect();
-        prefix_losses.resize(b + 1, 0.0);
-        prefix_grads.resize((b + 1) * k, 0.0);
+        let cmp_f64 = |a: &f64, b: &f64| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
         for feature in 0..m {
-            let wanted = |c: &SplitCandidate| c.key.feature == feature;
-            if !candidates.iter().any(wanted) && !proposals.iter().any(wanted) {
-                continue;
-            }
-            // Row order sorted by this feature column (deterministic:
-            // `sort_unstable` has no randomness; NaNs compare equal and are
-            // never proposed as split values). The value is packed next to
-            // the row index so neither the sort nor the boundary searches
-            // chase pointers.
-            sort_pairs.clear();
-            sort_pairs.extend((0..b).map(|r| (data[r * m + feature], r as u32)));
-            sort_pairs.sort_unstable_by(|a, b| {
-                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-            });
-            // Prefix sums of losses and gradient rows in sorted order.
-            prefix_losses[0] = 0.0;
-            prefix_grads[..k].fill(0.0);
-            for (pos, &(_, r)) in sort_pairs.iter().enumerate() {
-                prefix_losses[pos + 1] = prefix_losses[pos] + losses[r as usize];
-                let (done, rest) = prefix_grads.split_at_mut((pos + 1) * k);
-                let prev = &done[pos * k..];
-                let out = &mut rest[..k];
-                let row = grads.row(r as usize);
-                for l in 0..k {
-                    out[l] = prev[l] + row[l];
+            let proposal_start = proposals.len();
+            if nominal_features.get(feature).copied().unwrap_or(false) {
+                // Bucket pass: one accumulator per distinct category code in
+                // the batch, filled in row order. Categories are matched by
+                // exact bit pattern (NaNs bucket together and never pass a
+                // candidate's test), so a candidate owning a single category
+                // accumulates in the exact order of the per-row reference.
+                bucket_keys.clear();
+                bucket_losses.clear();
+                bucket_counts.clear();
+                bucket_grads.clear();
+                for r in 0..b {
+                    let v = data[r * m + feature];
+                    let bits = v.to_bits();
+                    let j = match bucket_keys.iter().position(|u| u.to_bits() == bits) {
+                        Some(j) => j,
+                        None => {
+                            bucket_keys.push(v);
+                            bucket_losses.push(0.0);
+                            bucket_counts.push(0);
+                            bucket_grads.resize(bucket_keys.len() * k, 0.0);
+                            bucket_keys.len() - 1
+                        }
+                    };
+                    bucket_losses[j] += losses[r];
+                    bucket_counts[j] += 1;
+                    let row = grads.row(r);
+                    let out = &mut bucket_grads[j * k..(j + 1) * k];
+                    for (o, &g) in out.iter_mut().zip(row.iter()) {
+                        *o += g;
+                    }
+                }
+                // Proposals: every distinct category code seen in the batch
+                // (§V-D), sorted with the same tolerance dedup the full-sort
+                // path produced.
+                values_buf.clear();
+                values_buf.extend_from_slice(bucket_keys);
+                values_buf.sort_by(cmp_f64);
+                values_buf.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+                values_buf.retain(|v| v.is_finite());
+                for &value in values_buf.iter() {
+                    let key = CandidateKey {
+                        feature,
+                        value,
+                        is_nominal: true,
+                    };
+                    if !Self::already_stored(candidates, proposals, &key) {
+                        proposals.push(Self::recycled_candidate(retired, key, k));
+                    }
+                }
+                for candidate in candidates
+                    .iter_mut()
+                    .filter(|c| c.key.feature == feature)
+                    .chain(proposals[proposal_start..].iter_mut())
+                {
+                    Self::add_bucket_stats(
+                        candidate,
+                        bucket_keys,
+                        bucket_losses,
+                        bucket_counts,
+                        bucket_grads,
+                        k,
+                    );
+                }
+            } else {
+                // Row order sorted by this feature column (deterministic:
+                // `sort_unstable` over integer keys has no randomness; NaNs
+                // sort past +inf and are never proposed as split values).
+                sort_pairs.clear();
+                sort_pairs.extend(
+                    (0..b).map(|r| (Self::numeric_sort_key(data[r * m + feature]), r as u32)),
+                );
+                sort_pairs.sort_unstable();
+                // Proposals: the 25 %/50 %/75 % order statistics of the batch
+                // (§V-D), with the quantile-path dedup tolerances.
+                let value_at = |i: usize| data[sort_pairs[i].1 as usize * m + feature];
+                values_buf.clear();
+                values_buf.extend([
+                    value_at(b / 4),
+                    value_at(b / 2),
+                    value_at((3 * b / 4).min(b - 1)),
+                ]);
+                values_buf.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+                values_buf.retain(|v| v.is_finite());
+                for &value in values_buf.iter() {
+                    let key = CandidateKey {
+                        feature,
+                        value,
+                        is_nominal: false,
+                    };
+                    if !Self::already_stored(candidates, proposals, &key) {
+                        proposals.push(Self::recycled_candidate(retired, key, k));
+                    }
+                }
+                // Boundary sweep: every candidate's left subset is the sorted
+                // prefix up to its threshold. Collect the prefix lengths,
+                // then walk the sorted rows once with a running accumulator,
+                // emitting at each boundary; the bound uses exactly the
+                // arithmetic of `test_value`, so the selected row set matches
+                // per-row routing bit-for-bit.
+                boundaries.clear();
+                for (ci, candidate) in candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.key.feature == feature)
+                {
+                    let threshold = Self::numeric_sort_key(candidate.key.value);
+                    let hi = sort_pairs.partition_point(|&(key, _)| key <= threshold);
+                    if hi > 0 {
+                        boundaries.push((hi as u32, ci as u32));
+                    }
+                }
+                for (pi, proposal) in proposals[proposal_start..].iter().enumerate() {
+                    let threshold = Self::numeric_sort_key(proposal.key.value);
+                    let hi = sort_pairs.partition_point(|&(key, _)| key <= threshold);
+                    if hi > 0 {
+                        boundaries.push((hi as u32, (proposal_start + pi) as u32 | PROPOSAL_TAG));
+                    }
+                }
+                if boundaries.is_empty() {
+                    continue;
+                }
+                boundaries.sort_unstable();
+                acc_buf.clear();
+                acc_buf.resize(k, 0.0);
+                let mut acc_loss = 0.0;
+                let mut next = 0usize;
+                for (pos, &(_, row_index)) in sort_pairs.iter().enumerate() {
+                    while next < boundaries.len() && boundaries[next].0 as usize == pos {
+                        let (hi, tag) = boundaries[next];
+                        let target = if tag & PROPOSAL_TAG != 0 {
+                            &mut proposals[(tag & !PROPOSAL_TAG) as usize]
+                        } else {
+                            &mut candidates[tag as usize]
+                        };
+                        target.loss_sum += acc_loss;
+                        target.count += hi as u64;
+                        for (g, &a) in target.grad_sum.iter_mut().zip(acc_buf.iter()) {
+                            *g += a;
+                        }
+                        next += 1;
+                    }
+                    if next == boundaries.len() {
+                        break;
+                    }
+                    let r = row_index as usize;
+                    acc_loss += losses[r];
+                    let row = grads.row(r);
+                    for (a, &g) in acc_buf.iter_mut().zip(row.iter()) {
+                        *a += g;
+                    }
+                }
+                // Boundaries covering the whole batch emit after the sweep.
+                while next < boundaries.len() {
+                    let (hi, tag) = boundaries[next];
+                    let target = if tag & PROPOSAL_TAG != 0 {
+                        &mut proposals[(tag & !PROPOSAL_TAG) as usize]
+                    } else {
+                        &mut candidates[tag as usize]
+                    };
+                    target.loss_sum += acc_loss;
+                    target.count += hi as u64;
+                    for (g, &a) in target.grad_sum.iter_mut().zip(acc_buf.iter()) {
+                        *g += a;
+                    }
+                    next += 1;
                 }
             }
-            for candidate in candidates.iter_mut().filter(|c| wanted(c)) {
-                Self::add_prefix_range(candidate, sort_pairs, prefix_losses, prefix_grads, k);
-            }
-            for candidate in proposals.iter_mut().filter(|c| wanted(c)) {
-                Self::add_prefix_range(candidate, sort_pairs, prefix_losses, prefix_grads, k);
-            }
         }
-        proposals
     }
 
-    /// Add one batch's left-subset statistics to `candidate` from the sorted
-    /// prefix arrays. The range bounds use exactly the arithmetic of
-    /// [`CandidateKey::test_value`], so the selected row set matches per-row
-    /// routing bit-for-bit.
-    fn add_prefix_range(
+    /// Add one batch's left-subset statistics to a *nominal* `candidate`
+    /// from the per-category buckets: every bucket whose category code
+    /// passes [`CandidateKey::test_value`] contributes its sums.
+    fn add_bucket_stats(
         candidate: &mut SplitCandidate,
-        sort_pairs: &[(f64, u32)],
-        prefix_losses: &[f64],
-        prefix_grads: &[f64],
+        bucket_keys: &[f64],
+        bucket_losses: &[f64],
+        bucket_counts: &[u64],
+        bucket_grads: &[f64],
         k: usize,
     ) {
-        let key = candidate.key;
-        let (lo, hi) = if key.is_nominal {
-            // `test_value` passes iff |v - key.value| < 1e-9, i.e. the run of
-            // sorted rows with v - key.value in (-1e-9, 1e-9).
-            let lo = sort_pairs.partition_point(|&(v, _)| v - key.value <= -1e-9);
-            let hi = sort_pairs.partition_point(|&(v, _)| v - key.value < 1e-9);
-            (lo, hi.max(lo))
-        } else {
-            (0, sort_pairs.partition_point(|&(v, _)| v <= key.value))
-        };
-        if hi <= lo {
-            return;
+        debug_assert!(candidate.key.is_nominal, "numeric candidates use prefixes");
+        for (j, &code) in bucket_keys.iter().enumerate() {
+            if candidate.key.test_value(code) {
+                candidate.loss_sum += bucket_losses[j];
+                candidate.count += bucket_counts[j];
+                let g = &bucket_grads[j * k..(j + 1) * k];
+                for (a, &v) in candidate.grad_sum.iter_mut().zip(g.iter()) {
+                    *a += v;
+                }
+            }
         }
-        candidate.loss_sum += prefix_losses[hi] - prefix_losses[lo];
-        let ph = &prefix_grads[hi * k..(hi + 1) * k];
-        let pl = &prefix_grads[lo * k..(lo + 1) * k];
-        for ((g, &a), &b) in candidate.grad_sum.iter_mut().zip(ph.iter()).zip(pl.iter()) {
-            *g += a - b;
-        }
-        candidate.count += (hi - lo) as u64;
     }
 
     /// Candidate pool management (§V-D): rank the freshly initialised
     /// proposals and let them displace at most `replacement_rate` of the
-    /// stored pool.
+    /// stored pool. Displaced and rejected candidates return to the
+    /// `retired` recycling pool so the next proposal round reuses their
+    /// gradient allocations.
     fn manage_candidate_pool(
         &mut self,
         num_features: usize,
         config: &DmtConfig,
-        proposals: Vec<SplitCandidate>,
+        proposals: &mut Vec<SplitCandidate>,
+        retired: &mut Vec<SplitCandidate>,
     ) {
         let max_candidates = config.max_candidates(num_features);
         let max_replacements = ((max_candidates as f64) * config.replacement_rate).ceil() as usize;
@@ -401,26 +636,26 @@ impl NodeStats {
         if proposals.is_empty() {
             return;
         }
-        let mut new_candidates = proposals;
-        for candidate in new_candidates.iter_mut() {
+        for candidate in proposals.iter_mut() {
             candidate.last_gain = self
                 .candidate_gain(candidate, self.loss_sum, config.learning_rate)
                 .unwrap_or(f64::NEG_INFINITY);
         }
-        new_candidates.sort_by(|a, b| {
+        proposals.sort_by(|a, b| {
             b.last_gain
                 .partial_cmp(&a.last_gain)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
 
         let mut replacements_used = 0usize;
-        for proposal in new_candidates {
+        for proposal in proposals.drain(..) {
             if self.candidates.len() < max_candidates {
                 self.candidates.push(proposal);
                 continue;
             }
             if replacements_used >= max_replacements {
-                break;
+                retired.push(proposal);
+                continue;
             }
             // Find the currently worst stored candidate.
             let (worst_idx, worst_gain) =
@@ -430,288 +665,225 @@ impl NodeStats {
                         .unwrap_or(std::cmp::Ordering::Equal)
                 }) {
                     Some((i, c)) => (i, c.last_gain),
-                    None => break,
+                    None => {
+                        retired.push(proposal);
+                        continue;
+                    }
                 };
             if proposal.last_gain > worst_gain {
-                self.candidates[worst_idx] = proposal;
+                retired.push(std::mem::replace(&mut self.candidates[worst_idx], proposal));
                 replacements_used += 1;
+            } else {
+                retired.push(proposal);
             }
         }
     }
 }
 
-/// A node of the Dynamic Model Tree. Inner nodes keep full statistics and
-/// keep training their model — the key difference from FIMT-DD (§IV-D).
-pub(crate) enum DmtNode {
-    /// A leaf node.
-    Leaf {
-        /// Node statistics.
-        stats: NodeStats,
-    },
-    /// An inner binary split node.
-    Inner {
-        /// Node statistics (still updated after the split).
-        stats: NodeStats,
-        /// The installed split.
-        key: CandidateKey,
-        /// Left child (split test passes).
-        left: Box<DmtNode>,
-        /// Right child (split test fails).
-        right: Box<DmtNode>,
-    },
+/// Build the two warm-started child models for a split on `candidate`
+/// (eq. 6: a single gradient step from the parent parameters on each
+/// child's subset). The right-child gradient is materialised into the
+/// scratch gradient buffer (structural changes are rare, but there is no
+/// reason to allocate here either).
+fn warm_started_children(
+    stats: &NodeStats,
+    candidate: &SplitCandidate,
+    lr: f64,
+    scratch: &mut UpdateScratch,
+) -> (Glm, Glm) {
+    let left =
+        Glm::warm_start_with_gradient(&stats.model, &candidate.grad_sum, candidate.count, lr);
+    scratch.grad_buf.clear();
+    scratch.grad_buf.resize(stats.grad_sum.len(), 0.0);
+    linalg::sub_into(&stats.grad_sum, &candidate.grad_sum, &mut scratch.grad_buf);
+    let right_count = stats.count - candidate.count;
+    let right = Glm::warm_start_with_gradient(&stats.model, &scratch.grad_buf, right_count, lr);
+    (left, right)
 }
 
-impl DmtNode {
-    pub(crate) fn leaf(model: Glm) -> Self {
-        DmtNode::Leaf {
-            stats: NodeStats::new(model),
-        }
+/// Learn the sub-batch selected by `idx` at the arena node `id` and apply
+/// the structural checks of Algorithm 1 to the subtree below it. Returns the
+/// structural decision taken at `id` itself.
+///
+/// Inner nodes (which keep full statistics and keep training their model —
+/// the key difference from FIMT-DD, §IV-D) route instances by stably
+/// partitioning `idx` in place: left-routed indices form the prefix,
+/// right-routed indices the suffix, so no per-node row batches are
+/// materialised and the relative instance order every node observes is
+/// identical to processing the original batch order one instance at a time.
+/// `routing` selects where the split test reads its feature value from; see
+/// [`Routing`].
+#[allow(clippy::too_many_arguments)] // one recursive hot path, threaded context
+pub(crate) fn learn_at(
+    arena: &mut NodeArena,
+    id: NodeId,
+    xs: &[&[f64]],
+    ys: &[usize],
+    idx: &mut [usize],
+    nominal_features: &[bool],
+    config: &DmtConfig,
+    scratch: &mut UpdateScratch,
+    routing: Routing,
+) -> GainDecision {
+    if idx.is_empty() {
+        return GainDecision::Keep;
     }
-
-    #[allow(dead_code)] // exercised by unit tests and the facade crate
-    pub(crate) fn stats(&self) -> &NodeStats {
-        match self {
-            DmtNode::Leaf { stats } => stats,
-            DmtNode::Inner { stats, .. } => stats,
-        }
-    }
-
-    /// The leaf responsible for `x` (allocation-free descent).
-    pub(crate) fn leaf_for(&self, x: &[f64]) -> &NodeStats {
-        let mut node = self;
-        loop {
-            match node {
-                DmtNode::Leaf { stats } => return stats,
-                DmtNode::Inner {
-                    key, left, right, ..
-                } => {
-                    node = if key.goes_left(x) { left } else { right };
-                }
-            }
-        }
-    }
-
-    pub(crate) fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        self.leaf_for(x).model.predict_proba(x)
-    }
-
-    /// Class probabilities of the responsible leaf written into `out`.
-    pub(crate) fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
-        self.leaf_for(x).model.predict_proba_into(x, out);
-    }
-
-    /// Most probable class for `x` without any allocation.
-    pub(crate) fn predict(&self, x: &[f64]) -> usize {
-        dmt_models::SimpleModel::predict(&self.leaf_for(x).model, x)
-    }
-
-    /// `(inner nodes, leaves)` of the subtree rooted here.
-    pub(crate) fn count_nodes(&self) -> (u64, u64) {
-        match self {
-            DmtNode::Leaf { .. } => (0, 1),
-            DmtNode::Inner { left, right, .. } => {
-                let (il, ll) = left.count_nodes();
-                let (ir, lr) = right.count_nodes();
-                (1 + il + ir, ll + lr)
-            }
-        }
-    }
-
-    /// Depth of the subtree (a single leaf has depth 0).
-    pub(crate) fn depth(&self) -> usize {
-        match self {
-            DmtNode::Leaf { .. } => 0,
-            DmtNode::Inner { left, right, .. } => 1 + left.depth().max(right.depth()),
-        }
-    }
-
-    /// Sum of the leaf losses `Σ_{J_t ⊆ I_t} L(Θ_Jt, Y_Jt, X_Jt)` and the
-    /// number of leaves of the subtree rooted here.
-    pub(crate) fn subtree_leaf_loss(&self) -> (f64, u64) {
-        match self {
-            DmtNode::Leaf { stats } => (stats.loss_sum, 1),
-            DmtNode::Inner { left, right, .. } => {
-                let (ll, lc) = left.subtree_leaf_loss();
-                let (rl, rc) = right.subtree_leaf_loss();
-                (ll + rl, lc + rc)
-            }
-        }
-    }
-
-    /// Build the two warm-started child models for a split on `candidate`
-    /// (eq. 6: a single gradient step from the parent parameters on each
-    /// child's subset). The right-child gradient is materialised into the
-    /// scratch gradient buffer (structural changes are rare, but there is no
-    /// reason to allocate here either).
-    fn warm_started_children(
-        stats: &NodeStats,
-        candidate: &SplitCandidate,
-        lr: f64,
-        scratch: &mut UpdateScratch,
-    ) -> (Glm, Glm) {
-        let left =
-            Glm::warm_start_with_gradient(&stats.model, &candidate.grad_sum, candidate.count, lr);
-        scratch.grad_buf.clear();
-        scratch.grad_buf.resize(stats.grad_sum.len(), 0.0);
-        linalg::sub_into(&stats.grad_sum, &candidate.grad_sum, &mut scratch.grad_buf);
-        let right_count = stats.count - candidate.count;
-        let right = Glm::warm_start_with_gradient(&stats.model, &scratch.grad_buf, right_count, lr);
-        (left, right)
-    }
-
-    /// Learn the sub-batch selected by `idx` at this node and apply the
-    /// structural checks of Algorithm 1. Returns the structural decision
-    /// taken at this node.
-    ///
-    /// Inner nodes route instances by stably partitioning `idx` in place —
-    /// left-routed indices form the prefix, right-routed indices the suffix —
-    /// so no per-node `Vec<&[f64]>` batches are materialised. The relative
-    /// instance order every node observes is identical to processing the
-    /// original batch order.
-    pub(crate) fn learn(
-        &mut self,
-        xs: &[&[f64]],
-        ys: &[usize],
-        idx: &mut [usize],
-        nominal_features: &[bool],
-        config: &DmtConfig,
-        scratch: &mut UpdateScratch,
-    ) -> GainDecision {
-        if idx.is_empty() {
+    if arena.is_leaf(id) {
+        let stats = arena.stats_mut(id);
+        stats.update_with_batch_indexed(xs, ys, idx, nominal_features, config, scratch);
+        // Split check (gain (3) against the AIC threshold).
+        if stats.count < config.min_observations_split {
             return GainDecision::Keep;
         }
-        match self {
-            DmtNode::Leaf { stats } => {
-                stats.update_with_batch_indexed(xs, ys, idx, nominal_features, config, scratch);
-                // Split check (gain (3) against the AIC threshold).
-                if stats.count < config.min_observations_split {
-                    return GainDecision::Keep;
-                }
-                if let Some((best_idx, gain)) =
-                    stats.best_candidate(stats.loss_sum, config.learning_rate)
-                {
-                    let k = stats.k();
-                    if config.accepts(gain, 2 * k, k) {
-                        let candidate = stats.candidates[best_idx].clone();
-                        let (left_model, right_model) = Self::warm_started_children(
-                            stats,
-                            &candidate,
-                            config.learning_rate,
-                            scratch,
-                        );
-                        stats.reset_window();
-                        let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
-                        *self = DmtNode::Inner {
-                            stats,
-                            key: candidate.key,
-                            left: Box::new(DmtNode::leaf(left_model)),
-                            right: Box::new(DmtNode::leaf(right_model)),
-                        };
-                        return GainDecision::Split {
-                            key: candidate.key,
-                            gain,
-                        };
-                    }
-                }
-                GainDecision::Keep
-            }
-            DmtNode::Inner {
-                stats,
-                key,
-                left,
-                right,
-            } => {
-                // Update the inner node's own statistics and model with the
-                // full sub-batch (DMT keeps training inner models, §IV-D).
-                // The node update is independent of the children's, so doing
-                // it before routing lets the children permute `idx` freely.
-                stats.update_with_batch_indexed(xs, ys, idx, nominal_features, config, scratch);
-
-                // Route the sub-batch to the children: stable in-place
-                // partition of the index slice (left prefix, right suffix)
-                // using the reusable holding pen for the right side. The pen
-                // is drained before the recursion, so child partitions can
-                // reuse it. The split test reads the tested feature column
-                // out of the matrix the node update just gathered (`xbuf` row
-                // `pos` is `xs[idx[pos]]`), avoiding one pointer chase per
-                // instance.
-                scratch.partition_buf.clear();
-                let m = xs[idx[0]].len();
-                let mut write = 0usize;
-                for pos in 0..idx.len() {
-                    let i = idx[pos];
-                    if key.test_value(scratch.xbuf[pos * m + key.feature]) {
-                        idx[write] = i;
-                        write += 1;
-                    } else {
-                        scratch.partition_buf.push(i);
-                    }
-                }
-                idx[write..].copy_from_slice(&scratch.partition_buf);
-
-                let (left_idx, right_idx) = idx.split_at_mut(write);
-                left.learn(xs, ys, left_idx, nominal_features, config, scratch);
-                right.learn(xs, ys, right_idx, nominal_features, config, scratch);
-
-                if stats.count < config.min_observations_split {
-                    return GainDecision::Keep;
-                }
-
-                let (leaf_loss, num_leaves) = {
-                    let (ll, lc) = left.subtree_leaf_loss();
-                    let (rl, rc) = right.subtree_leaf_loss();
-                    (ll + rl, lc + rc)
+        if let Some((best_idx, gain)) = stats.best_candidate(stats.loss_sum, config.learning_rate) {
+            let k = stats.k();
+            if config.accepts(gain, 2 * k, k) {
+                let candidate = stats.candidates[best_idx].clone();
+                let (left_model, right_model) = warm_started_children(
+                    arena.stats(id),
+                    &candidate,
+                    config.learning_rate,
+                    scratch,
+                );
+                arena.stats_mut(id).reset_window();
+                arena.install_split(
+                    id,
+                    candidate.key,
+                    NodeStats::new(left_model),
+                    NodeStats::new(right_model),
+                );
+                return GainDecision::Split {
+                    key: candidate.key,
+                    gain,
                 };
-                let k = stats.k();
-                let k_subtree = (num_leaves as usize) * k;
-
-                // Gain (5): collapse the subtree into this node.
-                let gain_prune = leaf_loss - stats.loss_sum;
-                let prune_ok = config.accepts(gain_prune, k, k_subtree);
-
-                // Gain (4): replace the subtree with a fresh split.
-                let best_replacement = stats.best_candidate(leaf_loss, config.learning_rate);
-                let (replace_ok, replace_gain, replace_idx) = match best_replacement {
-                    Some((idx, gain)) => (config.accepts(gain, 2 * k, k_subtree), gain, idx),
-                    None => (false, f64::NEG_INFINITY, 0),
-                };
-
-                if prune_ok && (!replace_ok || gain_prune >= replace_gain) {
-                    // Replace the inner node with a leaf (the smaller model).
-                    stats.reset_window();
-                    let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
-                    *self = DmtNode::Leaf { stats };
-                    return GainDecision::Prune { gain: gain_prune };
-                }
-                if replace_ok {
-                    let candidate = stats.candidates[replace_idx].clone();
-                    // Ignore a "replacement" that would re-install the very
-                    // same split — it would only discard the children's
-                    // progress without changing the model structure.
-                    if !candidate.key.same_as(key) {
-                        let (left_model, right_model) = Self::warm_started_children(
-                            stats,
-                            &candidate,
-                            config.learning_rate,
-                            scratch,
-                        );
-                        stats.reset_window();
-                        let stats = std::mem::replace(stats, NodeStats::new(Glm::new_zeros(1, 2)));
-                        *self = DmtNode::Inner {
-                            stats,
-                            key: candidate.key,
-                            left: Box::new(DmtNode::leaf(left_model)),
-                            right: Box::new(DmtNode::leaf(right_model)),
-                        };
-                        return GainDecision::Replace {
-                            key: candidate.key,
-                            gain: replace_gain,
-                        };
-                    }
-                }
-                GainDecision::Keep
             }
         }
+        GainDecision::Keep
+    } else {
+        // Update the inner node's own statistics and model with the full
+        // sub-batch (DMT keeps training inner models, §IV-D). The node
+        // update is independent of the children's, so doing it before
+        // routing lets the children permute `idx` freely.
+        arena.stats_mut(id).update_with_batch_indexed(
+            xs,
+            ys,
+            idx,
+            nominal_features,
+            config,
+            scratch,
+        );
+
+        // Route the sub-batch to the children: stable in-place partition of
+        // the index slice (left prefix, right suffix) using the reusable
+        // holding pen. The pen is drained before the recursion, so child
+        // partitions can reuse it. In the hot [`Routing::Gathered`] mode the
+        // split test reads the tested feature column out of the matrix the
+        // node update just gathered (`xbuf` row `pos` is `xs[idx[pos]]`),
+        // avoiding one pointer chase per instance.
+        let key = arena.split_key(id);
+        let m = xs[idx[0]].len();
+        scratch.partition_buf.clear();
+        let mut write = 0usize;
+        for pos in 0..idx.len() {
+            let i = idx[pos];
+            let value = match routing {
+                Routing::Gathered => scratch.xbuf[pos * m + key.feature],
+                Routing::PerInstance => xs[i][key.feature],
+            };
+            if key.test_value(value) {
+                idx[write] = i;
+                write += 1;
+            } else {
+                scratch.partition_buf.push(i);
+            }
+        }
+        idx[write..].copy_from_slice(&scratch.partition_buf);
+
+        let (left, right) = arena.children(id).expect("inner node has children");
+        let (left_idx, right_idx) = idx.split_at_mut(write);
+        learn_at(
+            arena,
+            left,
+            xs,
+            ys,
+            left_idx,
+            nominal_features,
+            config,
+            scratch,
+            routing,
+        );
+        learn_at(
+            arena,
+            right,
+            xs,
+            ys,
+            right_idx,
+            nominal_features,
+            config,
+            scratch,
+            routing,
+        );
+
+        if arena.stats(id).count < config.min_observations_split {
+            return GainDecision::Keep;
+        }
+
+        let (leaf_loss, num_leaves) = {
+            let (ll, lc) = arena.subtree_leaf_loss(left);
+            let (rl, rc) = arena.subtree_leaf_loss(right);
+            (ll + rl, lc + rc)
+        };
+        let stats = arena.stats(id);
+        let k = stats.k();
+        let k_subtree = (num_leaves as usize) * k;
+
+        // Gain (5): collapse the subtree into this node.
+        let gain_prune = leaf_loss - stats.loss_sum;
+        let prune_ok = config.accepts(gain_prune, k, k_subtree);
+
+        // Gain (4): replace the subtree with a fresh split.
+        let best_replacement = stats.best_candidate(leaf_loss, config.learning_rate);
+        let (replace_ok, replace_gain, replace_idx) = match best_replacement {
+            Some((idx, gain)) => (config.accepts(gain, 2 * k, k_subtree), gain, idx),
+            None => (false, f64::NEG_INFINITY, 0),
+        };
+
+        if prune_ok && (!replace_ok || gain_prune >= replace_gain) {
+            // Replace the inner node with a leaf (the smaller model); the
+            // collapsed subtree's slots go onto the arena's free list.
+            arena.stats_mut(id).reset_window();
+            arena.collapse_to_leaf(id);
+            return GainDecision::Prune { gain: gain_prune };
+        }
+        if replace_ok {
+            let candidate = arena.stats(id).candidates[replace_idx].clone();
+            // Ignore a "replacement" that would re-install the very same
+            // split — it would only discard the children's progress without
+            // changing the model structure.
+            if !candidate.key.same_as(&key) {
+                let (left_model, right_model) = warm_started_children(
+                    arena.stats(id),
+                    &candidate,
+                    config.learning_rate,
+                    scratch,
+                );
+                arena.stats_mut(id).reset_window();
+                // Retire the old subtree first so the fresh children reuse
+                // its free-listed slots instead of growing the arena.
+                arena.collapse_to_leaf(id);
+                arena.install_split(
+                    id,
+                    candidate.key,
+                    NodeStats::new(left_model),
+                    NodeStats::new(right_model),
+                );
+                return GainDecision::Replace {
+                    key: candidate.key,
+                    gain: replace_gain,
+                };
+            }
+        }
+        GainDecision::Keep
     }
 }
 
@@ -829,6 +1001,106 @@ mod tests {
     }
 
     #[test]
+    fn bucket_accumulation_matches_per_row_candidate_stats_on_nominal_features() {
+        // Mixed numeric + nominal batch: nominal candidates run through the
+        // per-category bucket pass and must select the exact row set of the
+        // per-row reference, with sums matching bit-for-bit when a candidate
+        // owns a single category (the bucket is filled in row order).
+        let cfg = config();
+        let mut stats = NodeStats::new(Glm::new_random(2, 2, 11));
+        let model_before = stats.model.clone();
+        let xs: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 5) as f64, ((i * 13) % 60) as f64 / 60.0])
+            .collect();
+        let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[1] > 0.5)).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        stats.update_with_batch(&rows, &ys, &[true, false], &cfg);
+        let nominal_candidates = stats.candidates.iter().filter(|c| c.key.is_nominal).count();
+        assert!(nominal_candidates > 0, "no nominal candidates proposed");
+        for candidate in stats.candidates.iter().filter(|c| c.key.is_nominal) {
+            let mut count = 0u64;
+            let mut loss_sum = 0.0;
+            let mut grad_sum = vec![0.0; stats.k()];
+            for (x, &y) in rows.iter().zip(ys.iter()) {
+                if candidate.key.goes_left(x) {
+                    let (loss, grad) = model_before.loss_and_gradient(&[x], &[y]);
+                    count += 1;
+                    loss_sum += loss;
+                    linalg::add_assign(&mut grad_sum, &grad);
+                }
+            }
+            assert_eq!(
+                candidate.count, count,
+                "row set diverged: {:?}",
+                candidate.key
+            );
+            assert_eq!(
+                candidate.loss_sum.to_bits(),
+                loss_sum.to_bits(),
+                "single-category bucket must accumulate in row order"
+            );
+            for (a, b) in candidate.grad_sum.iter().zip(grad_sum.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_rows_never_enter_candidate_statistics() {
+        // NaN feature values (either sign bit) fail every split test, so no
+        // candidate may absorb their loss/gradient — the sort-key boundary
+        // must exclude them exactly like the per-row reference does.
+        let cfg = config();
+        let mut stats = NodeStats::new(Glm::new_random(1, 2, 3));
+        let mut xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        xs.push(vec![f64::NAN]);
+        xs.push(vec![f64::NAN.copysign(-1.0)]);
+        let ys: Vec<usize> = (0..xs.len()).map(|i| i % 2).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        stats.update_with_batch(&rows, &ys, &[false], &cfg);
+        assert!(!stats.candidates.is_empty());
+        for candidate in &stats.candidates {
+            let expected = rows.iter().filter(|x| candidate.key.goes_left(x)).count() as u64;
+            assert_eq!(candidate.count, expected, "{:?}", candidate.key);
+            assert!(
+                candidate.loss_sum.is_finite(),
+                "a NaN row leaked into candidate {:?}",
+                candidate.key
+            );
+            assert!(candidate.grad_sum.iter().all(|g| g.is_finite()));
+        }
+    }
+
+    #[test]
+    fn combined_pass_proposes_the_same_keys_as_the_reference() {
+        // First batch into a fresh node: the pool is empty and large enough,
+        // so the stored candidates afterwards are exactly the batch's
+        // proposals — which must match `propose_from_batch`, the standalone
+        // reference implementation of the §V-D proposal rules.
+        let cfg = config();
+        let mut stats = NodeStats::new(Glm::new_random(2, 2, 5));
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![((i * 17) % 40) as f64 / 40.0, (i % 3) as f64])
+            .collect();
+        let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let nominal = [false, true];
+        let expected = crate::candidate::propose_from_batch(&rows, &nominal, &[]);
+        assert!(expected.len() <= cfg.max_candidates(2));
+        stats.update_with_batch(&rows, &ys, &nominal, &cfg);
+        assert_eq!(stats.candidates.len(), expected.len());
+        // Pool management reorders by gain, so compare as key sets.
+        for key in &expected {
+            assert!(
+                stats.candidates.iter().any(|c| c.key.feature == key.feature
+                    && c.key.is_nominal == key.is_nominal
+                    && c.key.value.to_bits() == key.value.to_bits()),
+                "missing proposal {key:?}"
+            );
+        }
+    }
+
+    #[test]
     fn reset_window_clears_accumulators_but_keeps_model() {
         let mut stats = NodeStats::new(Glm::new_zeros(2, 2));
         let (xs, ys) = separable_batch(100);
@@ -881,16 +1153,24 @@ mod tests {
     fn leaf_splits_on_a_step_concept_and_builds_an_inner_node() {
         let cfg = config();
         let mut scratch = UpdateScratch::new();
-        let mut node = DmtNode::leaf(Glm::new_zeros(1, 2));
+        let (mut arena, root) = NodeArena::with_root(NodeStats::new(Glm::new_zeros(1, 2)));
         let mut split_seen = false;
         for _ in 0..300 {
             let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
             let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.75)).collect();
             let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
             let mut idx: Vec<usize> = (0..rows.len()).collect();
-            if let GainDecision::Split { .. } =
-                node.learn(&rows, &ys, &mut idx, &[false], &cfg, &mut scratch)
-            {
+            if let GainDecision::Split { .. } = learn_at(
+                &mut arena,
+                root,
+                &rows,
+                &ys,
+                &mut idx,
+                &[false],
+                &cfg,
+                &mut scratch,
+                Routing::Gathered,
+            ) {
                 split_seen = true;
                 break;
             }
@@ -899,54 +1179,51 @@ mod tests {
             split_seen,
             "the leaf never split on an obviously splittable concept"
         );
-        assert_eq!(node.count_nodes().0, 1);
-        assert_eq!(node.count_nodes().1, 2);
-        assert_eq!(node.depth(), 1);
+        assert_eq!(arena.count_nodes(root), (1, 2));
+        assert_eq!(arena.depth(root), 1);
+        arena.validate(root).unwrap();
     }
 
     #[test]
     fn empty_batch_is_a_noop() {
         let cfg = config();
         let mut scratch = UpdateScratch::new();
-        let mut node = DmtNode::leaf(Glm::new_zeros(2, 2));
+        let (mut arena, root) = NodeArena::with_root(NodeStats::new(Glm::new_zeros(2, 2)));
         assert_eq!(
-            node.learn(&[], &[], &mut [], &[false, false], &cfg, &mut scratch),
+            learn_at(
+                &mut arena,
+                root,
+                &[],
+                &[],
+                &mut [],
+                &[false, false],
+                &cfg,
+                &mut scratch,
+                Routing::Gathered,
+            ),
             GainDecision::Keep
         );
-        assert_eq!(node.stats().count, 0);
+        assert_eq!(arena.stats(root).count, 0);
     }
 
     #[test]
     fn subtree_leaf_loss_sums_only_leaves() {
-        let leaf_a = DmtNode::Leaf {
-            stats: {
-                let mut s = NodeStats::new(Glm::new_zeros(1, 2));
-                s.loss_sum = 2.0;
-                s
-            },
+        let (mut arena, root) = NodeArena::with_root(NodeStats::new(Glm::new_zeros(1, 2)));
+        arena.stats_mut(root).loss_sum = 100.0;
+        let key = CandidateKey {
+            feature: 0,
+            value: 0.5,
+            is_nominal: false,
         };
-        let leaf_b = DmtNode::Leaf {
-            stats: {
-                let mut s = NodeStats::new(Glm::new_zeros(1, 2));
-                s.loss_sum = 3.0;
-                s
-            },
-        };
-        let inner = DmtNode::Inner {
-            stats: {
-                let mut s = NodeStats::new(Glm::new_zeros(1, 2));
-                s.loss_sum = 100.0;
-                s
-            },
-            key: CandidateKey {
-                feature: 0,
-                value: 0.5,
-                is_nominal: false,
-            },
-            left: Box::new(leaf_a),
-            right: Box::new(leaf_b),
-        };
-        let (loss, leaves) = inner.subtree_leaf_loss();
+        let (l, r) = arena.install_split(
+            root,
+            key,
+            NodeStats::new(Glm::new_zeros(1, 2)),
+            NodeStats::new(Glm::new_zeros(1, 2)),
+        );
+        arena.stats_mut(l).loss_sum = 2.0;
+        arena.stats_mut(r).loss_sum = 3.0;
+        let (loss, leaves) = arena.subtree_leaf_loss(root);
         assert!((loss - 5.0).abs() < 1e-12);
         assert_eq!(leaves, 2);
     }

@@ -1,15 +1,20 @@
-//! Reusable scratch buffers for the Dynamic Model Tree update loop.
+//! Reusable scratch buffers for the Dynamic Model Tree update and predict
+//! loops.
 //!
 //! The per-instance cost of a streaming learner must stay constant and small
 //! (the paper reports test/train runtime as a headline result, Table V).
 //! Allocating per instance — or per node per batch — makes the allocator the
 //! dominant cost of the hot loop, so all intermediate storage the update path
 //! needs lives in one [`UpdateScratch`] owned by the tree and reused across
-//! batches. In steady state (buffers grown to their high-water mark) the
-//! learn/predict path performs **no** per-instance heap allocations.
+//! batches, and the batched prediction routing pass keeps its buffers in a
+//! [`PredictScratch`]. In steady state (buffers grown to their high-water
+//! mark) the learn/predict path performs **no** per-instance heap
+//! allocations.
+
+use crate::candidate::SplitCandidate;
 
 /// Scratch buffers threaded through `DynamicModelTree::learn_batch` →
-/// `DmtNode::learn` → `NodeStats::update_with_batch` → the GLM `*_into`
+/// `node::learn_at` → `NodeStats::update_with_batch` → the GLM `*_into`
 /// methods.
 ///
 /// All buffers are resized on demand and retain their capacity, so after the
@@ -40,15 +45,30 @@ pub struct UpdateScratch {
     pub(crate) xbuf: Vec<f64>,
     /// Labels of the gathered sub-batch, aligned with `xbuf` rows.
     pub(crate) ybuf: Vec<usize>,
-    /// `(feature value, row)` pairs sorted by value (candidate prefix pass);
-    /// packing the key next to the row index keeps the sort comparator and
-    /// the boundary searches free of indirect loads.
-    pub(crate) sort_pairs: Vec<(f64, u32)>,
-    /// Prefix sums of the per-row losses in sorted order (`instances + 1`).
-    pub(crate) prefix_losses: Vec<f64>,
-    /// Prefix sums of the per-row gradient rows in sorted order, row-major
-    /// (`(instances + 1) × num_params`).
-    pub(crate) prefix_grads: Vec<f64>,
+    /// `(order-preserving bit key, row)` pairs sorted by value (numeric
+    /// candidate pass); the `u64` keys make the sort a branchless integer
+    /// sort and keep the boundary searches free of indirect loads.
+    pub(crate) sort_pairs: Vec<(u64, u32)>,
+    /// `(prefix length, candidate tag)` boundaries of the numeric sweep,
+    /// sorted by prefix length.
+    pub(crate) boundaries: Vec<(u32, u32)>,
+    /// Running gradient accumulator of the numeric sweep (`num_params`).
+    pub(crate) acc_buf: Vec<f64>,
+    /// Freshly proposed candidates of the current node update (drained into
+    /// the pool or retired each batch; capacity reused).
+    pub(crate) proposals_buf: Vec<SplitCandidate>,
+    /// Retired candidates recycled by the next proposal round, so
+    /// steady-state proposal generation never touches the allocator.
+    pub(crate) retired: Vec<SplitCandidate>,
+    /// Distinct category codes of the nominal feature currently being
+    /// accumulated (bucket pass; one entry per category seen in the batch).
+    pub(crate) bucket_keys: Vec<f64>,
+    /// Per-category loss sums, aligned with `bucket_keys`.
+    pub(crate) bucket_losses: Vec<f64>,
+    /// Per-category observation counts, aligned with `bucket_keys`.
+    pub(crate) bucket_counts: Vec<u64>,
+    /// Per-category gradient sums, row-major (`categories × num_params`).
+    pub(crate) bucket_grads: Vec<f64>,
 }
 
 impl UpdateScratch {
@@ -81,6 +101,59 @@ impl UpdateScratch {
             self.xbuf.extend_from_slice(xs[i]);
             self.ybuf.push(ys[i]);
         }
+    }
+}
+
+/// Scratch buffers of the single-pass batched prediction routing
+/// ([`crate::arena::NodeArena::predict_batch_into`]).
+///
+/// Owned by the tree (behind a `RefCell`, since prediction is `&self`) and
+/// reused across batches. `DynamicModelTree::learn_batch` pre-grows the
+/// buffers to the observed batch dimensions, so a test-then-train loop's
+/// predictions are allocation-free from the first call.
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    /// Instance indices of the batch, partitioned in place level-by-level.
+    pub(crate) indices: Vec<usize>,
+    /// Holding pen for right-routed indices during the stable partition.
+    pub(crate) pen: Vec<usize>,
+    /// DFS work stack of `(node slot, range start, range end)` triples.
+    pub(crate) stack: Vec<(u32, u32, u32)>,
+    /// Contiguous row-major gather buffer for one leaf group.
+    pub(crate) xbuf: Vec<f64>,
+    /// Class probabilities of one leaf group (`group × num_classes`).
+    pub(crate) probs: Vec<f64>,
+}
+
+impl PredictScratch {
+    /// Create an empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve every buffer for a batch of `rows × features` instances over
+    /// `classes` classes routed through a tree of at most `max_nodes` nodes,
+    /// so a following [`crate::arena::NodeArena::predict_batch_into`] call
+    /// performs no allocation.
+    pub(crate) fn prepare(
+        &mut self,
+        rows: usize,
+        features: usize,
+        classes: usize,
+        max_nodes: usize,
+    ) {
+        fn reserve_to<T>(v: &mut Vec<T>, cap: usize) {
+            if v.capacity() < cap {
+                v.reserve(cap - v.len());
+            }
+        }
+        reserve_to(&mut self.indices, rows);
+        reserve_to(&mut self.pen, rows);
+        // The DFS stack holds at most one pending range per tree level plus
+        // the current path; the node count is a safe upper bound.
+        reserve_to(&mut self.stack, max_nodes + 1);
+        reserve_to(&mut self.xbuf, rows * features);
+        reserve_to(&mut self.probs, rows * classes);
     }
 }
 
@@ -125,5 +198,19 @@ mod tests {
         scratch.prepare_node(10, 5, 3);
         scratch.prepare_node(100, 5, 3);
         assert_eq!(scratch.grads.capacity(), capacity);
+    }
+
+    #[test]
+    fn predict_scratch_prepare_reserves_capacity() {
+        let mut scratch = PredictScratch::new();
+        scratch.prepare(100, 3, 2, 9);
+        assert!(scratch.indices.capacity() >= 100);
+        assert!(scratch.xbuf.capacity() >= 300);
+        assert!(scratch.probs.capacity() >= 200);
+        assert!(scratch.stack.capacity() >= 10);
+        // Preparing for a smaller batch never shrinks.
+        let xcap = scratch.xbuf.capacity();
+        scratch.prepare(10, 3, 2, 1);
+        assert_eq!(scratch.xbuf.capacity(), xcap);
     }
 }

@@ -1,12 +1,15 @@
 //! The public [`DynamicModelTree`] classifier and its configuration.
 
+use std::cell::RefCell;
+
 use dmt_models::online::{Complexity, OnlineClassifier};
 use dmt_models::{AicTest, BatchMode, Glm, Rows};
 use dmt_stream::schema::StreamSchema;
 
+use crate::arena::{NodeArena, NodeId};
 use crate::explain::{DecisionStep, LeafExplanation};
-use crate::node::{DmtNode, GainDecision};
-use crate::scratch::UpdateScratch;
+use crate::node::{learn_at, GainDecision, NodeStats, Routing};
+use crate::scratch::{PredictScratch, UpdateScratch};
 
 /// Hyperparameters of the Dynamic Model Tree with the defaults proposed in
 /// §V-D of the paper.
@@ -81,11 +84,19 @@ impl DmtConfig {
 }
 
 /// The Dynamic Model Tree classifier (see the crate-level documentation).
+///
+/// The tree structure lives in a flat [`NodeArena`] (struct-of-arrays split
+/// keys, id-based links, free-list slot reuse on prune); both halves of the
+/// test-then-train loop run batched over it: prediction routes the whole
+/// batch level-by-level and runs one GLM kernel call per reached leaf, and
+/// learning routes each node's sub-batch with the same stable in-place index
+/// partition.
 pub struct DynamicModelTree {
     config: DmtConfig,
     schema: StreamSchema,
     nominal_features: Vec<bool>,
-    root: DmtNode,
+    arena: NodeArena,
+    root: NodeId,
     observations: u64,
     /// Structural decisions taken during the lifetime of the tree (splits,
     /// prunes, replacements), recorded for interpretability: every change can
@@ -94,6 +105,29 @@ pub struct DynamicModelTree {
     /// Reusable buffers for the update loop; after the first batches the
     /// learn path performs no per-instance heap allocations.
     scratch: UpdateScratch,
+    /// Reusable buffers for the batched prediction routing. Behind a
+    /// `RefCell` because prediction is `&self`; `learn_batch` pre-grows the
+    /// buffers to the observed batch dimensions so a steady-state
+    /// test-then-train loop predicts without allocating.
+    predict_scratch: RefCell<PredictScratch>,
+}
+
+impl Clone for DynamicModelTree {
+    /// Clones the model state (arena, configuration, decision log); the
+    /// scratch spaces start empty and regrow on first use.
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            schema: self.schema.clone(),
+            nominal_features: self.nominal_features.clone(),
+            arena: self.arena.clone(),
+            root: self.root,
+            observations: self.observations,
+            decisions: self.decisions.clone(),
+            scratch: UpdateScratch::new(),
+            predict_scratch: RefCell::new(PredictScratch::new()),
+        }
+    }
 }
 
 impl DynamicModelTree {
@@ -105,14 +139,17 @@ impl DynamicModelTree {
             .map(|f| f.feature_type.is_nominal())
             .collect();
         let root_model = Glm::new_random(schema.num_features(), schema.num_classes, config.seed);
+        let (arena, root) = NodeArena::with_root(NodeStats::new(root_model));
         Self {
             config,
             schema,
             nominal_features,
-            root: DmtNode::leaf(root_model),
+            arena,
+            root,
             observations: 0,
             decisions: Vec::new(),
             scratch: UpdateScratch::new(),
+            predict_scratch: RefCell::new(PredictScratch::new()),
         }
     }
 
@@ -128,17 +165,17 @@ impl DynamicModelTree {
 
     /// Number of inner nodes (splits) in the tree.
     pub fn num_inner_nodes(&self) -> u64 {
-        self.root.count_nodes().0
+        self.arena.count_nodes(self.root).0
     }
 
     /// Number of leaf nodes.
     pub fn num_leaves(&self) -> u64 {
-        self.root.count_nodes().1
+        self.arena.count_nodes(self.root).1
     }
 
     /// Depth of the tree (0 for a single leaf).
     pub fn depth(&self) -> usize {
-        self.root.depth()
+        self.arena.depth(self.root)
     }
 
     /// Total number of observations consumed.
@@ -146,14 +183,22 @@ impl DynamicModelTree {
         self.observations
     }
 
-    /// Crate-internal access to the root node (used by the export module).
-    pub(crate) fn root_node(&self) -> &crate::node::DmtNode {
-        &self.root
+    /// The node arena holding the tree structure. Export, explanation and
+    /// tests iterate the tree by [`NodeId`] through this view.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// The id of the root node.
+    pub fn root_id(&self) -> NodeId {
+        self.root
     }
 
     /// The log of structural decisions `(observation count, decision)` taken
-    /// so far. Only actual changes are recorded — this is the "why did you
-    /// split this node at time u?" audit trail motivated in §I-A.
+    /// at the **root node** so far. Only actual changes are recorded — this
+    /// is the "why did you split this node at time u?" audit trail motivated
+    /// in §I-A, currently limited to root-level events (deeper changes show
+    /// up in [`DynamicModelTree::summary`] / the arena, not in this log).
     pub fn decision_log(&self) -> &[(u64, GainDecision)] {
         &self.decisions
     }
@@ -161,33 +206,46 @@ impl DynamicModelTree {
     /// Explain the prediction for `x`: the decision path plus the linear
     /// weights of the responsible leaf model.
     pub fn explain(&self, x: &[f64]) -> LeafExplanation {
-        let mut node = &self.root;
+        let mut id = self.root;
         let mut path = Vec::new();
-        loop {
-            match node {
-                DmtNode::Leaf { stats } => {
-                    return LeafExplanation::from_model(path, &stats.model, x);
-                }
-                DmtNode::Inner {
-                    key, left, right, ..
-                } => {
-                    let went_left = key.goes_left(x);
-                    path.push(DecisionStep {
-                        feature: key.feature,
-                        value: key.value,
-                        is_nominal: key.is_nominal,
-                        went_left,
-                    });
-                    node = if went_left { left } else { right };
-                }
-            }
+        while let Some((left, right)) = self.arena.children(id) {
+            let key = self.arena.split_key(id);
+            let went_left = key.goes_left(x);
+            path.push(DecisionStep {
+                feature: key.feature,
+                value: key.value,
+                is_nominal: key.is_nominal,
+                went_left,
+            });
+            id = if went_left { left } else { right };
         }
+        LeafExplanation::from_model(path, &self.arena.stats(id).model, x)
     }
 
-    /// Learn a batch and return the structural decision taken at the root
-    /// level (useful for monitoring; inner decisions are appended to the
-    /// decision log as well).
+    /// Learn a batch and return the structural decision taken at the **root
+    /// node** (useful for monitoring). Only that root-level decision is
+    /// appended to [`DynamicModelTree::decision_log`]; structural changes
+    /// deeper in the tree are visible through the structure itself
+    /// ([`DynamicModelTree::summary`], [`DynamicModelTree::arena`]) but are
+    /// not individually logged.
     pub fn learn_batch_traced(&mut self, xs: Rows<'_>, ys: &[usize]) -> GainDecision {
+        self.learn_batch_inner(xs, ys, Routing::Gathered)
+    }
+
+    /// Reference form of [`DynamicModelTree::learn_batch_traced`] whose
+    /// inner-node routing re-reads every tested feature through the original
+    /// per-instance row pointers — exactly the value source a
+    /// one-instance-at-a-time descent would use — instead of the gathered
+    /// contiguous matrix.
+    ///
+    /// Both forms are bit-identical (the gathered matrix holds exact copies
+    /// of the rows); property tests pin the hot path against this reference
+    /// so the gather/partition alignment can never drift silently.
+    pub fn learn_batch_reference(&mut self, xs: Rows<'_>, ys: &[usize]) -> GainDecision {
+        self.learn_batch_inner(xs, ys, Routing::PerInstance)
+    }
+
+    fn learn_batch_inner(&mut self, xs: Rows<'_>, ys: &[usize], routing: Routing) -> GainDecision {
         assert_eq!(xs.len(), ys.len(), "xs and ys must have the same length");
         self.observations += xs.len() as u64;
         // The index vector is owned by the scratch space and reused across
@@ -196,18 +254,29 @@ impl DynamicModelTree {
         let mut indices = std::mem::take(&mut self.scratch.indices);
         indices.clear();
         indices.extend(0..xs.len());
-        let decision = self.root.learn(
+        let decision = learn_at(
+            &mut self.arena,
+            self.root,
             xs,
             ys,
             &mut indices,
             &self.nominal_features,
             &self.config,
             &mut self.scratch,
+            routing,
         );
         self.scratch.indices = indices;
         if decision != GainDecision::Keep {
             self.decisions.push((self.observations, decision.clone()));
         }
+        // Pre-grow the prediction scratch for batches of this shape so the
+        // test-then-train loop's predictions are allocation-free.
+        self.predict_scratch.get_mut().prepare(
+            xs.len(),
+            self.schema.num_features(),
+            self.schema.num_classes,
+            self.arena.num_slots(),
+        );
         decision
     }
 
@@ -215,7 +284,22 @@ impl DynamicModelTree {
     /// (`out.len() == num_classes`); the allocation-free analogue of
     /// [`OnlineClassifier::predict_proba`].
     pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
-        self.root.predict_proba_into(x, out);
+        use dmt_models::SimpleModel;
+        let leaf = self.arena.leaf_for(self.root, x);
+        self.arena.stats(leaf).model.predict_proba_into(x, out);
+    }
+
+    /// Predict the most probable class of every row of `xs` into `out`
+    /// through the single-pass batched arena descent
+    /// ([`NodeArena::predict_batch_into`]): the batch is routed
+    /// level-by-level with one stable in-place index partition per inner
+    /// node, then one batched GLM kernel call runs per reached leaf group.
+    /// Bit-identical to per-instance descent, allocation-free in steady
+    /// state.
+    pub fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
+        let mut scratch = self.predict_scratch.borrow_mut();
+        self.arena
+            .predict_batch_into(self.root, xs, out, &mut scratch);
     }
 }
 
@@ -230,19 +314,26 @@ impl OnlineClassifier for DynamicModelTree {
 
     fn predict(&self, x: &[f64]) -> usize {
         // Allocation-free: descend to the leaf and argmax its linear scores.
-        self.root.predict(x)
+        use dmt_models::SimpleModel;
+        let leaf = self.arena.leaf_for(self.root, x);
+        self.arena.stats(leaf).model.predict(x)
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        self.root.predict_proba(x)
+        let leaf = self.arena.leaf_for(self.root, x);
+        dmt_models::SimpleModel::predict_proba(&self.arena.stats(leaf).model, x)
     }
 
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
         let _ = self.learn_batch_traced(xs, ys);
     }
 
+    fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
+        DynamicModelTree::predict_batch_into(self, xs, out);
+    }
+
     fn complexity(&self) -> Complexity {
-        let (inner, leaves) = self.root.count_nodes();
+        let (inner, leaves) = self.arena.count_nodes(self.root);
         let c = self.schema.num_classes;
         let m = self.schema.num_features();
         // §VI-D2: inner nodes count one split and one parameter; linear leaf
@@ -443,5 +534,41 @@ mod tests {
         tree.learn_batch(&[x, x], &[0, 1]);
         tree.learn_batch(&[x], &[1]);
         assert_eq!(tree.observations(), 3);
+    }
+
+    #[test]
+    fn batched_predictions_match_per_instance_descent() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let _ = prequential_accuracy(&mut tree, 0, 40, 100, 13);
+        let mut gen = SeaGenerator::new(0, 0.0, 99);
+        let batch = gen.next_batch(64).unwrap();
+        let xs: Vec<Vec<f64>> = batch
+            .xs
+            .iter()
+            .map(|row| row.iter().map(|v| v / 10.0).collect())
+            .collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let batched = tree.predict_batch(&rows);
+        for (x, &predicted) in rows.iter().zip(batched.iter()) {
+            assert_eq!(predicted, tree.predict(x));
+        }
+    }
+
+    #[test]
+    fn cloned_tree_predicts_identically() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let _ = prequential_accuracy(&mut tree, 0, 30, 100, 17);
+        let clone = tree.clone();
+        assert_eq!(clone.num_inner_nodes(), tree.num_inner_nodes());
+        assert_eq!(clone.observations(), tree.observations());
+        let probe = [0.3, 0.8, 0.1];
+        assert_eq!(clone.predict(&probe), tree.predict(&probe));
+        for (a, b) in clone
+            .predict_proba(&probe)
+            .iter()
+            .zip(tree.predict_proba(&probe).iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

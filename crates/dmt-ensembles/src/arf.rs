@@ -73,6 +73,13 @@ impl ForestMember {
     fn project(&self, x: &[f64]) -> Vec<f64> {
         self.subspace.iter().map(|&i| x[i]).collect()
     }
+
+    /// [`ForestMember::project`] into a reusable buffer (batch prediction
+    /// reuses one projection buffer across rows and members).
+    fn project_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.subspace.iter().map(|&i| x[i]));
+    }
 }
 
 /// The Adaptive Random Forest classifier.
@@ -149,11 +156,16 @@ impl AdaptiveRandomForest {
         self.members.len()
     }
 
-    fn vote(&self, x: &[f64]) -> Vec<f64> {
-        let c = self.schema.num_classes;
-        let mut votes = vec![0.0; c];
+    /// Probability-weighted vote over the members, written into the
+    /// caller-provided buffers (`votes.len() == num_classes`; `projected` is
+    /// subspace-projection scratch) so batch prediction can reuse them
+    /// across rows. The members' `predict_proba` still allocates internally
+    /// — the baseline trees have no `*_into` prediction API yet.
+    fn vote_into(&self, x: &[f64], votes: &mut [f64], projected: &mut Vec<f64>) {
+        votes.fill(0.0);
         for member in &self.members {
-            let proba = member.tree.predict_proba(&member.project(x));
+            member.project_into(x, projected);
+            let proba = member.tree.predict_proba(projected);
             for (v, p) in votes.iter_mut().zip(proba.iter()) {
                 *v += p;
             }
@@ -164,8 +176,13 @@ impl AdaptiveRandomForest {
                 *v /= total;
             }
         } else {
-            votes = vec![1.0 / c as f64; c];
+            votes.fill(1.0 / votes.len() as f64);
         }
+    }
+
+    fn vote(&self, x: &[f64]) -> Vec<f64> {
+        let mut votes = vec![0.0; self.schema.num_classes];
+        self.vote_into(x, &mut votes, &mut Vec::new());
         votes
     }
 
@@ -242,6 +259,17 @@ impl OnlineClassifier for AdaptiveRandomForest {
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
         for (x, &y) in xs.iter().zip(ys.iter()) {
             self.learn_one(x, y);
+        }
+    }
+
+    fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
+        // One vote buffer and one projection buffer for the whole batch
+        // instead of fresh `Vec<f64>`s per row and member.
+        let mut votes = vec![0.0; self.schema.num_classes];
+        let mut projected = Vec::new();
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            self.vote_into(x, &mut votes, &mut projected);
+            *o = dmt_models::argmax(&votes);
         }
     }
 

@@ -79,10 +79,13 @@ impl LeveragingBagging {
         self.members.len()
     }
 
-    /// Majority-vote class distribution over the members.
-    fn vote(&self, x: &[f64]) -> Vec<f64> {
-        let c = self.schema.num_classes;
-        let mut votes = vec![0.0; c];
+    /// Majority-vote class distribution over the members, written into the
+    /// caller-provided buffer (`votes.len() == num_classes`) so batch
+    /// prediction can reuse one buffer across rows. The members'
+    /// `predict_proba` still allocates internally — the baseline trees have
+    /// no `*_into` prediction API yet.
+    fn vote_into(&self, x: &[f64], votes: &mut [f64]) {
+        votes.fill(0.0);
         for member in &self.members {
             let proba = member.predict_proba(x);
             for (v, p) in votes.iter_mut().zip(proba.iter()) {
@@ -95,8 +98,14 @@ impl LeveragingBagging {
                 *v /= total;
             }
         } else {
-            votes = vec![1.0 / c as f64; c];
+            votes.fill(1.0 / votes.len() as f64);
         }
+    }
+
+    /// Majority-vote class distribution over the members.
+    fn vote(&self, x: &[f64]) -> Vec<f64> {
+        let mut votes = vec![0.0; self.schema.num_classes];
+        self.vote_into(x, &mut votes);
         votes
     }
 
@@ -162,6 +171,16 @@ impl OnlineClassifier for LeveragingBagging {
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
         for (x, &y) in xs.iter().zip(ys.iter()) {
             self.learn_one(x, y);
+        }
+    }
+
+    fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
+        // One vote buffer for the whole batch instead of a fresh `Vec<f64>`
+        // per row.
+        let mut votes = vec![0.0; self.schema.num_classes];
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            self.vote_into(x, &mut votes);
+            *o = dmt_models::argmax(&votes);
         }
     }
 

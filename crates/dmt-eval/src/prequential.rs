@@ -182,6 +182,10 @@ impl PrequentialRun {
         let mut overall = ConfusionMatrix::new(num_classes);
 
         let mut batches = 0usize;
+        // One predictions buffer reused across the whole run: batched models
+        // (the DMT's arena descent, the ensembles' shared vote buffer) fill
+        // it without a per-batch result allocation.
+        let mut predictions: Vec<usize> = Vec::with_capacity(batch_size);
         while let Some(batch) = stream.next_batch(batch_size) {
             if let Some(max) = self.config.max_batches {
                 if batches >= max {
@@ -192,7 +196,9 @@ impl PrequentialRun {
             let start = Instant::now();
 
             // Test.
-            let predictions = model.predict_batch(&rows);
+            predictions.clear();
+            predictions.resize(rows.len(), 0);
+            model.predict_batch_into(&rows, &mut predictions);
             // Train.
             model.learn_batch(&rows, &batch.ys);
 

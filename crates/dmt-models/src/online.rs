@@ -41,9 +41,28 @@ pub trait OnlineClassifier: Send {
     /// Current model complexity (splits and parameters).
     fn complexity(&self) -> Complexity;
 
-    /// Predict a whole batch (convenience used by the evaluator).
+    /// Predict a whole batch into a caller-provided buffer
+    /// (`out.len() == xs.len()`), so evaluation loops can reuse one
+    /// predictions buffer across batches instead of allocating per call.
+    ///
+    /// The default delegates to [`OnlineClassifier::predict`] per row;
+    /// batched models override it with a single routed pass (the Dynamic
+    /// Model Tree runs its arena descent once for the whole batch, the
+    /// ensembles reuse one vote buffer across rows).
+    fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
+        debug_assert_eq!(xs.len(), out.len(), "predict_batch_into: buffer length");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.predict(x);
+        }
+    }
+
+    /// Predict a whole batch (convenience used by the evaluator). Allocates
+    /// the result vector; hot loops should reuse a buffer through
+    /// [`OnlineClassifier::predict_batch_into`].
     fn predict_batch(&self, xs: Rows<'_>) -> Vec<usize> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut out = vec![0usize; xs.len()];
+        self.predict_batch_into(xs, &mut out);
+        out
     }
 }
 
@@ -99,6 +118,9 @@ mod tests {
         }
         let preds = model.predict_batch(&rows);
         assert_eq!(preds.len(), 50);
+        let mut into = vec![0usize; rows.len()];
+        model.predict_batch_into(&rows, &mut into);
+        assert_eq!(preds, into);
         let correct = preds.iter().zip(ys.iter()).filter(|(a, b)| a == b).count();
         assert!(correct > 40);
         assert_eq!(model.name(), "glm");
