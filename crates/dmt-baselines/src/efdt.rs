@@ -81,9 +81,9 @@ impl EfdtNode {
         }
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
-            EfdtNode::Leaf { stats, .. } => stats.predict_proba(x),
+            EfdtNode::Leaf { stats, .. } => stats.predict_proba_into(x, out),
             EfdtNode::Inner {
                 feature,
                 test,
@@ -92,9 +92,9 @@ impl EfdtNode {
                 ..
             } => {
                 if test.goes_left(x[*feature]) {
-                    left.predict_proba(x)
+                    left.predict_proba_into(x, out)
                 } else {
-                    right.predict_proba(x)
+                    right.predict_proba_into(x, out)
                 }
             }
         }
@@ -291,6 +291,13 @@ impl EfdtClassifier {
     pub fn num_leaves(&self) -> u64 {
         self.root.count_nodes().1
     }
+
+    /// Class probabilities of the responsible leaf written into `out`
+    /// (`out.len() == num_classes`); the allocation-free analogue of
+    /// [`OnlineClassifier::predict_proba`].
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.root.predict_proba_into(x, out);
+    }
 }
 
 impl OnlineClassifier for EfdtClassifier {
@@ -307,7 +314,9 @@ impl OnlineClassifier for EfdtClassifier {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        self.root.predict_proba(x)
+        let mut out = vec![0.0; self.schema.num_classes];
+        self.root.predict_proba_into(x, &mut out);
+        out
     }
 
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {

@@ -146,9 +146,9 @@ impl FimtNode {
         }
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
-            FimtNode::Leaf { model, .. } => model.predict_proba(x),
+            FimtNode::Leaf { model, .. } => model.predict_proba_into(x, out),
             FimtNode::Inner {
                 feature,
                 test,
@@ -157,9 +157,9 @@ impl FimtNode {
                 ..
             } => {
                 if test.goes_left(x[*feature]) {
-                    left.predict_proba(x)
+                    left.predict_proba_into(x, out)
                 } else {
-                    right.predict_proba(x)
+                    right.predict_proba_into(x, out)
                 }
             }
         }
@@ -179,7 +179,9 @@ impl FimtNode {
     fn learn(&mut self, x: &[f64], y: usize, schema: &StreamSchema, config: &FimtDdConfig) {
         // Error signal for the Page-Hinkley test: the 0/1 error of the
         // subtree's current prediction.
-        let prediction = dmt_models::argmax(&self.predict_proba(x));
+        let mut proba = vec![0.0; schema.num_classes];
+        self.predict_proba_into(x, &mut proba);
+        let prediction = dmt_models::argmax(&proba);
         let error = if prediction == y { 0.0 } else { 1.0 };
         match self {
             FimtNode::Leaf {
@@ -335,6 +337,13 @@ impl FimtDdClassifier {
     pub fn num_leaves(&self) -> u64 {
         self.root.count_nodes().1
     }
+
+    /// Class probabilities of the responsible leaf written into `out`
+    /// (`out.len() == num_classes`); the allocation-free analogue of
+    /// [`OnlineClassifier::predict_proba`].
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.root.predict_proba_into(x, out);
+    }
 }
 
 impl OnlineClassifier for FimtDdClassifier {
@@ -351,7 +360,9 @@ impl OnlineClassifier for FimtDdClassifier {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        self.root.predict_proba(x)
+        let mut out = vec![0.0; self.schema.num_classes];
+        self.root.predict_proba_into(x, &mut out);
+        out
     }
 
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {

@@ -79,9 +79,9 @@ impl AdaNode {
         }
     }
 
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
-            AdaNode::Leaf { stats, .. } => stats.predict_proba(x),
+            AdaNode::Leaf { stats, .. } => stats.predict_proba_into(x, out),
             AdaNode::Inner {
                 feature,
                 test,
@@ -90,9 +90,9 @@ impl AdaNode {
                 ..
             } => {
                 if test.goes_left(x[*feature]) {
-                    left.predict_proba(x)
+                    left.predict_proba_into(x, out)
                 } else {
-                    right.predict_proba(x)
+                    right.predict_proba_into(x, out)
                 }
             }
         }
@@ -130,7 +130,9 @@ impl AdaNode {
         config: &HatConfig,
         criterion: &dyn SplitCriterion,
     ) -> f64 {
-        let prediction = dmt_models::argmax(&self.predict_proba(x));
+        let mut proba = vec![0.0; schema.num_classes];
+        self.predict_proba_into(x, &mut proba);
+        let prediction = dmt_models::argmax(&proba);
         let error = if prediction == y { 0.0 } else { 1.0 };
         match self {
             AdaNode::Leaf {
@@ -262,6 +264,13 @@ impl HoeffdingAdaptiveTree {
     pub fn num_leaves(&self) -> u64 {
         self.root.count_nodes().1
     }
+
+    /// Class probabilities of the responsible leaf written into `out`
+    /// (`out.len() == num_classes`); the allocation-free analogue of
+    /// [`OnlineClassifier::predict_proba`].
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.root.predict_proba_into(x, out);
+    }
 }
 
 impl OnlineClassifier for HoeffdingAdaptiveTree {
@@ -278,7 +287,9 @@ impl OnlineClassifier for HoeffdingAdaptiveTree {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        self.root.predict_proba(x)
+        let mut out = vec![0.0; self.schema.num_classes];
+        self.root.predict_proba_into(x, &mut out);
+        out
     }
 
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {

@@ -127,34 +127,56 @@ impl LeafStats {
         }
     }
 
-    /// Class-probability prediction according to the leaf policy.
-    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    /// Class-probability prediction according to the leaf policy, written
+    /// into `out` (`out.len() == num_classes`). The allocation-free primitive
+    /// behind [`LeafStats::predict_proba`]: ensemble batch prediction calls
+    /// it once per member per row with one reused buffer instead of
+    /// materialising a fresh `Vec<f64>` each time.
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        // Hard assert (not debug): a wrong-sized buffer would otherwise
+        // silently leave stale tail values on the majority-class path while
+        // the Naive-Bayes path panics — fail loudly and consistently.
+        assert_eq!(
+            out.len(),
+            self.class_counts.len(),
+            "predict_proba_into: buffer length"
+        );
         let total = self.total_weight();
-        let c = self.class_counts.len();
-        let mc_proba = || -> Vec<f64> {
+        let mc_proba_into = |out: &mut [f64]| {
             if total == 0.0 {
-                vec![1.0 / c as f64; c]
+                out.fill(1.0 / out.len() as f64);
             } else {
-                self.class_counts.iter().map(|&w| w / total).collect()
+                for (o, &w) in out.iter_mut().zip(self.class_counts.iter()) {
+                    *o = w / total;
+                }
             }
         };
         match self.policy {
-            LeafPolicy::MajorityClass => mc_proba(),
+            LeafPolicy::MajorityClass => mc_proba_into(out),
             LeafPolicy::NaiveBayes => match &self.nb {
-                Some(nb) if total > 0.0 => nb.predict_proba(x),
-                _ => mc_proba(),
+                Some(nb) if total > 0.0 => nb.predict_proba_into(x, out),
+                _ => mc_proba_into(out),
             },
             LeafPolicy::NaiveBayesAdaptive => {
                 if self.nb_correct >= self.mc_correct {
                     match &self.nb {
-                        Some(nb) if total > 0.0 => nb.predict_proba(x),
-                        _ => mc_proba(),
+                        Some(nb) if total > 0.0 => nb.predict_proba_into(x, out),
+                        _ => mc_proba_into(out),
                     }
                 } else {
-                    mc_proba()
+                    mc_proba_into(out)
                 }
             }
         }
+    }
+
+    /// Class-probability prediction according to the leaf policy.
+    ///
+    /// Allocates; hot paths use [`LeafStats::predict_proba_into`].
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.class_counts.len()];
+        self.predict_proba_into(x, &mut out);
+        out
     }
 
     /// Best split suggestion per attribute, sorted by descending merit.

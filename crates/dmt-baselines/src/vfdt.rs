@@ -97,10 +97,11 @@ impl Node {
         }
     }
 
-    /// Route an instance to its leaf and return the leaf's probabilities.
-    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    /// Route an instance to its leaf and write the leaf's probabilities into
+    /// `out` (`out.len() == num_classes`) without allocating.
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
-            Node::Leaf { stats, .. } => stats.predict_proba(x),
+            Node::Leaf { stats, .. } => stats.predict_proba_into(x, out),
             Node::Inner {
                 feature,
                 test,
@@ -109,9 +110,9 @@ impl Node {
                 ..
             } => {
                 if test.goes_left(x[*feature]) {
-                    left.predict_proba(x)
+                    left.predict_proba_into(x, out)
                 } else {
-                    right.predict_proba(x)
+                    right.predict_proba_into(x, out)
                 }
             }
         }
@@ -172,6 +173,14 @@ impl HoeffdingTreeClassifier {
     /// Total observations consumed.
     pub fn observations(&self) -> u64 {
         self.observations
+    }
+
+    /// Class probabilities of the responsible leaf written into `out`
+    /// (`out.len() == num_classes`); the allocation-free analogue of
+    /// [`OnlineClassifier::predict_proba`]. The ensembles route their batch
+    /// prediction through this with one reused buffer per batch.
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.root.predict_proba_into(x, out);
     }
 
     /// Learn a single labelled instance.
@@ -324,7 +333,9 @@ impl OnlineClassifier for HoeffdingTreeClassifier {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        self.root.predict_proba(x)
+        let mut out = vec![0.0; self.schema.num_classes];
+        self.root.predict_proba_into(x, &mut out);
+        out
     }
 
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {

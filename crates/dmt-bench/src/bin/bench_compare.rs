@@ -20,8 +20,8 @@
 //!
 //! ```bash
 //! cargo run --release -p dmt-bench --bin bench_compare -- \
-//!     --baseline BENCH_3.json --current /tmp/bench.json \
-//!     --tolerance 0.15 --models "DMT (ours)"
+//!     --baseline BENCH_4.json --current /tmp/bench.json \
+//!     --tolerance 0.15 --models "DMT (ours),DMT (2T)"
 //! ```
 
 use std::collections::BTreeMap;
@@ -44,11 +44,11 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Self {
-            baseline: "BENCH_3.json".to_string(),
+            baseline: "BENCH_4.json".to_string(),
             current: "/tmp/bench_current.json".to_string(),
             tolerance: 0.15,
             control: "VFDT (MC)".to_string(),
-            models: vec!["DMT (ours)".to_string()],
+            models: vec!["DMT (ours)".to_string(), "DMT (2T)".to_string()],
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Throughput tracking for the repository's perf trajectory: test-then-train
-//! instances/sec of the DMT and the stand-alone baseline trees on the SEA,
-//! Agrawal and RBF generators, written to `BENCH_<n>.json`.
+//! instances/sec of the DMT (serial *and* threaded — the `DMT (2T)` row runs
+//! the identical model with `Parallelism::Threads(2)`) and the stand-alone
+//! baseline trees on the SEA, Agrawal and RBF generators, written to
+//! `BENCH_<n>.json`.
 //!
 //! The protocol mirrors the paper's evaluation loop (predict a batch, then
 //! learn it) but times nothing except the models: all stream batches are
@@ -20,14 +22,15 @@
 //! ```bash
 //! cargo run -p dmt-bench --release --bin bench_throughput
 //! cargo run -p dmt-bench --release --bin bench_throughput -- \
-//!     --warmup 2000 --instances 40000 --batch 100 --out BENCH_3.json
+//!     --warmup 2000 --instances 40000 --batch 100 --out BENCH_4.json
 //! ```
 
 use std::time::Instant;
 
 use dmt::eval::json::{Json, ToJson};
 use dmt::prelude::*;
-use dmt_bench::{bench_seed, throughput_stream, THROUGHPUT_STREAMS};
+use dmt_bench::THROUGHPUT_STREAMS;
+use dmt_bench::{bench_seed, throughput_models, throughput_stream, ThroughputModel};
 
 struct Options {
     warmup: usize,
@@ -42,7 +45,7 @@ impl Default for Options {
             warmup: 2_000,
             instances: 40_000,
             batch: 100,
-            out: "BENCH_3.json".to_string(),
+            out: "BENCH_4.json".to_string(),
         }
     }
 }
@@ -127,11 +130,11 @@ impl ToJson for CellResult {
     }
 }
 
-fn run_cell(kind: ModelKind, stream_name: &str, options: &Options) -> CellResult {
+fn run_cell(kind: ThroughputModel, stream_name: &str, options: &Options) -> CellResult {
     let mut stream = throughput_stream(stream_name, bench_seed::STREAM)
         .unwrap_or_else(|| panic!("unknown bench stream {stream_name}"));
     let schema = stream.schema().clone();
-    let mut model = build_model(kind, &schema, bench_seed::MODEL);
+    let mut model = kind.build(&schema, bench_seed::MODEL);
 
     // Materialise everything up front; only the model is timed.
     let warmup: Vec<Batch> = (0..options.warmup.div_ceil(options.batch))
@@ -183,7 +186,7 @@ fn run_cell(kind: ModelKind, stream_name: &str, options: &Options) -> CellResult
 
     let complexity = model.complexity();
     CellResult {
-        model: kind.display_name().to_string(),
+        model: kind.display_name(),
         stream: stream_name.to_string(),
         instances,
         seconds,
@@ -205,7 +208,7 @@ fn main() {
         "Model", "Stream", "inst/sec", "µs/batch", "predict inst/sec", "splits"
     );
     for stream in THROUGHPUT_STREAMS {
-        for kind in STANDALONE_MODELS {
+        for &kind in &throughput_models() {
             let cell = run_cell(kind, stream, &options);
             println!(
                 "{:<14}{:<10}{:>16.0}{:>16.1}{:>18.0}{:>12.1}",

@@ -46,6 +46,68 @@ pub mod bench_seed {
 /// The streams of the throughput suite (`bench_throughput`), in run order.
 pub const THROUGHPUT_STREAMS: [&str; 3] = ["SEA", "Agrawal", "RBF"];
 
+/// One model row of the throughput suite.
+///
+/// The suite runs every stand-alone model of the paper plus a **parallel DMT
+/// row**: the same Dynamic Model Tree with `Parallelism::Threads(n)`, so the
+/// committed `BENCH_<n>.json` tracks the serial and the threaded learn path
+/// side by side and `bench_compare` gates both. Parallelism is pinned
+/// *explicitly* per row (serial for the standard rows), so a stray
+/// `DMT_PARALLELISM` environment variable can never skew a blessed baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThroughputModel {
+    /// A stand-alone model of Table II (the DMT row pinned to serial).
+    Standard(ModelKind),
+    /// The Dynamic Model Tree with `Parallelism::Threads(n)`.
+    DmtThreads(usize),
+}
+
+impl ThroughputModel {
+    /// Display name used in the JSON rows (`"DMT (2T)"` for the threaded
+    /// row).
+    pub fn display_name(&self) -> String {
+        match self {
+            ThroughputModel::Standard(kind) => kind.display_name().to_string(),
+            ThroughputModel::DmtThreads(n) => format!("DMT ({n}T)"),
+        }
+    }
+
+    /// Build the configured classifier for `schema`.
+    pub fn build(
+        &self,
+        schema: &dmt::stream::StreamSchema,
+        seed: u64,
+    ) -> Box<dyn OnlineClassifier> {
+        use dmt::core::Parallelism;
+        let parallelism = match self {
+            ThroughputModel::Standard(ModelKind::Dmt) => Parallelism::Serial,
+            ThroughputModel::DmtThreads(n) => Parallelism::Threads(*n),
+            ThroughputModel::Standard(kind) => return build_model(*kind, schema, seed),
+        };
+        // One shared construction for both DMT rows, so a future bench-row
+        // config tweak cannot silently diverge between serial and threaded.
+        Box::new(DynamicModelTree::new(
+            schema.clone(),
+            DmtConfig {
+                seed,
+                parallelism,
+                ..DmtConfig::default()
+            },
+        ))
+    }
+}
+
+/// The model rows of the throughput suite, in run order: every stand-alone
+/// model plus the threaded DMT row (2 workers — the CI configuration).
+pub fn throughput_models() -> Vec<ThroughputModel> {
+    let mut models: Vec<ThroughputModel> = STANDALONE_MODELS
+        .iter()
+        .map(|&kind| ThroughputModel::Standard(kind))
+        .collect();
+    models.push(ThroughputModel::DmtThreads(2));
+    models
+}
+
 /// Build one of the [`THROUGHPUT_STREAMS`] with the given seed. Numeric
 /// features are normalised to [0, 1] like the catalog does, so the GLM-based
 /// models run in their intended regime. Returns `None` for unknown names.

@@ -29,6 +29,9 @@
 //! (struct-of-arrays split keys, [`NodeId`]-based links, free-list slot
 //! reuse on prune); prediction and learning both route whole batches through
 //! it in a single level-by-level pass — see the [`arena`] module docs.
+//! Training can additionally fan disjoint subtree workloads out to scoped
+//! worker threads ([`DmtConfig::parallelism`], [`Parallelism::Threads`]) with
+//! bit-identical results — see the [`parallel`] module docs.
 //!
 //! ```
 //! use dmt_core::{DmtConfig, DynamicModelTree};
@@ -55,6 +58,7 @@ pub mod candidate;
 pub mod explain;
 pub mod export;
 pub mod node;
+pub mod parallel;
 pub mod scratch;
 pub mod tree;
 
@@ -63,6 +67,7 @@ pub use candidate::{CandidateKey, SplitCandidate};
 pub use explain::{DecisionStep, LeafExplanation};
 pub use export::TreeSummary;
 pub use node::{GainDecision, NodeStats};
+pub use parallel::Parallelism;
 pub use scratch::{PredictScratch, UpdateScratch};
 pub use tree::{DmtConfig, DynamicModelTree};
 

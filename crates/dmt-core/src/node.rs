@@ -7,6 +7,8 @@
 //! [`NodeId`], routing each node's sub-batch with the same stable in-place
 //! index partition the batched prediction pass uses.
 
+use std::collections::HashMap;
+
 use dmt_models::linalg::{self, MatMut, MatRef};
 use dmt_models::{Glm, SimpleModel as _};
 
@@ -14,6 +16,14 @@ use crate::arena::{NodeArena, NodeId};
 use crate::candidate::{CandidateKey, SplitCandidate};
 use crate::scratch::UpdateScratch;
 use crate::tree::DmtConfig;
+
+/// Maximum number of distinct category codes per nominal column for which
+/// the bucket pass resolves codes by linearly scanning the dense key vector.
+/// Beyond this the remaining rows of the batch resolve through a pooled
+/// hashed index instead: declared low-cardinality columns keep the scan's
+/// cache-friendly O(categories) probe, while an id-like column (~unique
+/// values per row) stays O(batch) instead of degrading to O(batch²).
+pub(crate) const NOMINAL_LINEAR_SCAN_MAX: usize = 16;
 
 /// The structural decision taken at a node after a batch (exposed for tests,
 /// ablations and interpretability traces).
@@ -85,6 +95,14 @@ impl NodeStats {
             count: 0,
             candidates: Vec::new(),
         }
+    }
+
+    /// A zero-parameter placeholder payload that performs no heap allocation
+    /// (empty model, empty gradient buffer). The arena back-fills moved-out
+    /// slots with placeholders while a subtree is detached into a worker
+    /// arena; a placeholder is never read before being overwritten.
+    pub(crate) fn placeholder() -> Self {
+        Self::new(Glm::placeholder())
     }
 
     /// Reset the accumulation window (after a structural change) while
@@ -242,6 +260,7 @@ impl NodeStats {
             bucket_losses,
             bucket_counts,
             bucket_grads,
+            bucket_lookup,
             ..
         } = scratch;
         let xmat = MatRef::new(xbuf, b, m);
@@ -290,6 +309,7 @@ impl NodeStats {
             bucket_losses,
             bucket_counts,
             bucket_grads,
+            bucket_lookup,
         );
 
         // Refresh the stored candidates' gain estimates. Borrowing the
@@ -388,10 +408,11 @@ impl NodeStats {
     ///   buckets passing its [`CandidateKey::test_value`] tolerance.
     ///   O(batch · categories) index work instead of the former
     ///   O(batch log batch) float sort with an O(batch · k) prefix build —
-    ///   the Agrawal hot spot. The linear bucket lookup assumes the
-    ///   low-cardinality codes nominal schemas declare; an id-like column
-    ///   with ~unique values degrades to O(batch²) and should be modelled
-    ///   as numeric (or gain a hashed lookup) instead.
+    ///   the Agrawal hot spot. Codes resolve by a linear scan up to
+    ///   [`NOMINAL_LINEAR_SCAN_MAX`] distinct values (the declared
+    ///   low-cardinality regime) and through a pooled hashed index beyond
+    ///   it, so even an id-like column with ~unique values stays O(batch)
+    ///   per feature instead of degrading to O(batch²).
     ///
     /// Both paths select the identical row set as a per-row scan with
     /// [`CandidateKey::goes_left`] (pinned by tests); only the floating-point
@@ -415,6 +436,7 @@ impl NodeStats {
         bucket_losses: &mut Vec<f64>,
         bucket_counts: &mut Vec<u64>,
         bucket_grads: &mut Vec<f64>,
+        bucket_lookup: &mut HashMap<u64, u32>,
     ) {
         /// Tag bit marking a boundary that belongs to the proposal list.
         const PROPOSAL_TAG: u32 = 1 << 31;
@@ -434,10 +456,31 @@ impl NodeStats {
                 bucket_losses.clear();
                 bucket_counts.clear();
                 bucket_grads.clear();
+                bucket_lookup.clear();
                 for r in 0..b {
                     let v = data[r * m + feature];
                     let bits = v.to_bits();
-                    let j = match bucket_keys.iter().position(|u| u.to_bits() == bits) {
+                    // Codes resolve by a linear scan while the column looks
+                    // low-cardinality; past NOMINAL_LINEAR_SCAN_MAX distinct
+                    // codes the remaining rows go through the pooled hashed
+                    // index (lazily topped up from the key vector, which the
+                    // map always covers as an insertion-ordered prefix). The
+                    // map is only looked up, never iterated, so the switch
+                    // cannot change any accumulated value.
+                    let existing = if bucket_lookup.is_empty()
+                        && bucket_keys.len() <= NOMINAL_LINEAR_SCAN_MAX
+                    {
+                        bucket_keys.iter().position(|u| u.to_bits() == bits)
+                    } else {
+                        if bucket_lookup.len() < bucket_keys.len() {
+                            for (j, key) in bucket_keys.iter().enumerate().skip(bucket_lookup.len())
+                            {
+                                bucket_lookup.insert(key.to_bits(), j as u32);
+                            }
+                        }
+                        bucket_lookup.get(&bits).map(|&j| j as usize)
+                    };
+                    let j = match existing {
                         Some(j) => j,
                         None => {
                             bucket_keys.push(v);
@@ -701,6 +744,119 @@ fn warm_started_children(
     (left, right)
 }
 
+/// Stable in-place partition of `idx` by the split key of the inner node
+/// whose sub-batch was just gathered into `scratch`: left-routed indices form
+/// the prefix (returned length), right-routed the suffix, both keeping their
+/// relative order. In [`Routing::Gathered`] mode the tested feature is read
+/// out of the contiguous matrix the node update just gathered (`xbuf` row
+/// `pos` is `xs[idx[pos]]`), avoiding one pointer chase per instance; the
+/// [`Routing::PerInstance`] reference re-reads the original row pointers.
+///
+/// Shared by the serial recursion ([`learn_at`]) and the parallel spine
+/// descent (`tree::learn_batch` with `Parallelism::Threads`), so both paths
+/// route bit-identically by construction.
+pub(crate) fn partition_indices(
+    key: &CandidateKey,
+    xs: &[&[f64]],
+    idx: &mut [usize],
+    scratch: &mut UpdateScratch,
+    routing: Routing,
+    num_features: usize,
+) -> usize {
+    scratch.partition_buf.clear();
+    let mut write = 0usize;
+    for pos in 0..idx.len() {
+        let i = idx[pos];
+        let value = match routing {
+            Routing::Gathered => scratch.xbuf[pos * num_features + key.feature],
+            Routing::PerInstance => xs[i][key.feature],
+        };
+        if key.test_value(value) {
+            idx[write] = i;
+            write += 1;
+        } else {
+            scratch.partition_buf.push(i);
+        }
+    }
+    idx[write..].copy_from_slice(&scratch.partition_buf);
+    write
+}
+
+/// The structural checks of Algorithm 1 for an *inner* node whose children
+/// have already consumed the batch: prune (gain (5)) and replace (gain (4)),
+/// thresholded by the AIC test. Returns the decision taken at `id`.
+///
+/// Extracted from the tail of [`learn_at`] so the parallel learn path can run
+/// the identical check for its spine nodes after the subtree workers joined —
+/// serial and parallel runs therefore take bit-identical structural
+/// decisions. The check only reads/mutates `id`'s own subtree, so the order
+/// in which disjoint subtrees are checked cannot change any outcome.
+pub(crate) fn structural_check_inner(
+    arena: &mut NodeArena,
+    id: NodeId,
+    config: &DmtConfig,
+    scratch: &mut UpdateScratch,
+) -> GainDecision {
+    if arena.stats(id).count < config.min_observations_split {
+        return GainDecision::Keep;
+    }
+    let key = arena.split_key(id);
+    let (left, right) = arena.children(id).expect("inner node has children");
+
+    let (leaf_loss, num_leaves) = {
+        let (ll, lc) = arena.subtree_leaf_loss(left);
+        let (rl, rc) = arena.subtree_leaf_loss(right);
+        (ll + rl, lc + rc)
+    };
+    let stats = arena.stats(id);
+    let k = stats.k();
+    let k_subtree = (num_leaves as usize) * k;
+
+    // Gain (5): collapse the subtree into this node.
+    let gain_prune = leaf_loss - stats.loss_sum;
+    let prune_ok = config.accepts(gain_prune, k, k_subtree);
+
+    // Gain (4): replace the subtree with a fresh split.
+    let best_replacement = stats.best_candidate(leaf_loss, config.learning_rate);
+    let (replace_ok, replace_gain, replace_idx) = match best_replacement {
+        Some((idx, gain)) => (config.accepts(gain, 2 * k, k_subtree), gain, idx),
+        None => (false, f64::NEG_INFINITY, 0),
+    };
+
+    if prune_ok && (!replace_ok || gain_prune >= replace_gain) {
+        // Replace the inner node with a leaf (the smaller model); the
+        // collapsed subtree's slots go onto the arena's free list.
+        arena.stats_mut(id).reset_window();
+        arena.collapse_to_leaf(id);
+        return GainDecision::Prune { gain: gain_prune };
+    }
+    if replace_ok {
+        let candidate = arena.stats(id).candidates[replace_idx].clone();
+        // Ignore a "replacement" that would re-install the very same
+        // split — it would only discard the children's progress without
+        // changing the model structure.
+        if !candidate.key.same_as(&key) {
+            let (left_model, right_model) =
+                warm_started_children(arena.stats(id), &candidate, config.learning_rate, scratch);
+            arena.stats_mut(id).reset_window();
+            // Retire the old subtree first so the fresh children reuse
+            // its free-listed slots instead of growing the arena.
+            arena.collapse_to_leaf(id);
+            arena.install_split(
+                id,
+                candidate.key,
+                NodeStats::new(left_model),
+                NodeStats::new(right_model),
+            );
+            return GainDecision::Replace {
+                key: candidate.key,
+                gain: replace_gain,
+            };
+        }
+    }
+    GainDecision::Keep
+}
+
 /// Learn the sub-batch selected by `idx` at the arena node `id` and apply
 /// the structural checks of Algorithm 1 to the subtree below it. Returns the
 /// structural decision taken at `id` itself.
@@ -776,28 +932,10 @@ pub(crate) fn learn_at(
         // Route the sub-batch to the children: stable in-place partition of
         // the index slice (left prefix, right suffix) using the reusable
         // holding pen. The pen is drained before the recursion, so child
-        // partitions can reuse it. In the hot [`Routing::Gathered`] mode the
-        // split test reads the tested feature column out of the matrix the
-        // node update just gathered (`xbuf` row `pos` is `xs[idx[pos]]`),
-        // avoiding one pointer chase per instance.
+        // partitions can reuse it.
         let key = arena.split_key(id);
         let m = xs[idx[0]].len();
-        scratch.partition_buf.clear();
-        let mut write = 0usize;
-        for pos in 0..idx.len() {
-            let i = idx[pos];
-            let value = match routing {
-                Routing::Gathered => scratch.xbuf[pos * m + key.feature],
-                Routing::PerInstance => xs[i][key.feature],
-            };
-            if key.test_value(value) {
-                idx[write] = i;
-                write += 1;
-            } else {
-                scratch.partition_buf.push(i);
-            }
-        }
-        idx[write..].copy_from_slice(&scratch.partition_buf);
+        let write = partition_indices(&key, xs, idx, scratch, routing, m);
 
         let (left, right) = arena.children(id).expect("inner node has children");
         let (left_idx, right_idx) = idx.split_at_mut(write);
@@ -824,66 +962,7 @@ pub(crate) fn learn_at(
             routing,
         );
 
-        if arena.stats(id).count < config.min_observations_split {
-            return GainDecision::Keep;
-        }
-
-        let (leaf_loss, num_leaves) = {
-            let (ll, lc) = arena.subtree_leaf_loss(left);
-            let (rl, rc) = arena.subtree_leaf_loss(right);
-            (ll + rl, lc + rc)
-        };
-        let stats = arena.stats(id);
-        let k = stats.k();
-        let k_subtree = (num_leaves as usize) * k;
-
-        // Gain (5): collapse the subtree into this node.
-        let gain_prune = leaf_loss - stats.loss_sum;
-        let prune_ok = config.accepts(gain_prune, k, k_subtree);
-
-        // Gain (4): replace the subtree with a fresh split.
-        let best_replacement = stats.best_candidate(leaf_loss, config.learning_rate);
-        let (replace_ok, replace_gain, replace_idx) = match best_replacement {
-            Some((idx, gain)) => (config.accepts(gain, 2 * k, k_subtree), gain, idx),
-            None => (false, f64::NEG_INFINITY, 0),
-        };
-
-        if prune_ok && (!replace_ok || gain_prune >= replace_gain) {
-            // Replace the inner node with a leaf (the smaller model); the
-            // collapsed subtree's slots go onto the arena's free list.
-            arena.stats_mut(id).reset_window();
-            arena.collapse_to_leaf(id);
-            return GainDecision::Prune { gain: gain_prune };
-        }
-        if replace_ok {
-            let candidate = arena.stats(id).candidates[replace_idx].clone();
-            // Ignore a "replacement" that would re-install the very same
-            // split — it would only discard the children's progress without
-            // changing the model structure.
-            if !candidate.key.same_as(&key) {
-                let (left_model, right_model) = warm_started_children(
-                    arena.stats(id),
-                    &candidate,
-                    config.learning_rate,
-                    scratch,
-                );
-                arena.stats_mut(id).reset_window();
-                // Retire the old subtree first so the fresh children reuse
-                // its free-listed slots instead of growing the arena.
-                arena.collapse_to_leaf(id);
-                arena.install_split(
-                    id,
-                    candidate.key,
-                    NodeStats::new(left_model),
-                    NodeStats::new(right_model),
-                );
-                return GainDecision::Replace {
-                    key: candidate.key,
-                    gain: replace_gain,
-                };
-            }
-        }
-        GainDecision::Keep
+        structural_check_inner(arena, id, config, scratch)
     }
 }
 
@@ -1041,6 +1120,84 @@ mod tests {
             );
             for (a, b) in candidate.grad_sum.iter().zip(grad_sum.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn high_cardinality_nominal_columns_switch_to_the_hashed_lookup() {
+        // A nominal column with far more distinct codes than
+        // NOMINAL_LINEAR_SCAN_MAX exercises the hashed bucket index. The
+        // accumulated candidate statistics must stay bit-identical to the
+        // per-row reference (the hashed path only changes *how* a row finds
+        // its bucket, never what is accumulated or in which order).
+        let cfg = config();
+        let mut stats = NodeStats::new(Glm::new_random(2, 2, 23));
+        let model_before = stats.model.clone();
+        let n = 8 * (NOMINAL_LINEAR_SCAN_MAX + 4);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                // ~n/2 distinct codes — well past the linear-scan threshold —
+                // plus a numeric column carrying the label signal.
+                vec![(i % (n / 2)) as f64, ((i * 13) % n) as f64 / n as f64]
+            })
+            .collect();
+        let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[1] > 0.5)).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        assert!(n / 2 > NOMINAL_LINEAR_SCAN_MAX);
+        stats.update_with_batch(&rows, &ys, &[true, false], &cfg);
+        let nominal_candidates = stats.candidates.iter().filter(|c| c.key.is_nominal).count();
+        assert!(nominal_candidates > 0, "no nominal candidates proposed");
+        for candidate in stats.candidates.iter().filter(|c| c.key.is_nominal) {
+            let mut count = 0u64;
+            let mut loss_sum = 0.0;
+            let mut grad_sum = vec![0.0; stats.k()];
+            for (x, &y) in rows.iter().zip(ys.iter()) {
+                if candidate.key.goes_left(x) {
+                    let (loss, grad) = model_before.loss_and_gradient(&[x], &[y]);
+                    count += 1;
+                    loss_sum += loss;
+                    linalg::add_assign(&mut grad_sum, &grad);
+                }
+            }
+            assert_eq!(
+                candidate.count, count,
+                "row set diverged: {:?}",
+                candidate.key
+            );
+            assert_eq!(
+                candidate.loss_sum.to_bits(),
+                loss_sum.to_bits(),
+                "hashed bucket lookup changed the accumulation: {:?}",
+                candidate.key
+            );
+            for (a, b) in candidate.grad_sum.iter().zip(grad_sum.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_and_linear_bucket_paths_agree_across_the_threshold() {
+        // Two separate nodes fed batches whose nominal cardinality sits just
+        // below and just above the threshold: both must reproduce the per-row
+        // candidate counts exactly (the regression guard for the O(batch²)
+        // id-like-column case named in the roadmap).
+        let cfg = config();
+        for distinct in [NOMINAL_LINEAR_SCAN_MAX - 1, 4 * NOMINAL_LINEAR_SCAN_MAX] {
+            let mut stats = NodeStats::new(Glm::new_random(1, 2, 31));
+            let n = distinct * 3;
+            let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % distinct) as f64]).collect();
+            let ys: Vec<usize> = (0..n).map(|i| i % 2).collect();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            stats.update_with_batch(&rows, &ys, &[true], &cfg);
+            for candidate in &stats.candidates {
+                let expected = rows.iter().filter(|x| candidate.key.goes_left(x)).count() as u64;
+                assert_eq!(
+                    candidate.count, expected,
+                    "cardinality {distinct}: {:?}",
+                    candidate.key
+                );
             }
         }
     }

@@ -1,0 +1,260 @@
+//! Scoped worker pool for parallel subtree updates.
+//!
+//! # Why subtree parallelism
+//!
+//! The DMT update loop is subtree-parallel by construction: once an inner
+//! node has routed a batch (the stable in-place index partition of
+//! `node::learn_at`), the left and right sub-batches update *disjoint*
+//! subtrees — no statistic, candidate pool or structural decision of one
+//! child's subtree ever reads the other's (Algorithm 1 of the paper recurses
+//! independently per child). PR 3's arena made this exploitable: subtrees are
+//! addressed by [`crate::arena::NodeId`] and can be detached into worker-owned
+//! arenas (`NodeArena::detach_subtree`, crate-internal), updated on worker
+//! threads, and grafted back deterministically in child order.
+//!
+//! # Why a hand-rolled scoped pool
+//!
+//! The build environment has no crates-registry access, so `rayon` is not an
+//! option (see `vendor/README.md`). The pool here is deliberately minimal:
+//! [`run_scoped`] fans a `Vec` of work items out over `std::thread::scope`
+//! threads pulling from a shared queue, and returns the results **indexed by
+//! item position** — the caller's merge order is the item order, never the
+//! completion order, which is what keeps the parallel learn path bit-identical
+//! to the serial one. Worker panics propagate to the caller when the scope
+//! joins.
+//!
+//! Scoped threads are spawned per call (a persistent pool cannot hold the
+//! non-`'static` borrows of the batch without `unsafe`, which this crate
+//! forbids). Thread spawn costs are per *batch*, not per instance, and are
+//! independent of the batch size — the allocation contract the update loop
+//! already enforces.
+
+use std::sync::Mutex;
+
+/// How `DynamicModelTree::learn_batch` distributes disjoint subtree
+/// workloads after the top-level index partition (see
+/// [`crate::tree::DmtConfig::parallelism`]).
+///
+/// The parallel mode is **bit-identical** to the serial mode: workers update
+/// disjoint subtrees with per-worker scratch spaces and their results are
+/// merged in child order (pinned by `tests/integration_parallel.rs` at batch
+/// sizes 1/7/64 with workers 1/2/4). Only wall-clock time differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded recursive descent (the default).
+    #[default]
+    Serial,
+    /// Up to `n` worker threads over disjoint subtree workloads. `Threads(0)`
+    /// and `Threads(1)` behave exactly like [`Parallelism::Serial`].
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The number of worker threads this setting resolves to (`Serial` → 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+
+    /// Read the `DMT_PARALLELISM` environment variable: unset, empty, `0`,
+    /// `1` or `serial` mean [`Parallelism::Serial`]; an integer `n ≥ 2` means
+    /// [`Parallelism::Threads`]`(n)`. Unparsable values fall back to serial.
+    ///
+    /// `DmtConfig::default()` goes through this hook so CI can run the whole
+    /// test suite under `Threads(2)` without patching every test; explicit
+    /// `parallelism:` settings are unaffected.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("DMT_PARALLELISM").ok().as_deref())
+    }
+
+    /// The pure parser behind [`Parallelism::from_env`] (`None` = variable
+    /// unset).
+    fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some(value) => match value.trim() {
+                "" | "serial" | "Serial" => Parallelism::Serial,
+                n => match n.parse::<usize>() {
+                    Ok(n) if n >= 2 => Parallelism::Threads(n),
+                    _ => Parallelism::Serial,
+                },
+            },
+            None => Parallelism::Serial,
+        }
+    }
+}
+
+/// Run `f` over every item of `items` on up to `workers` scoped threads and
+/// return the results **in item order**.
+///
+/// * Items are claimed from a shared queue, so an uneven workload does not
+///   idle workers; results are written into their item's slot, so the output
+///   order is deterministic regardless of completion order.
+/// * `workers <= 1` (or fewer than two items) short-circuits to a serial
+///   in-order loop on the calling thread — no threads are spawned, making the
+///   serial configuration truly thread-free.
+/// * A panicking task propagates its panic to the caller once the scope
+///   joins (remaining queued items may be skipped).
+pub fn run_scoped<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    // Queue of `(item index, item)`, popped LIFO (order is irrelevant: results
+    // are keyed by index). One slot per item receives its result.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| loop {
+                    // The lock is released before `f` runs, so workers
+                    // execute concurrently; only the queue pop and the
+                    // result store serialise.
+                    let Some((i, item)) = queue.lock().map(|mut q| q.pop()).unwrap_or(None) else {
+                        break;
+                    };
+                    let result = f(i, item);
+                    if let Ok(mut slots) = results.lock() {
+                        slots[i] = Some(result);
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly and resume the original payload, so a panicking
+        // task surfaces with its own message instead of the scope's generic
+        // "a scoped thread panicked".
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    results
+        .into_inner()
+        .expect("a worker panicked while storing a result")
+        .into_iter()
+        .map(|slot| slot.expect("scope joined with an unfinished task"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_parallelism_resolves_to_one_worker() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(1).workers(), 1);
+        assert_eq!(Parallelism::Threads(4).workers(), 4);
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        for workers in [1, 2, 4, 16] {
+            let items: Vec<usize> = (0..23).collect();
+            let out = run_scoped(workers, items, |i, item| {
+                assert_eq!(i, item);
+                item * 10
+            });
+            assert_eq!(out, (0..23).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_item_list_is_a_noop() {
+        let out: Vec<usize> = run_scoped(4, Vec::<usize>::new(), |_, item| item);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oversubscription_more_workers_than_items() {
+        // 16 workers, 2 items: only 2 threads are spawned and every item runs
+        // exactly once.
+        let runs = AtomicUsize::new(0);
+        let out = run_scoped(16, vec![7usize, 9], |_, item| {
+            runs.fetch_add(1, Ordering::SeqCst);
+            item + 1
+        });
+        assert_eq!(out, vec![8, 10]);
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn oversubscription_more_items_than_workers() {
+        // 2 workers drain 64 items; every item is processed exactly once.
+        let runs = AtomicUsize::new(0);
+        let out = run_scoped(2, (0..64usize).collect(), |_, item| {
+            runs.fetch_add(1, Ordering::SeqCst);
+            item
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(runs.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn tasks_mutate_disjoint_borrowed_slices() {
+        // The intended usage shape: items carry `&mut` borrows into one
+        // buffer, split disjointly, exactly like subtree index ranges.
+        let mut buffer: Vec<usize> = vec![0; 10];
+        let (a, b) = buffer.split_at_mut(5);
+        run_scoped(2, vec![(0usize, a), (5usize, b)], |_, (offset, chunk)| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = offset + k;
+            }
+        });
+        assert_eq!(buffer, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker task exploded")]
+    fn worker_panics_propagate_to_the_caller() {
+        run_scoped(2, vec![1usize, 2, 3, 4], |_, item| {
+            if item == 3 {
+                panic!("worker task exploded");
+            }
+            item
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "serial task exploded")]
+    fn serial_fallback_panics_propagate_too() {
+        run_scoped(1, vec![1usize], |_, _| -> usize {
+            panic!("serial task exploded");
+        });
+    }
+
+    #[test]
+    fn env_parser_covers_serial_thread_and_garbage_values() {
+        // The parser is tested directly (mutating the process environment
+        // would race against concurrently running tests that call
+        // `DmtConfig::default()`).
+        let cases = [
+            (None, Parallelism::Serial),
+            (Some(""), Parallelism::Serial),
+            (Some("serial"), Parallelism::Serial),
+            (Some("0"), Parallelism::Serial),
+            (Some("1"), Parallelism::Serial),
+            (Some("2"), Parallelism::Threads(2)),
+            (Some(" 4 "), Parallelism::Threads(4)),
+            (Some("garbage"), Parallelism::Serial),
+        ];
+        for (value, expected) in cases {
+            assert_eq!(Parallelism::parse(value), expected, "value {value:?}");
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //! mark) the learn/predict path performs **no** per-instance heap
 //! allocations.
 
+use std::collections::HashMap;
+
+use crate::arena::{NodeArena, NodeId};
 use crate::candidate::SplitCandidate;
 
 /// Scratch buffers threaded through `DynamicModelTree::learn_batch` →
@@ -69,6 +72,13 @@ pub struct UpdateScratch {
     pub(crate) bucket_counts: Vec<u64>,
     /// Per-category gradient sums, row-major (`categories × num_params`).
     pub(crate) bucket_grads: Vec<f64>,
+    /// Category-code → bucket-index map used instead of the linear
+    /// `bucket_keys` scan once a nominal column exceeds the small-cardinality
+    /// threshold (`node::NOMINAL_LINEAR_SCAN_MAX`). Keys are the exact bit
+    /// patterns of the category codes; the map is only ever *looked up*, never
+    /// iterated, so its nondeterministic internal order cannot leak into any
+    /// result. Cleared per feature, capacity retained across batches.
+    pub(crate) bucket_lookup: HashMap<u64, u32>,
 }
 
 impl UpdateScratch {
@@ -100,6 +110,60 @@ impl UpdateScratch {
         for &i in idx {
             self.xbuf.extend_from_slice(xs[i]);
             self.ybuf.push(ys[i]);
+        }
+    }
+}
+
+/// One worker's private state for a parallel subtree update: the arena a
+/// detached subtree is moved into and the scratch space its node updates run
+/// through. Pooled inside [`ParallelScratch`] and reused across batches, so
+/// the parallel learn path keeps the same steady-state allocation contract as
+/// the serial one (per-worker buffers grow to their high-water mark once).
+#[derive(Debug)]
+pub(crate) struct WorkerSlot {
+    /// Owned arena the detached subtree lives in while a worker updates it.
+    pub(crate) arena: NodeArena,
+    /// The worker's private update scratch (disjoint from the tree's own).
+    pub(crate) scratch: UpdateScratch,
+}
+
+impl WorkerSlot {
+    fn new() -> Self {
+        Self {
+            arena: NodeArena::new_empty(),
+            scratch: UpdateScratch::new(),
+        }
+    }
+}
+
+/// Pooled buffers of the parallel learn path (`Parallelism::Threads`): the
+/// spine/task bookkeeping of the top-level partition and one [`WorkerSlot`]
+/// per concurrent subtree task. Owned by the tree and reused across batches;
+/// a tree running in serial mode never materialises any of it beyond the
+/// empty `Vec`s.
+#[derive(Debug, Default)]
+pub(crate) struct ParallelScratch {
+    /// Subtree tasks `(node id, index range start, index range end)`, kept
+    /// in left-to-right child order — the deterministic merge order.
+    pub(crate) tasks: Vec<(NodeId, usize, usize)>,
+    /// Inner nodes updated serially during the top-level descent, in
+    /// expansion order (parents before their children); structural checks
+    /// run over this list in reverse after the workers join.
+    pub(crate) spine: Vec<NodeId>,
+    /// One pooled slot per concurrent subtree task.
+    pub(crate) slots: Vec<WorkerSlot>,
+}
+
+impl ParallelScratch {
+    /// Create an empty pool (buffers grow on first parallel batch).
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure at least `n` worker slots exist.
+    pub(crate) fn ensure_slots(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(WorkerSlot::new());
         }
     }
 }

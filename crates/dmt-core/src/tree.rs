@@ -8,8 +8,11 @@ use dmt_stream::schema::StreamSchema;
 
 use crate::arena::{NodeArena, NodeId};
 use crate::explain::{DecisionStep, LeafExplanation};
-use crate::node::{learn_at, GainDecision, NodeStats, Routing};
-use crate::scratch::{PredictScratch, UpdateScratch};
+use crate::node::{
+    learn_at, partition_indices, structural_check_inner, GainDecision, NodeStats, Routing,
+};
+use crate::parallel::{run_scoped, Parallelism};
+use crate::scratch::{ParallelScratch, PredictScratch, UpdateScratch, WorkerSlot};
 
 /// Hyperparameters of the Dynamic Model Tree with the defaults proposed in
 /// §V-D of the paper.
@@ -46,6 +49,16 @@ pub struct DmtConfig {
     /// therefore downstream predictions) diverge between modes after the
     /// first window.
     pub batch_mode: BatchMode,
+    /// How `learn_batch` distributes disjoint subtree workloads after the
+    /// top-level index partition: [`Parallelism::Serial`] (the default) runs
+    /// the recursive descent on the calling thread,
+    /// [`Parallelism::Threads`]`(n)` dispatches detached subtrees to up to
+    /// `n` scoped worker threads and merges them deterministically in child
+    /// order. Both settings produce **bit-identical** trees; only wall-clock
+    /// time differs. The default honours the `DMT_PARALLELISM` environment
+    /// variable (see [`Parallelism::from_env`]) so CI can exercise the whole
+    /// suite threaded.
+    pub parallelism: Parallelism,
 }
 
 impl Default for DmtConfig {
@@ -59,6 +72,7 @@ impl Default for DmtConfig {
             min_observations_split: 50,
             seed: 42,
             batch_mode: BatchMode::default(),
+            parallelism: Parallelism::from_env(),
         }
     }
 }
@@ -105,6 +119,9 @@ pub struct DynamicModelTree {
     /// Reusable buffers for the update loop; after the first batches the
     /// learn path performs no per-instance heap allocations.
     scratch: UpdateScratch,
+    /// Pooled worker arenas/scratches of the parallel learn path; empty (and
+    /// never grown) while `config.parallelism` is serial.
+    par_scratch: ParallelScratch,
     /// Reusable buffers for the batched prediction routing. Behind a
     /// `RefCell` because prediction is `&self`; `learn_batch` pre-grows the
     /// buffers to the observed batch dimensions so a steady-state
@@ -125,6 +142,7 @@ impl Clone for DynamicModelTree {
             observations: self.observations,
             decisions: self.decisions.clone(),
             scratch: UpdateScratch::new(),
+            par_scratch: ParallelScratch::new(),
             predict_scratch: RefCell::new(PredictScratch::new()),
         }
     }
@@ -149,6 +167,7 @@ impl DynamicModelTree {
             observations: 0,
             decisions: Vec::new(),
             scratch: UpdateScratch::new(),
+            par_scratch: ParallelScratch::new(),
             predict_scratch: RefCell::new(PredictScratch::new()),
         }
     }
@@ -254,17 +273,30 @@ impl DynamicModelTree {
         let mut indices = std::mem::take(&mut self.scratch.indices);
         indices.clear();
         indices.extend(0..xs.len());
-        let decision = learn_at(
-            &mut self.arena,
-            self.root,
-            xs,
-            ys,
-            &mut indices,
-            &self.nominal_features,
-            &self.config,
-            &mut self.scratch,
-            routing,
-        );
+        // The parallel path covers the hot gathered routing; the per-instance
+        // reference (`learn_batch_reference`) always runs the serial
+        // recursion, so bit-identity tests compare threaded-hot vs
+        // serial-reference end to end.
+        let workers = self.config.parallelism.workers();
+        let decision = if routing == Routing::Gathered
+            && workers >= 2
+            && !indices.is_empty()
+            && !self.arena.is_leaf(self.root)
+        {
+            self.learn_batch_parallel(xs, ys, &mut indices, workers)
+        } else {
+            learn_at(
+                &mut self.arena,
+                self.root,
+                xs,
+                ys,
+                &mut indices,
+                &self.nominal_features,
+                &self.config,
+                &mut self.scratch,
+                routing,
+            )
+        };
         self.scratch.indices = indices;
         if decision != GainDecision::Keep {
             self.decisions.push((self.observations, decision.clone()));
@@ -277,6 +309,149 @@ impl DynamicModelTree {
             self.schema.num_classes,
             self.arena.num_slots(),
         );
+        decision
+    }
+
+    /// The parallel form of the learn recursion (`Parallelism::Threads`),
+    /// bit-identical to the serial [`learn_at`] descent:
+    ///
+    /// 1. **Spine descent** (serial): starting from the root, the largest
+    ///    routable task is expanded — its node statistics are updated with
+    ///    its routed sub-batch (inner nodes keep full statistics and keep
+    ///    training, §IV-D) and its index range is partitioned in place with
+    ///    the exact routing of the serial path — until there are at least
+    ///    `workers` subtree tasks or nothing expandable is left. Expanded
+    ///    nodes form the *spine*; the remaining tasks tile the index range in
+    ///    left-to-right child order.
+    /// 2. **Subtree workers** (parallel): every non-empty task's subtree is
+    ///    detached into a pooled worker arena ([`NodeArena::detach_subtree`])
+    ///    and updated — splits, prunes and replacements included — by
+    ///    [`learn_at`] on a scoped worker thread with a per-worker
+    ///    [`UpdateScratch`]. Subtrees are disjoint, so no worker ever
+    ///    observes another's state; per-node arithmetic is identical to the
+    ///    serial path because each node's update depends only on its own
+    ///    routed rows.
+    /// 3. **Deterministic merge** (serial): subtrees are re-attached in child
+    ///    order, then the spine's structural checks (prune/replace, gains
+    ///    (4)–(5)) run bottom-up exactly like the serial recursion's
+    ///    post-order tail. The root's check is the returned decision.
+    ///
+    /// Only arena *slot numbering* may differ from a serial run (workers
+    /// allocate in private arenas); the tree shape, all statistics, all model
+    /// parameters and all decisions are pinned bit-identical by
+    /// `tests/integration_parallel.rs`.
+    fn learn_batch_parallel(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        indices: &mut [usize],
+        workers: usize,
+    ) -> GainDecision {
+        let m = self.schema.num_features();
+        let mut tasks = std::mem::take(&mut self.par_scratch.tasks);
+        let mut spine = std::mem::take(&mut self.par_scratch.spine);
+        tasks.clear();
+        spine.clear();
+        tasks.push((self.root, 0, indices.len()));
+
+        // 1. Spine descent: expand the largest inner-node task until the
+        // frontier is wide enough to feed every worker.
+        while tasks.len() < workers {
+            let mut largest: Option<usize> = None;
+            for (j, &(id, lo, hi)) in tasks.iter().enumerate() {
+                if hi > lo && !self.arena.is_leaf(id) {
+                    let bigger = match largest {
+                        None => true,
+                        Some(b) => {
+                            let (_, blo, bhi) = tasks[b];
+                            hi - lo > bhi - blo
+                        }
+                    };
+                    if bigger {
+                        largest = Some(j);
+                    }
+                }
+            }
+            let Some(j) = largest else { break };
+            let (id, lo, hi) = tasks[j];
+            self.arena.stats_mut(id).update_with_batch_indexed(
+                xs,
+                ys,
+                &indices[lo..hi],
+                &self.nominal_features,
+                &self.config,
+                &mut self.scratch,
+            );
+            let key = self.arena.split_key(id);
+            let write = partition_indices(
+                &key,
+                xs,
+                &mut indices[lo..hi],
+                &mut self.scratch,
+                Routing::Gathered,
+                m,
+            );
+            let (left, right) = self.arena.children(id).expect("spine node is inner");
+            spine.push(id);
+            tasks[j] = (left, lo, lo + write);
+            tasks.insert(j + 1, (right, lo + write, hi));
+        }
+
+        // 2. Detach every non-empty subtree into its pooled worker slot and
+        // fan the tasks out. Empty sub-batches are skipped entirely, exactly
+        // like the serial recursion's early return.
+        self.par_scratch.ensure_slots(tasks.len());
+        let mut items: Vec<(&mut WorkerSlot, &mut [usize])> = Vec::with_capacity(tasks.len());
+        let mut remaining: &mut [usize] = indices;
+        let mut slot_iter = self.par_scratch.slots.iter_mut();
+        for &(id, lo, hi) in tasks.iter() {
+            let (chunk, rest) = std::mem::take(&mut remaining).split_at_mut(hi - lo);
+            remaining = rest;
+            if hi == lo {
+                continue;
+            }
+            let slot = slot_iter.next().expect("slot pool sized to task count");
+            let droot = self.arena.detach_subtree(id, &mut slot.arena);
+            debug_assert_eq!(droot, NodeArena::FIRST);
+            items.push((slot, chunk));
+        }
+        let nominal_features = &self.nominal_features;
+        let config = &self.config;
+        run_scoped(workers, items, |_, (slot, chunk)| {
+            learn_at(
+                &mut slot.arena,
+                NodeArena::FIRST,
+                xs,
+                ys,
+                chunk,
+                nominal_features,
+                config,
+                &mut slot.scratch,
+                Routing::Gathered,
+            );
+        });
+
+        // 3. Deterministic merge: re-attach in child order, then run the
+        // spine's structural checks bottom-up (children before parents — the
+        // spine is expansion-ordered, so reversing it visits every node
+        // after all its descendants).
+        let mut slot_index = 0usize;
+        for &(id, lo, hi) in tasks.iter() {
+            if hi == lo {
+                continue;
+            }
+            let slot = &mut self.par_scratch.slots[slot_index];
+            slot_index += 1;
+            self.arena
+                .attach_subtree(id, &mut slot.arena, NodeArena::FIRST);
+        }
+        debug_assert_eq!(spine.first(), Some(&self.root));
+        let mut decision = GainDecision::Keep;
+        for &id in spine.iter().rev() {
+            decision = structural_check_inner(&mut self.arena, id, &self.config, &mut self.scratch);
+        }
+        self.par_scratch.tasks = tasks;
+        self.par_scratch.spine = spine;
         decision
     }
 

@@ -157,15 +157,17 @@ impl AdaptiveRandomForest {
     }
 
     /// Probability-weighted vote over the members, written into the
-    /// caller-provided buffers (`votes.len() == num_classes`; `projected` is
-    /// subspace-projection scratch) so batch prediction can reuse them
-    /// across rows. The members' `predict_proba` still allocates internally
-    /// — the baseline trees have no `*_into` prediction API yet.
-    fn vote_into(&self, x: &[f64], votes: &mut [f64], projected: &mut Vec<f64>) {
+    /// caller-provided buffers (`votes.len() == proba.len() == num_classes`;
+    /// `projected` is subspace-projection scratch) so batch prediction
+    /// reuses three buffers across all rows and members: each member's
+    /// probabilities land in `proba` through the trees' allocation-free
+    /// [`HoeffdingTreeClassifier::predict_proba_into`] — no allocation per
+    /// member per row.
+    fn vote_into(&self, x: &[f64], votes: &mut [f64], proba: &mut [f64], projected: &mut Vec<f64>) {
         votes.fill(0.0);
         for member in &self.members {
             member.project_into(x, projected);
-            let proba = member.tree.predict_proba(projected);
+            member.tree.predict_proba_into(projected, proba);
             for (v, p) in votes.iter_mut().zip(proba.iter()) {
                 *v += p;
             }
@@ -182,7 +184,8 @@ impl AdaptiveRandomForest {
 
     fn vote(&self, x: &[f64]) -> Vec<f64> {
         let mut votes = vec![0.0; self.schema.num_classes];
-        self.vote_into(x, &mut votes, &mut Vec::new());
+        let mut proba = vec![0.0; self.schema.num_classes];
+        self.vote_into(x, &mut votes, &mut proba, &mut Vec::new());
         votes
     }
 
@@ -263,12 +266,14 @@ impl OnlineClassifier for AdaptiveRandomForest {
     }
 
     fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
-        // One vote buffer and one projection buffer for the whole batch
-        // instead of fresh `Vec<f64>`s per row and member.
+        // Three buffers for the whole batch (votes, per-member
+        // probabilities, subspace projection) instead of fresh `Vec<f64>`s
+        // per row and member.
         let mut votes = vec![0.0; self.schema.num_classes];
+        let mut proba = vec![0.0; self.schema.num_classes];
         let mut projected = Vec::new();
         for (x, o) in xs.iter().zip(out.iter_mut()) {
-            self.vote_into(x, &mut votes, &mut projected);
+            self.vote_into(x, &mut votes, &mut proba, &mut projected);
             *o = dmt_models::argmax(&votes);
         }
     }

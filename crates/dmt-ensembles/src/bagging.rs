@@ -80,14 +80,15 @@ impl LeveragingBagging {
     }
 
     /// Majority-vote class distribution over the members, written into the
-    /// caller-provided buffer (`votes.len() == num_classes`) so batch
-    /// prediction can reuse one buffer across rows. The members'
-    /// `predict_proba` still allocates internally — the baseline trees have
-    /// no `*_into` prediction API yet.
-    fn vote_into(&self, x: &[f64], votes: &mut [f64]) {
+    /// caller-provided buffers (`votes.len() == proba.len() == num_classes`)
+    /// so batch prediction reuses two buffers across all rows and members:
+    /// each member's probabilities land in `proba` through the trees'
+    /// allocation-free [`HoeffdingTreeClassifier::predict_proba_into`] and
+    /// are accumulated into `votes` — no allocation per member per row.
+    fn vote_into(&self, x: &[f64], votes: &mut [f64], proba: &mut [f64]) {
         votes.fill(0.0);
         for member in &self.members {
-            let proba = member.predict_proba(x);
+            member.predict_proba_into(x, proba);
             for (v, p) in votes.iter_mut().zip(proba.iter()) {
                 *v += p;
             }
@@ -105,7 +106,8 @@ impl LeveragingBagging {
     /// Majority-vote class distribution over the members.
     fn vote(&self, x: &[f64]) -> Vec<f64> {
         let mut votes = vec![0.0; self.schema.num_classes];
-        self.vote_into(x, &mut votes);
+        let mut proba = vec![0.0; self.schema.num_classes];
+        self.vote_into(x, &mut votes, &mut proba);
         votes
     }
 
@@ -175,11 +177,12 @@ impl OnlineClassifier for LeveragingBagging {
     }
 
     fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
-        // One vote buffer for the whole batch instead of a fresh `Vec<f64>`
-        // per row.
+        // Two buffers for the whole batch (votes + per-member probabilities)
+        // instead of a fresh `Vec<f64>` per row per member.
         let mut votes = vec![0.0; self.schema.num_classes];
+        let mut proba = vec![0.0; self.schema.num_classes];
         for (x, o) in xs.iter().zip(out.iter_mut()) {
-            self.vote_into(x, &mut votes);
+            self.vote_into(x, &mut votes, &mut proba);
             *o = dmt_models::argmax(&votes);
         }
     }

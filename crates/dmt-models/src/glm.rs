@@ -42,6 +42,14 @@ impl Glm {
         }
     }
 
+    /// Create a zero-parameter placeholder GLM without touching the
+    /// allocator (see [`LogitModel::placeholder`]). Placeholders back-fill
+    /// moved-out tree-node payloads during parallel subtree updates and must
+    /// never be asked to predict or learn.
+    pub fn placeholder() -> Self {
+        Glm::Logit(LogitModel::placeholder())
+    }
+
     /// Create a child GLM warm-started with the parameters of a parent GLM.
     pub fn warm_start_from(parent: &Self) -> Self {
         match parent {

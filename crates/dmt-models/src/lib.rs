@@ -22,6 +22,30 @@
 //! relies on: incremental SGD updates, per-batch negative log-likelihood and
 //! gradients evaluated *at the current parameters* (needed for the candidate
 //! loss approximation of eq. (6)–(7)).
+//!
+//! ```
+//! use dmt_models::{Glm, SimpleModel};
+//!
+//! // A binary logit GLM (the DMT's leaf model for two classes): class 1
+//! // exactly when the first feature exceeds 0.5.
+//! let mut model = Glm::new_zeros(2, 2);
+//! let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0, 0.3]).collect();
+//! let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
+//! let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+//!
+//! // Constant-learning-rate SGD (§V-A); the returned loss is the batch's
+//! // negative log-likelihood *before* the step, exactly what Algorithm 1
+//! // accumulates per node.
+//! let first_loss = model.sgd_step(&rows, &ys, 0.05);
+//! let mut last_loss = first_loss;
+//! for _ in 0..200 {
+//!     last_loss = model.sgd_step(&rows, &ys, 0.05);
+//! }
+//! assert!(last_loss < first_loss, "training reduces the NLL");
+//! assert_eq!(model.predict(&[0.9, 0.3]), 1);
+//! assert_eq!(model.predict(&[0.1, 0.3]), 0);
+//! assert_eq!(model.num_params(), 3); // two weights + intercept
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

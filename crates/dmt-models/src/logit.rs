@@ -46,6 +46,20 @@ impl LogitModel {
         }
     }
 
+    /// Create a zero-feature, zero-parameter placeholder model.
+    ///
+    /// Performs **no** heap allocation (the parameter vector is empty) — used
+    /// by `dmt-core`'s arena to backfill node payloads that were moved into a
+    /// worker arena for a parallel subtree update. A placeholder must never
+    /// be asked to predict or learn.
+    pub fn placeholder() -> Self {
+        Self {
+            params: Vec::new(),
+            num_features: 0,
+            seen: 0,
+        }
+    }
+
     /// Create a child model warm-started with the parameters of a parent model
     /// (all non-root nodes of a Dynamic Model Tree are initialised this way).
     pub fn warm_start_from(parent: &Self) -> Self {

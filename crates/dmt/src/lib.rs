@@ -49,7 +49,7 @@ pub mod zoo;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::core::{DmtConfig, DynamicModelTree};
+    pub use crate::core::{DmtConfig, DynamicModelTree, Parallelism};
     pub use crate::eval::{PrequentialConfig, PrequentialResult, PrequentialRun};
     pub use crate::models::{BatchMode, Complexity, OnlineClassifier, SimpleModel};
     pub use crate::stream::{Batch, DataStream, Instance, StreamSchema};

@@ -59,12 +59,131 @@ fn make_batch(n: usize, offset: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
 fn steady_state_hot_path_is_allocation_free_per_instance() {
     // Both SGD traversals share the gather + batched-kernel plumbing; the
     // contract must hold for the batched default and the deterministic
-    // reference alike.
+    // reference alike. All measurements run inside this single #[test] —
+    // concurrent test threads would pollute the global counter.
     for mode in [
         dmt::models::BatchMode::default(),
         dmt::models::BatchMode::Deterministic,
     ] {
         steady_state_measurement(mode);
+    }
+    parallel_learn_measurement();
+    ensemble_prediction_measurement();
+}
+
+/// The parallel learn path (`Parallelism::Threads(2)`) adds per-batch costs —
+/// scoped thread spawns, the task queue, subtree detach/attach — but nothing
+/// per *instance*: the allocation count per batch must stay independent of
+/// the batch size, exactly like the serial contract.
+fn parallel_learn_measurement() {
+    use dmt::core::Parallelism;
+    let schema = StreamSchema::numeric("alloc-par", 3, 2);
+    let config = DmtConfig {
+        parallelism: Parallelism::Threads(2),
+        ..DmtConfig::default()
+    };
+    let mut tree = DynamicModelTree::new(schema, config);
+
+    let (small_xs, small_ys) = make_batch(100, 0);
+    let small_rows: Vec<&[f64]> = small_xs.iter().map(|v| v.as_slice()).collect();
+    let (large_xs, large_ys) = make_batch(800, 0);
+    let large_rows: Vec<&[f64]> = large_xs.iter().map(|v| v.as_slice()).collect();
+
+    for round in 0..200 {
+        let (xs, ys) = make_batch(800, round * 800);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        tree.learn_batch(&rows, &ys);
+    }
+    let structure_before = (tree.num_inner_nodes(), tree.num_leaves());
+
+    const ROUNDS: u64 = 50;
+    let before_small = allocations();
+    for _ in 0..ROUNDS {
+        tree.learn_batch(&small_rows, &small_ys);
+    }
+    let small_allocs = allocations() - before_small;
+
+    let before_large = allocations();
+    for _ in 0..ROUNDS {
+        tree.learn_batch(&large_rows, &large_ys);
+    }
+    let large_allocs = allocations() - before_large;
+
+    assert_eq!(
+        structure_before,
+        (tree.num_inner_nodes(), tree.num_leaves()),
+        "tree restructured during the parallel measurement; lengthen the warm-up"
+    );
+    // 8× the instances must not mean more allocations: thread spawns and
+    // dispatch bookkeeping are per batch, never per instance.
+    assert!(
+        large_allocs < small_allocs + ROUNDS * 100,
+        "parallel learn_batch allocations scale with the batch size: \
+         {small_allocs} allocs for {ROUNDS}×100 instances vs \
+         {large_allocs} allocs for {ROUNDS}×800 instances"
+    );
+}
+
+/// Ensemble batch prediction goes through the baseline trees'
+/// `predict_proba_into`, so in steady state it allocates a handful of reused
+/// buffers per *call* — never per member per row.
+fn ensemble_prediction_measurement() {
+    use dmt::baselines::VfdtConfig;
+    use dmt::ensembles::{
+        AdaptiveRandomForest, ArfConfig, LeveragingBagging, LeveragingBaggingConfig,
+    };
+
+    let schema = StreamSchema::numeric("alloc-ens", 3, 2);
+    // NBA leaves exercise the Naive-Bayes `predict_proba_into` path too.
+    let bagging_config = LeveragingBaggingConfig {
+        base_config: VfdtConfig::naive_bayes_adaptive(),
+        ..LeveragingBaggingConfig::default()
+    };
+    let mut models: Vec<Box<dyn OnlineClassifier>> = vec![
+        Box::new(LeveragingBagging::new(schema.clone(), bagging_config)),
+        Box::new(AdaptiveRandomForest::new(schema, ArfConfig::default())),
+    ];
+    let (train_xs, train_ys) = make_batch(2_000, 7);
+    let train_rows: Vec<&[f64]> = train_xs.iter().map(|v| v.as_slice()).collect();
+    let (small_xs, _) = make_batch(100, 3);
+    let small_rows: Vec<&[f64]> = small_xs.iter().map(|v| v.as_slice()).collect();
+    let (large_xs, _) = make_batch(800, 3);
+    let large_rows: Vec<&[f64]> = large_xs.iter().map(|v| v.as_slice()).collect();
+
+    for model in models.iter_mut() {
+        model.learn_batch(&train_rows, &train_ys);
+
+        let mut out = vec![0usize; large_rows.len()];
+        // Warm the projection buffers.
+        model.predict_batch_into(&small_rows, &mut out[..small_rows.len()]);
+
+        const CALLS: u64 = 20;
+        let before_small = allocations();
+        for _ in 0..CALLS {
+            model.predict_batch_into(&small_rows, &mut out[..small_rows.len()]);
+        }
+        let small_allocs = allocations() - before_small;
+
+        let before_large = allocations();
+        for _ in 0..CALLS {
+            model.predict_batch_into(&large_rows, &mut out);
+        }
+        let large_allocs = allocations() - before_large;
+
+        assert!(
+            large_allocs <= small_allocs,
+            "{}: predict_batch_into allocations scale with the batch size \
+             ({small_allocs} for {CALLS}×100 rows vs {large_allocs} for {CALLS}×800 rows)",
+            model.name()
+        );
+        // A handful of reused buffers per call (votes, probabilities,
+        // projection) — not one vector per member per row.
+        assert!(
+            large_allocs <= CALLS * 8,
+            "{}: unexpectedly many allocations per predict_batch_into call: {}",
+            model.name(),
+            large_allocs as f64 / CALLS as f64
+        );
     }
 }
 

@@ -1,0 +1,232 @@
+//! Parallel-learn contracts of the Dynamic Model Tree: with
+//! `Parallelism::Threads(n)` the tree must be **bit-identical** to the serial
+//! path — same structure, same split keys, same model parameters, same window
+//! accumulators, same candidate pools and same root decisions — for every
+//! worker count, batch size and structural history.
+//!
+//! The matrix pins workers 1/2/4 × batch sizes 1/7/64 on a deterministic
+//! step-plus-drift stream that forces splits, replacements *and* prunes, plus
+//! proptest random streams. The serial side of each comparison is the
+//! per-instance reference routing (`learn_batch_reference`), so the pin covers
+//! the whole chain: threaded gathered routing == serial gathered routing ==
+//! per-instance reference.
+
+use dmt::core::{DmtConfig, DynamicModelTree, Parallelism};
+use dmt::models::OnlineClassifier;
+use dmt::stream::schema::StreamSchema;
+use proptest::prelude::*;
+
+/// The pinned batch sizes: the scalar edge case, a non-multiple of the
+/// 8-lane kernel width, and a full window multiple.
+const PINNED_BATCH_SIZES: [usize; 3] = [1, 7, 64];
+
+/// The pinned worker counts: serial-equivalent, the CI configuration, and an
+/// oversubscribed pool (more workers than cores on most CI machines).
+const PINNED_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// A deterministic step-plus-drift stream over `m = 2` features: phase 0 is
+/// a hard step on feature 0 (forces splits), phase 1 flips the step (forces
+/// replacements) and phase 2 is a constant concept (invites prunes).
+fn step_batch(round: usize, phase: usize, n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = ((i * 7 + round * 13) % 101) as f64 / 101.0;
+            let u = ((i * 31 + round * 3) % 67) as f64 / 67.0;
+            vec![t, u]
+        })
+        .collect();
+    let ys: Vec<usize> = xs
+        .iter()
+        .map(|x| match phase {
+            0 => usize::from(x[0] > 0.75),
+            1 => usize::from(x[0] <= 0.4),
+            _ => 1,
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Rounds per concept phase so that every batch size feeds each phase enough
+/// instances (~8k) to trigger structural changes.
+fn rounds_per_phase(batch_size: usize) -> usize {
+    (8_000 / batch_size).max(120)
+}
+
+/// Assert two trees are bit-identical: same structure (walked by id in
+/// lockstep), same split keys, same model parameters, same window
+/// accumulators and same candidate pools. Arena *slot numbering* is allowed
+/// to differ — workers allocate in private arenas — which is exactly why the
+/// walk goes by lockstep traversal, not by slot index.
+fn assert_trees_bit_identical(a: &DynamicModelTree, b: &DynamicModelTree) {
+    use dmt::models::SimpleModel;
+    assert_eq!(a.num_inner_nodes(), b.num_inner_nodes());
+    assert_eq!(a.num_leaves(), b.num_leaves());
+    assert_eq!(a.decision_log().len(), b.decision_log().len());
+    let (arena_a, arena_b) = (a.arena(), b.arena());
+    let mut stack = vec![(a.root_id(), b.root_id())];
+    while let Some((ia, ib)) = stack.pop() {
+        assert_eq!(arena_a.is_leaf(ia), arena_b.is_leaf(ib));
+        let (sa, sb) = (arena_a.stats(ia), arena_b.stats(ib));
+        assert_eq!(sa.count, sb.count);
+        assert_eq!(sa.loss_sum.to_bits(), sb.loss_sum.to_bits());
+        assert_eq!(sa.model.params().len(), sb.model.params().len());
+        for (pa, pb) in sa.model.params().iter().zip(sb.model.params().iter()) {
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+        for (ga, gb) in sa.grad_sum.iter().zip(sb.grad_sum.iter()) {
+            assert_eq!(ga.to_bits(), gb.to_bits());
+        }
+        assert_eq!(sa.candidates.len(), sb.candidates.len());
+        for (ca, cb) in sa.candidates.iter().zip(sb.candidates.iter()) {
+            assert_eq!(ca.key.feature, cb.key.feature);
+            assert_eq!(ca.key.value.to_bits(), cb.key.value.to_bits());
+            assert_eq!(ca.key.is_nominal, cb.key.is_nominal);
+            assert_eq!(ca.count, cb.count);
+            assert_eq!(ca.loss_sum.to_bits(), cb.loss_sum.to_bits());
+        }
+        match (arena_a.children(ia), arena_b.children(ib)) {
+            (None, None) => {}
+            (Some((la, ra)), Some((lb, rb))) => {
+                let (ka, kb) = (arena_a.split_key(ia), arena_b.split_key(ib));
+                assert_eq!(ka.feature, kb.feature);
+                assert_eq!(ka.value.to_bits(), kb.value.to_bits());
+                assert_eq!(ka.is_nominal, kb.is_nominal);
+                stack.push((la, lb));
+                stack.push((ra, rb));
+            }
+            _ => panic!("tree structures diverged"),
+        }
+    }
+}
+
+fn eager_config(parallelism: Parallelism) -> DmtConfig {
+    // The eager configuration (no AIC threshold) restructures aggressively,
+    // so splits, replacements *and* prunes all fire within a run.
+    DmtConfig {
+        use_aic_threshold: false,
+        min_observations_split: 40,
+        parallelism,
+        ..DmtConfig::default()
+    }
+}
+
+#[test]
+fn threaded_learning_is_bit_identical_through_splits_and_prunes() {
+    for &workers in &PINNED_WORKERS {
+        for &batch_size in &PINNED_BATCH_SIZES {
+            let schema = StreamSchema::numeric("parallel-step", 2, 2);
+            let mut threaded =
+                DynamicModelTree::new(schema.clone(), eager_config(Parallelism::Threads(workers)));
+            let mut reference = DynamicModelTree::new(schema, eager_config(Parallelism::Serial));
+            let mut grew = false;
+            let mut shrank = false;
+            let phase_len = rounds_per_phase(batch_size);
+            for round in 0..3 * phase_len {
+                let (xs, ys) = step_batch(round, round / phase_len, batch_size);
+                let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+                let nodes_before = threaded.num_inner_nodes();
+                let decision_threaded = threaded.learn_batch_traced(&rows, &ys);
+                // The serial side runs the *per-instance reference* routing,
+                // so this pin transitively covers gathered-vs-reference too.
+                let decision_serial = reference.learn_batch_reference(&rows, &ys);
+                assert_eq!(
+                    decision_threaded, decision_serial,
+                    "workers {workers}, batch {batch_size}, round {round}"
+                );
+                grew |= threaded.num_inner_nodes() > nodes_before;
+                shrank |= threaded.num_inner_nodes() < nodes_before;
+                threaded.arena().validate(threaded.root_id()).unwrap();
+            }
+            assert_trees_bit_identical(&threaded, &reference);
+            assert!(
+                grew,
+                "workers {workers}, batch {batch_size}: the stream never split"
+            );
+            assert!(
+                shrank,
+                "workers {workers}, batch {batch_size}: no prune/replace fired"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_predictions_match_serial_predictions() {
+    // Train two identical trees (one threaded, one serial) and compare both
+    // the batched and the per-instance predictions on a held-out batch.
+    let schema = StreamSchema::numeric("parallel-predict", 2, 2);
+    let mut threaded = DynamicModelTree::new(schema.clone(), eager_config(Parallelism::Threads(2)));
+    let mut serial = DynamicModelTree::new(schema, eager_config(Parallelism::Serial));
+    for round in 0..200 {
+        let (xs, ys) = step_batch(round, round / 100, 64);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        threaded.learn_batch(&rows, &ys);
+        serial.learn_batch(&rows, &ys);
+    }
+    let (xs, _) = step_batch(999, 0, 64);
+    let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+    let a = threaded.predict_batch(&rows);
+    let b = serial.predict_batch(&rows);
+    assert_eq!(a, b);
+    for x in &rows {
+        assert_eq!(threaded.predict(x), serial.predict(x));
+        for (pa, pb) in threaded
+            .predict_proba(x)
+            .iter()
+            .zip(serial.predict_proba(x).iter())
+        {
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_workers_on_a_tiny_tree_are_harmless() {
+    // Eight workers against a tree that barely grows: most tasks are empty
+    // or leaves, which must neither panic nor change any result.
+    let schema = StreamSchema::numeric("parallel-tiny", 3, 2);
+    let mut threaded = DynamicModelTree::new(schema.clone(), eager_config(Parallelism::Threads(8)));
+    let mut serial = DynamicModelTree::new(schema, eager_config(Parallelism::Serial));
+    for round in 0..150 {
+        let xs: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                let t = ((i * 3 + round * 7) % 31) as f64 / 31.0;
+                vec![t, 1.0 - t, 0.5]
+            })
+            .collect();
+        let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.6)).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let a = threaded.learn_batch_traced(&rows, &ys);
+        let b = serial.learn_batch_traced(&rows, &ys);
+        assert_eq!(a, b, "round {round}");
+        threaded.arena().validate(threaded.root_id()).unwrap();
+    }
+    assert_trees_bit_identical(&threaded, &serial);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn threaded_and_serial_learning_agree_on_random_streams(
+        workers in 2usize..5,
+        batches in proptest::collection::vec(
+            proptest::collection::vec((proptest::collection::vec(0.0f64..1.0, 2), 0usize..2), 1..65),
+            1..5,
+        ),
+    ) {
+        let schema = StreamSchema::numeric("parallel-prop", 2, 2);
+        let mut threaded =
+            DynamicModelTree::new(schema.clone(), eager_config(Parallelism::Threads(workers)));
+        let mut serial = DynamicModelTree::new(schema, eager_config(Parallelism::Serial));
+        for batch in &batches {
+            let (xs, ys): (Vec<Vec<f64>>, Vec<usize>) = batch.iter().cloned().unzip();
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            let a = threaded.learn_batch_traced(&rows, &ys);
+            let b = serial.learn_batch_traced(&rows, &ys);
+            prop_assert_eq!(a, b);
+            prop_assert!(threaded.arena().validate(threaded.root_id()).is_ok());
+        }
+        assert_trees_bit_identical(&threaded, &serial);
+    }
+}
