@@ -18,9 +18,23 @@
 //! or machine-speed changes alone show up in exactly one. Pass `--control ""`
 //! to gate on the raw ratio only (e.g. for two runs on the same machine).
 //!
+//! # Parallel rows vs the baseline machine's core count
+//!
+//! A parallel row (e.g. `DMT (2T)`) is only a meaningful baseline when the
+//! blessing machine could actually run its workers concurrently: blessed on
+//! a single core, the row records per-batch dispatch overhead, not parallel
+//! throughput, and gating real multi-core runs against it is noise in both
+//! directions. `bench_throughput` therefore records the blessing machine's
+//! `available_parallelism` in the JSON `config`, and any row whose pinned
+//! worker count (the per-row `parallelism` field, falling back to the
+//! `"… (nT)"` display-name convention; baselines without either count as
+//! serial) **exceeds the baseline's recorded cores** is downgraded: a
+//! regression on it prints `WARN` and does not fail the gate. Baselines
+//! without a recorded core count are conservatively treated as single-core.
+//!
 //! ```bash
 //! cargo run --release -p dmt-bench --bin bench_compare -- \
-//!     --baseline BENCH_4.json --current /tmp/bench.json \
+//!     --baseline BENCH_5.json --current /tmp/bench.json \
 //!     --tolerance 0.15 --models "DMT (ours),DMT (2T)"
 //! ```
 
@@ -44,7 +58,7 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Self {
-            baseline: "BENCH_4.json".to_string(),
+            baseline: "BENCH_5.json".to_string(),
             current: "/tmp/bench_current.json".to_string(),
             tolerance: 0.15,
             control: "VFDT (MC)".to_string(),
@@ -104,17 +118,45 @@ struct CellMetrics {
     /// Predict-only `predict_instances_per_sec` (absent in baselines blessed
     /// before the predict-only row existed).
     predict: Option<f64>,
+    /// Worker count pinned for this row (1 = serial). Read from the per-row
+    /// `parallelism` field when present; older files fall back to the
+    /// `"… (nT)"` display-name convention, then to 1.
+    parallelism: usize,
 }
 
-/// `(model, stream) -> metrics` of one bench_throughput JSON file.
-fn load_throughput(path: &str) -> Result<BTreeMap<(String, String), CellMetrics>, String> {
+/// One parsed `bench_throughput` JSON file.
+struct BenchFile {
+    /// `(model, stream) -> metrics` rows.
+    cells: BTreeMap<(String, String), CellMetrics>,
+    /// Core count of the machine the file was produced on
+    /// (`config.available_parallelism`); files from before the field existed
+    /// are conservatively treated as single-core.
+    available_parallelism: usize,
+}
+
+/// Pinned worker count encoded in a row's display name by the
+/// `"… (nT)"` convention (`"DMT (2T)"` → 2); `None` for serial rows.
+fn name_parallelism(model: &str) -> Option<usize> {
+    let open = model.rfind('(')?;
+    let inner = model[open + 1..].strip_suffix(")")?;
+    inner.strip_suffix('T')?.parse().ok()
+}
+
+fn load_throughput(path: &str) -> Result<BenchFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
     let results = json
         .get("results")
         .and_then(|r| r.as_array())
         .ok_or_else(|| format!("{path}: missing results array"))?;
-    let mut out = BTreeMap::new();
+    let available_parallelism = json
+        .get("config")
+        .and_then(|c| c.get("available_parallelism"))
+        .and_then(|v| v.as_f64())
+        .map(|v| v as usize)
+        .unwrap_or(1)
+        .max(1);
+    let mut cells = BTreeMap::new();
     for cell in results {
         let model = cell
             .get("model")
@@ -131,12 +173,26 @@ fn load_throughput(path: &str) -> Result<BTreeMap<(String, String), CellMetrics>
         let predict = cell
             .get("predict_instances_per_sec")
             .and_then(|v| v.as_f64());
-        out.insert(
+        let parallelism = cell
+            .get("parallelism")
+            .and_then(|v| v.as_f64())
+            .map(|v| v as usize)
+            .or_else(|| name_parallelism(model))
+            .unwrap_or(1)
+            .max(1);
+        cells.insert(
             (model.to_string(), stream.to_string()),
-            CellMetrics { train, predict },
+            CellMetrics {
+                train,
+                predict,
+                parallelism,
+            },
         );
     }
-    Ok(out)
+    Ok(BenchFile {
+        cells,
+        available_parallelism,
+    })
 }
 
 /// Accessor pulling one gated metric out of a cell (`None` = not recorded).
@@ -153,9 +209,9 @@ fn run(options: &Options) -> Result<bool, String> {
     // Per-(stream, metric) machine-speed factor from the control model.
     let mut control_ratio: BTreeMap<(String, &str), f64> = BTreeMap::new();
     if !options.control.is_empty() {
-        for ((model, stream), base) in &baseline {
+        for ((model, stream), base) in &baseline.cells {
             if model == &options.control {
-                if let Some(cur) = current.get(&(model.clone(), stream.clone())) {
+                if let Some(cur) = current.cells.get(&(model.clone(), stream.clone())) {
                     for (metric, extract) in METRICS {
                         if let (Some(b), Some(c)) = (extract(base), extract(cur)) {
                             if b > 0.0 {
@@ -174,13 +230,17 @@ fn run(options: &Options) -> Result<bool, String> {
     );
     let mut failed = false;
     let mut compared = 0usize;
-    for ((model, stream), base) in &baseline {
+    for ((model, stream), base) in &baseline.cells {
         if !options.models.iter().any(|m| m == model) {
             continue;
         }
-        let Some(cur) = current.get(&(model.clone(), stream.clone())) else {
+        let Some(cur) = current.cells.get(&(model.clone(), stream.clone())) else {
             return Err(format!("current run misses cell ({model}, {stream})"));
         };
+        // A parallel row the baseline machine could not actually run
+        // concurrently is advisory only: its blessed numbers measure
+        // dispatch overhead, not parallel throughput (see the module docs).
+        let advisory = base.parallelism > baseline.available_parallelism;
         for (metric, extract) in METRICS {
             // A metric is gated only when both files carry it, so old
             // baselines without the predict-only row keep working.
@@ -202,18 +262,18 @@ fn run(options: &Options) -> Result<bool, String> {
             // unchanged model.
             let floor = 1.0 - options.tolerance;
             let ok = raw_ratio >= floor || normalised >= floor;
-            failed |= !ok;
+            failed |= !ok && !advisory;
             compared += 1;
+            let status = if ok {
+                "ok"
+            } else if advisory {
+                "WARN (row workers exceed baseline machine cores)"
+            } else {
+                "REGRESSION"
+            };
             println!(
                 "{:<14}{:<10}{:<9}{:>14.0}{:>14.0}{:>10.3}{:>12.3}  {}",
-                model,
-                stream,
-                metric,
-                base_ips,
-                cur_ips,
-                raw_ratio,
-                normalised,
-                if ok { "ok" } else { "REGRESSION" }
+                model, stream, metric, base_ips, cur_ips, raw_ratio, normalised, status
             );
         }
     }
@@ -242,5 +302,21 @@ fn main() -> ExitCode {
             eprintln!("bench_compare: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::name_parallelism;
+
+    #[test]
+    fn name_parallelism_parses_the_nt_convention() {
+        assert_eq!(name_parallelism("DMT (2T)"), Some(2));
+        assert_eq!(name_parallelism("DMT (16T)"), Some(16));
+        assert_eq!(name_parallelism("DMT (ours)"), None);
+        assert_eq!(name_parallelism("VFDT (MC)"), None);
+        assert_eq!(name_parallelism("FIMT-DD"), None);
+        assert_eq!(name_parallelism("weird (T)"), None);
+        assert_eq!(name_parallelism("weird (-3T)"), None);
     }
 }

@@ -45,7 +45,7 @@ impl Default for Options {
             warmup: 2_000,
             instances: 40_000,
             batch: 100,
-            out: "BENCH_4.json".to_string(),
+            out: "BENCH_5.json".to_string(),
         }
     }
 }
@@ -91,6 +91,9 @@ fn parse_options() -> Options {
 struct CellResult {
     model: String,
     stream: String,
+    /// Worker count pinned for this row (1 = serial). Lets `bench_compare`
+    /// detect rows whose parallelism the baseline machine could not exercise.
+    parallelism: u64,
     instances: u64,
     seconds: f64,
     instances_per_sec: f64,
@@ -106,6 +109,7 @@ impl ToJson for CellResult {
         Json::Obj(vec![
             ("model".to_string(), self.model.to_json()),
             ("stream".to_string(), self.stream.to_json()),
+            ("parallelism".to_string(), self.parallelism.to_json()),
             ("instances".to_string(), self.instances.to_json()),
             ("seconds".to_string(), self.seconds.to_json()),
             (
@@ -188,6 +192,7 @@ fn run_cell(kind: ThroughputModel, stream_name: &str, options: &Options) -> Cell
     CellResult {
         model: kind.display_name(),
         stream: stream_name.to_string(),
+        parallelism: kind.pinned_workers() as u64,
         instances,
         seconds,
         instances_per_sec: instances as f64 / seconds,
@@ -237,6 +242,19 @@ fn main() {
                 ("warmup_instances".to_string(), options.warmup.to_json()),
                 ("timed_instances".to_string(), options.instances.to_json()),
                 ("batch_size".to_string(), options.batch.to_json()),
+                // Core count of the machine this file was produced on. When
+                // a file becomes a blessed baseline, `bench_compare` uses it
+                // to downgrade (warn instead of fail) parallel rows whose
+                // pinned workers the baseline machine could never run
+                // concurrently — a 2T row blessed on one core records
+                // dispatch overhead, not parallel throughput.
+                (
+                    "available_parallelism".to_string(),
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .to_json(),
+                ),
             ]),
         ),
         ("results".to_string(), results.to_json()),

@@ -72,6 +72,17 @@ impl ThroughputModel {
         }
     }
 
+    /// The worker count pinned for this row (1 for every serial row).
+    /// Recorded per row in the bench JSON so `bench_compare` can tell when a
+    /// row's parallelism exceeds the baseline machine's recorded core count
+    /// — in which case a regression on that row is downgraded to a warning.
+    pub fn pinned_workers(&self) -> usize {
+        match self {
+            ThroughputModel::Standard(_) => 1,
+            ThroughputModel::DmtThreads(n) => *n,
+        }
+    }
+
     /// Build the configured classifier for `schema`.
     pub fn build(
         &self,

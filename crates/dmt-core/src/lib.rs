@@ -29,9 +29,10 @@
 //! (struct-of-arrays split keys, [`NodeId`]-based links, free-list slot
 //! reuse on prune); prediction and learning both route whole batches through
 //! it in a single level-by-level pass — see the [`arena`] module docs.
-//! Training can additionally fan disjoint subtree workloads out to scoped
-//! worker threads ([`DmtConfig::parallelism`], [`Parallelism::Threads`]) with
-//! bit-identical results — see the [`parallel`] module docs.
+//! Training and large-batch prediction can additionally fan disjoint
+//! workloads out to a persistent [`WorkerPool`]
+//! ([`DmtConfig::parallelism`], [`Parallelism::Threads`]) with bit-identical
+//! results — see the [`parallel`] module docs.
 //!
 //! ```
 //! use dmt_core::{DmtConfig, DynamicModelTree};
@@ -67,9 +68,9 @@ pub use candidate::{CandidateKey, SplitCandidate};
 pub use explain::{DecisionStep, LeafExplanation};
 pub use export::TreeSummary;
 pub use node::{GainDecision, NodeStats};
-pub use parallel::Parallelism;
+pub use parallel::{Parallelism, WorkerPool, MAX_WORKERS};
 pub use scratch::{PredictScratch, UpdateScratch};
-pub use tree::{DmtConfig, DynamicModelTree};
+pub use tree::{DmtConfig, DynamicModelTree, PREDICT_PARALLEL_THRESHOLD};
 
 // Re-exported so `DmtConfig::batch_mode` can be set without a direct
 // `dmt-models` dependency.

@@ -1,6 +1,6 @@
 //! The public [`DynamicModelTree`] classifier and its configuration.
 
-use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 
 use dmt_models::online::{Complexity, OnlineClassifier};
 use dmt_models::{AicTest, BatchMode, Glm, Rows};
@@ -11,8 +11,14 @@ use crate::explain::{DecisionStep, LeafExplanation};
 use crate::node::{
     learn_at, partition_indices, structural_check_inner, GainDecision, NodeStats, Routing,
 };
-use crate::parallel::{run_scoped, Parallelism};
+use crate::parallel::{Parallelism, WorkerPool};
 use crate::scratch::{ParallelScratch, PredictScratch, UpdateScratch, WorkerSlot};
+
+/// Default for [`DmtConfig::predict_parallel_threshold`]: batches below this
+/// row count predict serially even when a worker pool is available. Routing a
+/// batch costs O(rows · depth) with tiny constants, so fan-out only pays once
+/// a batch is comfortably larger than the dispatch hand-shake.
+pub const PREDICT_PARALLEL_THRESHOLD: usize = 512;
 
 /// Hyperparameters of the Dynamic Model Tree with the defaults proposed in
 /// §V-D of the paper.
@@ -52,13 +58,23 @@ pub struct DmtConfig {
     /// How `learn_batch` distributes disjoint subtree workloads after the
     /// top-level index partition: [`Parallelism::Serial`] (the default) runs
     /// the recursive descent on the calling thread,
-    /// [`Parallelism::Threads`]`(n)` dispatches detached subtrees to up to
-    /// `n` scoped worker threads and merges them deterministically in child
-    /// order. Both settings produce **bit-identical** trees; only wall-clock
-    /// time differs. The default honours the `DMT_PARALLELISM` environment
-    /// variable (see [`Parallelism::from_env`]) so CI can exercise the whole
-    /// suite threaded.
+    /// [`Parallelism::Threads`]`(n)` dispatches detached subtrees to the
+    /// tree's persistent [`WorkerPool`] and merges them deterministically in
+    /// child order. Both settings produce **bit-identical** trees; only
+    /// wall-clock time differs. `Threads(0)` and `Threads(1)` short-circuit
+    /// to the serial path before any pool or queue machinery is touched (no
+    /// pool is ever created). The default honours the `DMT_PARALLELISM`
+    /// environment variable (see [`Parallelism::from_env`]) so CI can
+    /// exercise the whole suite threaded.
     pub parallelism: Parallelism,
+    /// Minimum batch size (rows) before `predict_batch_into` fans contiguous
+    /// row chunks out over the worker pool; smaller batches always predict
+    /// serially. Only relevant with [`Parallelism::Threads`]`(n ≥ 2)` once
+    /// the pool exists (the first parallel `learn_batch` — or
+    /// [`DynamicModelTree::set_worker_pool`] — creates it). Chunked and
+    /// serial prediction are bit-identical: rows are independent and the
+    /// batched GLM kernels are pinned to the scalar path per row.
+    pub predict_parallel_threshold: usize,
 }
 
 impl Default for DmtConfig {
@@ -73,6 +89,7 @@ impl Default for DmtConfig {
             seed: 42,
             batch_mode: BatchMode::default(),
             parallelism: Parallelism::from_env(),
+            predict_parallel_threshold: PREDICT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -122,16 +139,30 @@ pub struct DynamicModelTree {
     /// Pooled worker arenas/scratches of the parallel learn path; empty (and
     /// never grown) while `config.parallelism` is serial.
     par_scratch: ParallelScratch,
-    /// Reusable buffers for the batched prediction routing. Behind a
-    /// `RefCell` because prediction is `&self`; `learn_batch` pre-grows the
+    /// Pool of reusable buffers for the batched prediction routing. Behind a
+    /// `Mutex` because prediction is `&self` and may run concurrently (user
+    /// threads sharing the tree, or the tree's own pool-chunked predict):
+    /// each prediction call pops a scratch — creating a fresh one only when
+    /// the pool is empty — and pushes it back when done, so concurrent and
+    /// re-entrant predictions can never contend on one buffer (the `RefCell`
+    /// this replaces panicked instead). `learn_batch` pre-grows the pooled
     /// buffers to the observed batch dimensions so a steady-state
     /// test-then-train loop predicts without allocating.
-    predict_scratch: RefCell<PredictScratch>,
+    predict_scratch: Mutex<Vec<PredictScratch>>,
+    /// The persistent worker pool of the parallel learn/predict paths.
+    /// Created lazily by the first parallel `learn_batch` (so serial trees
+    /// never spawn a thread), or injected via
+    /// [`DynamicModelTree::set_worker_pool`] to share one pool's resident
+    /// threads between several models. Dropped (threads joined) when the
+    /// last `Arc` owner goes away.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Clone for DynamicModelTree {
     /// Clones the model state (arena, configuration, decision log); the
-    /// scratch spaces start empty and regrow on first use.
+    /// scratch spaces start empty and regrow on first use. A worker pool is
+    /// **shared** with the clone (pools are reference-counted thread sets,
+    /// not model state), so cloning a parallel tree never spawns threads.
     fn clone(&self) -> Self {
         Self {
             config: self.config.clone(),
@@ -143,7 +174,8 @@ impl Clone for DynamicModelTree {
             decisions: self.decisions.clone(),
             scratch: UpdateScratch::new(),
             par_scratch: ParallelScratch::new(),
-            predict_scratch: RefCell::new(PredictScratch::new()),
+            predict_scratch: Mutex::new(Vec::new()),
+            pool: self.pool.clone(),
         }
     }
 }
@@ -168,8 +200,27 @@ impl DynamicModelTree {
             decisions: Vec::new(),
             scratch: UpdateScratch::new(),
             par_scratch: ParallelScratch::new(),
-            predict_scratch: RefCell::new(PredictScratch::new()),
+            predict_scratch: Mutex::new(Vec::new()),
+            pool: None,
         }
+    }
+
+    /// Share a persistent [`WorkerPool`] with this tree: subsequent parallel
+    /// learn/predict batches dispatch onto `pool`'s resident threads instead
+    /// of lazily creating a private pool. Several models (trees, the
+    /// `dmt-ensembles` learners) can hold the same `Arc`; dispatches
+    /// serialise on the pool's job slot and results stay bit-identical
+    /// regardless of who shares it.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The tree's current worker pool, if one exists (lazily created by the
+    /// first parallel `learn_batch`, or injected via
+    /// [`DynamicModelTree::set_worker_pool`]). Hand this to other models to
+    /// share one set of resident threads.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// The configuration in use.
@@ -276,13 +327,22 @@ impl DynamicModelTree {
         // The parallel path covers the hot gathered routing; the per-instance
         // reference (`learn_batch_reference`) always runs the serial
         // recursion, so bit-identity tests compare threaded-hot vs
-        // serial-reference end to end.
+        // serial-reference end to end. `workers == 1` — Serial, Threads(0),
+        // Threads(1) — short-circuits here: no pool is created and no
+        // dispatch machinery runs, so a "parallel" configuration with zero
+        // concurrency pays zero overhead.
         let workers = self.config.parallelism.workers();
-        let decision = if routing == Routing::Gathered
+        let use_parallel = routing == Routing::Gathered
             && workers >= 2
             && !indices.is_empty()
-            && !self.arena.is_leaf(self.root)
-        {
+            && !self.arena.is_leaf(self.root);
+        if use_parallel && self.pool.is_none() {
+            // Lazily spawn the persistent pool on the first batch that can
+            // actually use it; it is reused for every later batch (and by
+            // pool-chunked prediction) until the tree is dropped.
+            self.pool = Some(Arc::new(WorkerPool::new(workers)));
+        }
+        let decision = if use_parallel {
             self.learn_batch_parallel(xs, ys, &mut indices, workers)
         } else {
             learn_at(
@@ -301,14 +361,23 @@ impl DynamicModelTree {
         if decision != GainDecision::Keep {
             self.decisions.push((self.observations, decision.clone()));
         }
-        // Pre-grow the prediction scratch for batches of this shape so the
-        // test-then-train loop's predictions are allocation-free.
-        self.predict_scratch.get_mut().prepare(
-            xs.len(),
-            self.schema.num_features(),
-            self.schema.num_classes,
-            self.arena.num_slots(),
-        );
+        // Pre-grow the pooled prediction scratches for batches of this shape
+        // so the test-then-train loop's predictions are allocation-free.
+        let scratches = self
+            .predict_scratch
+            .get_mut()
+            .expect("predict scratch pool poisoned");
+        if scratches.is_empty() {
+            scratches.push(PredictScratch::new());
+        }
+        for scratch in scratches.iter_mut() {
+            scratch.prepare(
+                xs.len(),
+                self.schema.num_features(),
+                self.schema.num_classes,
+                self.arena.num_slots(),
+            );
+        }
         decision
     }
 
@@ -417,7 +486,8 @@ impl DynamicModelTree {
         }
         let nominal_features = &self.nominal_features;
         let config = &self.config;
-        run_scoped(workers, items, |_, (slot, chunk)| {
+        let pool = Arc::clone(self.pool.as_ref().expect("parallel learn without a pool"));
+        pool.run(items, |_, (slot, chunk)| {
             learn_at(
                 &mut slot.arena,
                 NodeArena::FIRST,
@@ -471,10 +541,86 @@ impl DynamicModelTree {
     /// node, then one batched GLM kernel call runs per reached leaf group.
     /// Bit-identical to per-instance descent, allocation-free in steady
     /// state.
+    ///
+    /// Once the tree has a worker pool (the first parallel `learn_batch`
+    /// creates one; [`DynamicModelTree::set_worker_pool`] injects one) and
+    /// the batch reaches [`DmtConfig::predict_parallel_threshold`] rows, the
+    /// batch is split into contiguous row chunks — one per executor — and
+    /// each chunk descends on its own pooled scratch. Rows are independent,
+    /// so chunked prediction is bit-identical to the serial pass.
+    ///
+    /// Safe under concurrent and re-entrant calls: every call (and every
+    /// pool chunk) checks a scratch buffer out of the tree's scratch pool
+    /// and returns it afterwards — no shared mutable state.
     pub fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
-        let mut scratch = self.predict_scratch.borrow_mut();
+        let workers = self.config.parallelism.workers();
+        if let Some(pool) = &self.pool {
+            if workers >= 2
+                && xs.len() >= self.config.predict_parallel_threshold.max(2)
+                && !self.arena.is_leaf(self.root)
+            {
+                return self.predict_batch_parallel(pool, xs, out, workers);
+            }
+        }
+        let mut scratch = self.checkout_predict_scratch();
         self.arena
             .predict_batch_into(self.root, xs, out, &mut scratch);
+        self.return_predict_scratch(scratch);
+    }
+
+    /// The pool-chunked form of [`DynamicModelTree::predict_batch_into`]:
+    /// split the batch into `workers` contiguous row chunks (sizes differ by
+    /// at most one row, largest first — fully deterministic), fan them out
+    /// over the pool, and let each chunk route level-by-level with its own
+    /// checked-out scratch. The output slices are disjoint `split_at_mut`
+    /// views, so workers never share mutable state.
+    fn predict_batch_parallel(
+        &self,
+        pool: &Arc<WorkerPool>,
+        xs: Rows<'_>,
+        out: &mut [usize],
+        workers: usize,
+    ) {
+        let n = xs.len();
+        let chunks = workers.min(pool.executors()).min(n).max(1);
+        let mut items: Vec<(Rows<'_>, &mut [usize])> = Vec::with_capacity(chunks);
+        let mut rest_x: Rows<'_> = xs;
+        let mut rest_out: &mut [usize] = out;
+        for c in 0..chunks {
+            let len = n / chunks + usize::from(c < n % chunks);
+            let (chunk_x, rx) = rest_x.split_at(len);
+            let (chunk_out, ro) = std::mem::take(&mut rest_out).split_at_mut(len);
+            rest_x = rx;
+            rest_out = ro;
+            items.push((chunk_x, chunk_out));
+        }
+        pool.run(items, |_, (chunk_x, chunk_out)| {
+            let mut scratch = self.checkout_predict_scratch();
+            self.arena
+                .predict_batch_into(self.root, chunk_x, chunk_out, &mut scratch);
+            self.return_predict_scratch(scratch);
+        });
+    }
+
+    /// Pop a prediction scratch from the tree's pool, or create a fresh one
+    /// when all pooled buffers are checked out (first use, or more
+    /// concurrent predictions than ever before — the returned buffer joins
+    /// the pool afterwards, so the pool's size converges on the peak
+    /// concurrency and steady state never allocates).
+    fn checkout_predict_scratch(&self) -> PredictScratch {
+        self.predict_scratch
+            .lock()
+            .expect("predict scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a checked-out prediction scratch to the pool.
+    fn return_predict_scratch(&self, scratch: PredictScratch) {
+        self.predict_scratch
+            .lock()
+            .expect("predict scratch pool poisoned")
+            .push(scratch);
     }
 }
 

@@ -14,7 +14,23 @@
 //!
 //! Following §VI-C of the paper the forest uses 3 weak learners configured
 //! like the stand-alone VFDT.
+//!
+//! # Parallel member training
+//!
+//! Unlike Leveraging Bagging, the ARF update has **no** cross-member step at
+//! all — warnings, background trees and drift replacements are decided and
+//! applied per member. Each member owns a private deterministic RNG stream
+//! (seeded from `config.seed` and the member index) feeding its Poisson
+//! weighting *and* its subspace re-draws, so members never share mutable
+//! state and `learn_batch` can fan them out over a persistent
+//! [`WorkerPool`] ([`Parallelism::Threads`]`(n ≥ 2)`, pool shared via
+//! [`AdaptiveRandomForest::set_worker_pool`] or created lazily) with results
+//! **bit-identical** to the serial member-order loop — pinned by
+//! `tests/integration_parallel.rs`.
 
+use std::sync::Arc;
+
+use dmt_core::{Parallelism, WorkerPool};
 use dmt_drift::{Adwin, DriftDetector};
 use dmt_models::online::{Complexity, OnlineClassifier};
 use dmt_models::Rows;
@@ -25,6 +41,8 @@ use rand::SeedableRng;
 use rand_distr::{Distribution, Poisson};
 
 use dmt_baselines::vfdt::{HoeffdingTreeClassifier, VfdtConfig};
+
+use crate::member_stream_seed;
 
 /// Configuration of the Adaptive Random Forest.
 #[derive(Debug, Clone)]
@@ -41,8 +59,14 @@ pub struct ArfConfig {
     pub drift_delta: f64,
     /// Configuration of the weak Hoeffding trees.
     pub base_config: VfdtConfig,
-    /// Seed for subspace sampling and Poisson weighting.
+    /// Seed for subspace sampling and the per-member Poisson streams.
     pub seed: u64,
+    /// How `learn_batch` trains the members: serially in member order, or
+    /// fanned out over a persistent [`WorkerPool`] ([`Parallelism::Threads`]).
+    /// Members are fully independent, so both settings are **bit-identical**;
+    /// only wall-clock time differs. The default honours `DMT_PARALLELISM`
+    /// (see [`Parallelism::from_env`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for ArfConfig {
@@ -55,18 +79,24 @@ impl Default for ArfConfig {
             drift_delta: 0.001,
             base_config: VfdtConfig::majority_class(),
             seed: 13,
+            parallelism: Parallelism::from_env(),
         }
     }
 }
 
-/// One forest member: a tree over a feature subspace plus its detectors and
-/// optional background tree.
+/// One forest member: a tree over a feature subspace plus its detectors,
+/// optional background tree and private RNG stream. Everything a member
+/// touches during batch training lives here, which is what makes member
+/// training embarrassingly parallel.
 struct ForestMember {
     tree: HoeffdingTreeClassifier,
     subspace: Vec<usize>,
     warning: Adwin,
     drift: Adwin,
     background: Option<(HoeffdingTreeClassifier, Vec<usize>)>,
+    /// Private stream feeding this member's Poisson weighting and subspace
+    /// re-draws; deterministic per member, survives member resets.
+    rng: StdRng,
 }
 
 impl ForestMember {
@@ -80,6 +110,65 @@ impl ForestMember {
         out.clear();
         out.extend(self.subspace.iter().map(|&i| x[i]));
     }
+
+    /// Present every instance of the batch to this member: prequential error
+    /// into both detectors, warning-triggered background tree, Poisson
+    /// presentations and drift-triggered reset. Touches only member-local
+    /// state (the subspace draws come from the member's own RNG).
+    fn train_on_batch(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+        schema: &StreamSchema,
+        config: &ArfConfig,
+    ) {
+        let poisson = Poisson::new(config.lambda).expect("lambda > 0");
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let projected = self.project(x);
+            let error = if self.tree.predict(&projected) == y {
+                0.0
+            } else {
+                1.0
+            };
+            let warning = self.warning.update(error);
+            let drift = self.drift.update(error);
+
+            if warning && self.background.is_none() {
+                let subspace = AdaptiveRandomForest::draw_subspace(schema, config, &mut self.rng);
+                let tree = HoeffdingTreeClassifier::new(
+                    AdaptiveRandomForest::projected_schema(schema, &subspace),
+                    config.base_config.clone(),
+                );
+                self.background = Some((tree, subspace));
+            }
+
+            let k = poisson.sample(&mut self.rng) as usize;
+            for _ in 0..k {
+                self.tree.learn_one(&projected, y);
+                if let Some((background, subspace)) = self.background.as_mut() {
+                    let projected_bg: Vec<f64> = subspace.iter().map(|&i| x[i]).collect();
+                    background.learn_one(&projected_bg, y);
+                }
+            }
+
+            if drift {
+                if let Some((background, subspace)) = self.background.take() {
+                    self.tree = background;
+                    self.subspace = subspace;
+                } else {
+                    let subspace =
+                        AdaptiveRandomForest::draw_subspace(schema, config, &mut self.rng);
+                    self.tree = HoeffdingTreeClassifier::new(
+                        AdaptiveRandomForest::projected_schema(schema, &subspace),
+                        config.base_config.clone(),
+                    );
+                    self.subspace = subspace;
+                }
+                self.warning = Adwin::new(config.warning_delta);
+                self.drift = Adwin::new(config.drift_delta);
+            }
+        }
+    }
 }
 
 /// The Adaptive Random Forest classifier.
@@ -87,25 +176,56 @@ pub struct AdaptiveRandomForest {
     config: ArfConfig,
     schema: StreamSchema,
     members: Vec<ForestMember>,
-    rng: StdRng,
     observations: u64,
+    /// Persistent worker pool of the parallel member-training path; created
+    /// lazily (or injected via [`AdaptiveRandomForest::set_worker_pool`]) and
+    /// never materialised in serial mode.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl AdaptiveRandomForest {
     /// Create a forest for the given schema.
     pub fn new(schema: StreamSchema, config: ArfConfig) -> Self {
         assert!(config.ensemble_size >= 1, "need at least one member");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Initial subspaces come from one construction-time stream (drawn in
+        // member order); each member then continues on its own stream.
+        let mut init_rng = StdRng::seed_from_u64(config.seed);
         let members = (0..config.ensemble_size)
-            .map(|_| Self::fresh_member(&schema, &config, &mut rng))
+            .map(|i| {
+                let subspace = Self::draw_subspace(&schema, &config, &mut init_rng);
+                let tree = HoeffdingTreeClassifier::new(
+                    Self::projected_schema(&schema, &subspace),
+                    config.base_config.clone(),
+                );
+                ForestMember {
+                    tree,
+                    subspace,
+                    warning: Adwin::new(config.warning_delta),
+                    drift: Adwin::new(config.drift_delta),
+                    background: None,
+                    rng: StdRng::seed_from_u64(member_stream_seed(config.seed, i as u64)),
+                }
+            })
             .collect();
         Self {
             config,
             schema,
             members,
-            rng,
             observations: 0,
+            pool: None,
         }
+    }
+
+    /// Share a persistent [`WorkerPool`] with this forest: parallel member
+    /// training dispatches onto `pool`'s resident threads instead of lazily
+    /// creating a private pool.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The forest's current worker pool, if one exists.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     fn subspace_size(schema: &StreamSchema, config: &ArfConfig) -> usize {
@@ -134,21 +254,6 @@ impl AdaptiveRandomForest {
             features,
             schema.num_classes,
         )
-    }
-
-    fn fresh_member(schema: &StreamSchema, config: &ArfConfig, rng: &mut StdRng) -> ForestMember {
-        let subspace = Self::draw_subspace(schema, config, rng);
-        let tree = HoeffdingTreeClassifier::new(
-            Self::projected_schema(schema, &subspace),
-            config.base_config.clone(),
-        );
-        ForestMember {
-            tree,
-            subspace,
-            warning: Adwin::new(config.warning_delta),
-            drift: Adwin::new(config.drift_delta),
-            background: None,
-        }
     }
 
     /// Number of ensemble members.
@@ -189,54 +294,35 @@ impl AdaptiveRandomForest {
         votes
     }
 
-    /// Learn one instance.
+    /// Learn one instance (a batch of one; the ARF update is member-local, so
+    /// batch and instance granularity coincide exactly).
     pub fn learn_one(&mut self, x: &[f64], y: usize) {
-        self.observations += 1;
-        let poisson = Poisson::new(self.config.lambda).expect("lambda > 0");
-        let schema = self.schema.clone();
-        let config = self.config.clone();
-        for member in self.members.iter_mut() {
-            let projected = member.project(x);
-            let error = if member.tree.predict(&projected) == y {
-                0.0
-            } else {
-                1.0
-            };
-            let warning = member.warning.update(error);
-            let drift = member.drift.update(error);
+        self.learn_batch(&[x], &[y]);
+    }
 
-            if warning && member.background.is_none() {
-                let subspace = Self::draw_subspace(&schema, &config, &mut self.rng);
-                let tree = HoeffdingTreeClassifier::new(
-                    Self::projected_schema(&schema, &subspace),
-                    config.base_config.clone(),
-                );
-                member.background = Some((tree, subspace));
+    /// Train every member on the batch — serially, or fanned out over the
+    /// worker pool. The ARF update has no cross-member step, so both paths
+    /// are bit-identical.
+    fn train_members(&mut self, xs: Rows<'_>, ys: &[usize]) {
+        let schema = &self.schema;
+        let config = &self.config;
+        // More executors than members would only spawn permanently idle
+        // threads — one dispatch item exists per member. Tiny batches (the
+        // per-instance `learn_one` loop above all) stay on the serial member
+        // loop: their member work is cheaper than a dispatch hand-shake.
+        let workers = config.parallelism.workers().min(self.members.len());
+        if workers >= 2 && xs.len() >= crate::MEMBER_PARALLEL_MIN_ROWS {
+            if self.pool.is_none() {
+                self.pool = Some(Arc::new(WorkerPool::new(workers)));
             }
-
-            let k = poisson.sample(&mut self.rng) as usize;
-            for _ in 0..k {
-                member.tree.learn_one(&projected, y);
-                if let Some((background, subspace)) = member.background.as_mut() {
-                    let projected_bg: Vec<f64> = subspace.iter().map(|&i| x[i]).collect();
-                    background.learn_one(&projected_bg, y);
-                }
-            }
-
-            if drift {
-                if let Some((background, subspace)) = member.background.take() {
-                    member.tree = background;
-                    member.subspace = subspace;
-                } else {
-                    let subspace = Self::draw_subspace(&schema, &config, &mut self.rng);
-                    member.tree = HoeffdingTreeClassifier::new(
-                        Self::projected_schema(&schema, &subspace),
-                        config.base_config.clone(),
-                    );
-                    member.subspace = subspace;
-                }
-                member.warning = Adwin::new(config.warning_delta);
-                member.drift = Adwin::new(config.drift_delta);
+            let pool = Arc::clone(self.pool.as_ref().expect("pool just ensured"));
+            let items: Vec<&mut ForestMember> = self.members.iter_mut().collect();
+            pool.run(items, |_, member| {
+                member.train_on_batch(xs, ys, schema, config)
+            });
+        } else {
+            for member in self.members.iter_mut() {
+                member.train_on_batch(xs, ys, schema, config);
             }
         }
     }
@@ -260,9 +346,9 @@ impl OnlineClassifier for AdaptiveRandomForest {
     }
 
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
-        for (x, &y) in xs.iter().zip(ys.iter()) {
-            self.learn_one(x, y);
-        }
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have the same length");
+        self.observations += xs.len() as u64;
+        self.train_members(xs, ys);
     }
 
     fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
@@ -397,5 +483,28 @@ mod tests {
             ..ArfConfig::default()
         };
         let _ = AdaptiveRandomForest::new(sea_schema(), config);
+    }
+
+    #[test]
+    fn learn_one_equals_a_batch_of_one() {
+        // The ARF update is member-local with no batch-boundary step, so
+        // feeding instances one by one must equal feeding them as
+        // single-row batches bit-for-bit.
+        let mut a = AdaptiveRandomForest::new(sea_schema(), ArfConfig::default());
+        let mut b = AdaptiveRandomForest::new(sea_schema(), ArfConfig::default());
+        let mut gen = SeaGenerator::new(0, 0.0, 23);
+        for _ in 0..500 {
+            let inst = gen.next_instance().unwrap();
+            a.learn_one(&inst.x, inst.y);
+            b.learn_batch(&[inst.x.as_slice()], &[inst.y]);
+        }
+        let mut probe_gen = SeaGenerator::new(0, 0.0, 24);
+        for _ in 0..50 {
+            let inst = probe_gen.next_instance().unwrap();
+            let (pa, pb) = (a.predict_proba(&inst.x), b.predict_proba(&inst.x));
+            for (va, vb) in pa.iter().zip(pb.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
     }
 }

@@ -3,9 +3,30 @@
 //! Online bagging where each incoming instance is presented to every ensemble
 //! member `k ~ Poisson(λ)` times with λ = 6 (more aggressive resampling than
 //! Oza bagging's λ = 1). Every member carries an ADWIN detector on its
-//! prequential error; when the detector fires, the *worst* member is replaced
-//! by a fresh tree. Predictions are combined by majority vote.
+//! prequential error; when any detector fires, the *worst* member (highest
+//! estimated error) is replaced by a fresh tree. Predictions are combined by
+//! majority vote.
+//!
+//! # Batch semantics and parallel member training
+//!
+//! Members train **independently**: each member owns its tree, its ADWIN
+//! detector and its *own* deterministic RNG stream (seeded from
+//! `config.seed` and the member index), so presenting a batch to member A
+//! never reads or advances member B's state. `learn_batch` therefore runs
+//! member-major — each member consumes the whole batch instance-by-instance —
+//! and the only cross-member step, the drift-triggered replacement of the
+//! worst member, happens once at the **batch boundary** (for single-instance
+//! batches this coincides with the classic per-instance rule). Member order
+//! never matters, which is what makes the pooled mode bit-identical:
+//! with [`Parallelism::Threads`]`(n ≥ 2)` the members fan out over a
+//! persistent [`WorkerPool`] (shared with other models via
+//! [`LeveragingBagging::set_worker_pool`], or created lazily) and the
+//! resulting ensemble is **bit-identical** to a serial run — pinned by
+//! `tests/integration_parallel.rs`.
 
+use std::sync::Arc;
+
+use dmt_core::{Parallelism, WorkerPool};
 use dmt_drift::{Adwin, DriftDetector};
 use dmt_models::online::{Complexity, OnlineClassifier};
 use dmt_models::Rows;
@@ -15,6 +36,8 @@ use rand::SeedableRng;
 use rand_distr::{Distribution, Poisson};
 
 use dmt_baselines::vfdt::{HoeffdingTreeClassifier, VfdtConfig};
+
+use crate::member_stream_seed;
 
 /// Configuration of the Leveraging Bagging ensemble.
 #[derive(Debug, Clone)]
@@ -27,8 +50,14 @@ pub struct LeveragingBaggingConfig {
     pub adwin_delta: f64,
     /// Configuration of the weak Hoeffding trees.
     pub base_config: VfdtConfig,
-    /// Seed for the Poisson sampling.
+    /// Seed for the per-member Poisson sampling streams.
     pub seed: u64,
+    /// How `learn_batch` trains the members: serially in member order, or
+    /// fanned out over a persistent [`WorkerPool`] ([`Parallelism::Threads`]).
+    /// Members are independent given their private RNG streams, so both
+    /// settings are **bit-identical**; only wall-clock time differs. The
+    /// default honours `DMT_PARALLELISM` (see [`Parallelism::from_env`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for LeveragingBaggingConfig {
@@ -39,6 +68,41 @@ impl Default for LeveragingBaggingConfig {
             adwin_delta: 0.002,
             base_config: VfdtConfig::majority_class(),
             seed: 7,
+            parallelism: Parallelism::from_env(),
+        }
+    }
+}
+
+/// One ensemble member: its tree, its drift detector, its private RNG stream
+/// and the batch-local drift flag. Everything a member touches during batch
+/// training lives here, which is what makes member training embarrassingly
+/// parallel.
+struct BaggingMember {
+    tree: HoeffdingTreeClassifier,
+    detector: Adwin,
+    /// Private Poisson sampling stream; deterministic per member, survives
+    /// member replacement (the tree resets, the stream continues).
+    rng: StdRng,
+    /// Whether this member's detector fired during the current batch;
+    /// consumed by the serial batch-boundary replacement step.
+    drifted: bool,
+}
+
+impl BaggingMember {
+    /// Present every instance of the batch to this member: prequential error
+    /// into the detector, then `k ~ Poisson(λ)` training presentations.
+    /// Touches only member-local state.
+    fn train_on_batch(&mut self, xs: Rows<'_>, ys: &[usize], lambda: f64) {
+        let poisson = Poisson::new(lambda).expect("lambda > 0");
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let error = if self.tree.predict(x) == y { 0.0 } else { 1.0 };
+            if self.detector.update(error) {
+                self.drifted = true;
+            }
+            let k = poisson.sample(&mut self.rng) as usize;
+            for _ in 0..k {
+                self.tree.learn_one(x, y);
+            }
         }
     }
 }
@@ -47,10 +111,12 @@ impl Default for LeveragingBaggingConfig {
 pub struct LeveragingBagging {
     config: LeveragingBaggingConfig,
     schema: StreamSchema,
-    members: Vec<HoeffdingTreeClassifier>,
-    detectors: Vec<Adwin>,
-    rng: StdRng,
+    members: Vec<BaggingMember>,
     observations: u64,
+    /// Persistent worker pool of the parallel member-training path; created
+    /// lazily (or injected via [`LeveragingBagging::set_worker_pool`]) and
+    /// never materialised in serial mode.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl LeveragingBagging {
@@ -58,20 +124,32 @@ impl LeveragingBagging {
     pub fn new(schema: StreamSchema, config: LeveragingBaggingConfig) -> Self {
         assert!(config.ensemble_size >= 1, "need at least one member");
         let members = (0..config.ensemble_size)
-            .map(|_| HoeffdingTreeClassifier::new(schema.clone(), config.base_config.clone()))
+            .map(|i| BaggingMember {
+                tree: HoeffdingTreeClassifier::new(schema.clone(), config.base_config.clone()),
+                detector: Adwin::new(config.adwin_delta),
+                rng: StdRng::seed_from_u64(member_stream_seed(config.seed, i as u64)),
+                drifted: false,
+            })
             .collect();
-        let detectors = (0..config.ensemble_size)
-            .map(|_| Adwin::new(config.adwin_delta))
-            .collect();
-        let rng = StdRng::seed_from_u64(config.seed);
         Self {
             config,
             schema,
             members,
-            detectors,
-            rng,
             observations: 0,
+            pool: None,
         }
+    }
+
+    /// Share a persistent [`WorkerPool`] with this ensemble: parallel member
+    /// training dispatches onto `pool`'s resident threads instead of lazily
+    /// creating a private pool.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The ensemble's current worker pool, if one exists.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// Number of ensemble members.
@@ -88,7 +166,7 @@ impl LeveragingBagging {
     fn vote_into(&self, x: &[f64], votes: &mut [f64], proba: &mut [f64]) {
         votes.fill(0.0);
         for member in &self.members {
-            member.predict_proba_into(x, proba);
+            member.tree.predict_proba_into(x, proba);
             for (v, p) in votes.iter_mut().zip(proba.iter()) {
                 *v += p;
             }
@@ -112,44 +190,64 @@ impl LeveragingBagging {
     }
 
     /// Learn one instance: Poisson-weighted presentation to every member plus
-    /// ADWIN-triggered resets.
+    /// the ADWIN-triggered worst-member replacement. Equivalent to a batch of
+    /// one (see the module docs' batch semantics).
     pub fn learn_one(&mut self, x: &[f64], y: usize) {
-        self.observations += 1;
-        let poisson = Poisson::new(self.config.lambda).expect("lambda > 0");
-        let mut drift_member: Option<usize> = None;
-        for (i, (member, detector)) in self
+        self.learn_batch(&[x], &[y]);
+    }
+
+    /// Train every member on the batch — serially, or fanned out over the
+    /// worker pool. Member training is member-local, so both paths are
+    /// bit-identical.
+    fn train_members(&mut self, xs: Rows<'_>, ys: &[usize]) {
+        let lambda = self.config.lambda;
+        // More executors than members would only spawn permanently idle
+        // threads — one dispatch item exists per member. Tiny batches (the
+        // per-instance `learn_one` loop above all) stay on the serial member
+        // loop: their member work is cheaper than a dispatch hand-shake.
+        let workers = self.config.parallelism.workers().min(self.members.len());
+        if workers >= 2 && xs.len() >= crate::MEMBER_PARALLEL_MIN_ROWS {
+            if self.pool.is_none() {
+                self.pool = Some(Arc::new(WorkerPool::new(workers)));
+            }
+            let pool = Arc::clone(self.pool.as_ref().expect("pool just ensured"));
+            let items: Vec<&mut BaggingMember> = self.members.iter_mut().collect();
+            pool.run(items, |_, member| member.train_on_batch(xs, ys, lambda));
+        } else {
+            for member in self.members.iter_mut() {
+                member.train_on_batch(xs, ys, lambda);
+            }
+        }
+    }
+
+    /// The serial batch-boundary step: if any member's detector fired during
+    /// the batch, replace the member with the highest estimated error by a
+    /// fresh tree and detector (its RNG stream continues, keeping the
+    /// replacement deterministic).
+    fn replace_after_drift(&mut self) {
+        let mut drifted = false;
+        for member in self.members.iter_mut() {
+            drifted |= member.drifted;
+            member.drifted = false;
+        }
+        if !drifted {
+            return;
+        }
+        let worst = self
             .members
-            .iter_mut()
-            .zip(self.detectors.iter_mut())
+            .iter()
             .enumerate()
-        {
-            // Prequential error of this member, fed to its ADWIN.
-            let error = if member.predict(x) == y { 0.0 } else { 1.0 };
-            if detector.update(error) && drift_member.is_none() {
-                drift_member = Some(i);
-            }
-            let k = poisson.sample(&mut self.rng) as usize;
-            for _ in 0..k {
-                member.learn_one(x, y);
-            }
-        }
-        if let Some(_trigger) = drift_member {
-            // Replace the member with the highest estimated error.
-            let worst = self
-                .detectors
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    a.mean()
-                        .partial_cmp(&b.mean())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            self.members[worst] =
-                HoeffdingTreeClassifier::new(self.schema.clone(), self.config.base_config.clone());
-            self.detectors[worst] = Adwin::new(self.config.adwin_delta);
-        }
+            .max_by(|(_, a), (_, b)| {
+                a.detector
+                    .mean()
+                    .partial_cmp(&b.detector.mean())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.members[worst].tree =
+            HoeffdingTreeClassifier::new(self.schema.clone(), self.config.base_config.clone());
+        self.members[worst].detector = Adwin::new(self.config.adwin_delta);
     }
 }
 
@@ -171,9 +269,10 @@ impl OnlineClassifier for LeveragingBagging {
     }
 
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
-        for (x, &y) in xs.iter().zip(ys.iter()) {
-            self.learn_one(x, y);
-        }
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have the same length");
+        self.observations += xs.len() as u64;
+        self.train_members(xs, ys);
+        self.replace_after_drift();
     }
 
     fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
@@ -190,7 +289,7 @@ impl OnlineClassifier for LeveragingBagging {
     fn complexity(&self) -> Complexity {
         let mut total = Complexity::default();
         for member in &self.members {
-            let c = member.complexity();
+            let c = member.tree.complexity();
             total.splits += c.splits;
             total.parameters += c.parameters;
         }
@@ -272,5 +371,27 @@ mod tests {
         let batch = gen.next_batch(100).unwrap();
         ensemble.learn_batch(&batch.rows(), &batch.ys);
         assert_eq!(ensemble.observations, 100);
+    }
+
+    #[test]
+    fn learn_one_equals_a_batch_of_one() {
+        // Two ensembles, one fed instance-by-instance, one fed the same
+        // instances as single-row batches: identical by construction.
+        let mut a = LeveragingBagging::new(sea_schema(), LeveragingBaggingConfig::default());
+        let mut b = LeveragingBagging::new(sea_schema(), LeveragingBaggingConfig::default());
+        let mut gen = SeaGenerator::new(0, 0.0, 17);
+        for _ in 0..500 {
+            let inst = gen.next_instance().unwrap();
+            a.learn_one(&inst.x, inst.y);
+            b.learn_batch(&[inst.x.as_slice()], &[inst.y]);
+        }
+        let mut probe_gen = SeaGenerator::new(0, 0.0, 18);
+        for _ in 0..50 {
+            let inst = probe_gen.next_instance().unwrap();
+            let (pa, pb) = (a.predict_proba(&inst.x), b.predict_proba(&inst.x));
+            for (va, vb) in pa.iter().zip(pb.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
     }
 }

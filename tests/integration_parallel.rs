@@ -1,17 +1,24 @@
-//! Parallel-learn contracts of the Dynamic Model Tree: with
-//! `Parallelism::Threads(n)` the tree must be **bit-identical** to the serial
-//! path — same structure, same split keys, same model parameters, same window
-//! accumulators, same candidate pools and same root decisions — for every
-//! worker count, batch size and structural history.
+//! Parallel contracts of the persistent worker pool: with
+//! `Parallelism::Threads(n)` every pooled call site — DMT subtree learning,
+//! pool-chunked batch prediction, and bagging/ARF ensemble member training —
+//! must be **bit-identical** to its serial path for every worker count,
+//! batch size and structural history.
 //!
 //! The matrix pins workers 1/2/4 × batch sizes 1/7/64 on a deterministic
 //! step-plus-drift stream that forces splits, replacements *and* prunes, plus
-//! proptest random streams. The serial side of each comparison is the
+//! proptest random streams. The serial side of the learn comparison is the
 //! per-instance reference routing (`learn_batch_reference`), so the pin covers
-//! the whole chain: threaded gathered routing == serial gathered routing ==
-//! per-instance reference.
+//! the whole chain: pooled gathered routing == serial gathered routing ==
+//! per-instance reference. Prediction is additionally pinned under the pool's
+//! chunked dispatch and under genuinely concurrent `&self` callers (the
+//! scenario the old `RefCell` scratch panicked on), and the arena's
+//! no-leak/no-orphan invariants are pinned across repeated
+//! detach→split→prune→attach cycles through pooled worker arenas.
+
+use std::sync::Arc;
 
 use dmt::core::{DmtConfig, DynamicModelTree, Parallelism};
+use dmt::ensembles::{AdaptiveRandomForest, ArfConfig, LeveragingBagging, LeveragingBaggingConfig};
 use dmt::models::OnlineClassifier;
 use dmt::stream::schema::StreamSchema;
 use proptest::prelude::*;
@@ -202,6 +209,321 @@ fn oversubscribed_workers_on_a_tiny_tree_are_harmless() {
         threaded.arena().validate(threaded.root_id()).unwrap();
     }
     assert_trees_bit_identical(&threaded, &serial);
+}
+
+#[test]
+fn pooled_chunked_predictions_are_bit_identical() {
+    // Force every batch over the parallel-predict threshold so the pool's
+    // chunked dispatch runs even at batch size 1, and pin it against the
+    // per-instance descent for workers 1/2/4 × batches 1/7/64/2048.
+    for &workers in &PINNED_WORKERS {
+        let schema = StreamSchema::numeric("pooled-predict", 2, 2);
+        let config = DmtConfig {
+            predict_parallel_threshold: 1,
+            ..eager_config(Parallelism::Threads(workers))
+        };
+        let mut tree = DynamicModelTree::new(schema, config);
+        for round in 0..150 {
+            let (xs, ys) = step_batch(round, round / 75, 64);
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, &ys);
+        }
+        assert!(
+            tree.num_inner_nodes() > 0,
+            "workers {workers}: the stream never split, chunked routing untested"
+        );
+        for &batch_size in &[1usize, 7, 64, 2048] {
+            let (xs, _) = step_batch(7_777, 0, batch_size);
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            let mut out = vec![0usize; rows.len()];
+            tree.predict_batch_into(&rows, &mut out);
+            for (x, &predicted) in rows.iter().zip(out.iter()) {
+                assert_eq!(
+                    predicted,
+                    tree.predict(x),
+                    "workers {workers}, batch {batch_size}: chunked predict diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_shared_tree_predictions_are_safe_and_identical() {
+    // Regression test for the predict-scratch `RefCell`: pool-driven and
+    // user-driven concurrent `&self` prediction on one tree must neither
+    // panic nor contend on a shared buffer. Four threads predict the same
+    // batches simultaneously; all must match the serial answer bit-for-bit.
+    let schema = StreamSchema::numeric("concurrent-predict", 2, 2);
+    let config = DmtConfig {
+        predict_parallel_threshold: 1,
+        ..eager_config(Parallelism::Threads(2))
+    };
+    let mut tree = DynamicModelTree::new(schema, config);
+    for round in 0..150 {
+        let (xs, ys) = step_batch(round, round / 75, 64);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        tree.learn_batch(&rows, &ys);
+    }
+    let (xs, _) = step_batch(4_242, 1, 512);
+    let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+    let mut expected = vec![0usize; rows.len()];
+    tree.predict_batch_into(&rows, &mut expected);
+
+    let tree = &tree;
+    let rows = &rows;
+    let expected = &expected;
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let mut out = vec![0usize; rows.len()];
+                    tree.predict_batch_into(rows, &mut out);
+                    assert_eq!(&out, expected, "concurrent prediction diverged");
+                }
+            });
+        }
+    });
+}
+
+/// A concept stream for the ensemble pins: two phases with flipped labels
+/// plus label noise, so the members' ADWIN detectors accumulate error and
+/// (with the loosened deltas below) actually fire mid-run.
+fn ensemble_batch(round: usize, phase: usize, n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let (xs, mut ys) = step_batch(round, phase, n);
+    for (i, y) in ys.iter_mut().enumerate() {
+        if (i * 13 + round * 7).is_multiple_of(11) {
+            *y = 1 - *y;
+        }
+    }
+    (xs, ys)
+}
+
+#[test]
+fn pooled_bagging_is_bit_identical_to_serial() {
+    for &workers in &PINNED_WORKERS {
+        for &batch_size in &PINNED_BATCH_SIZES {
+            let schema = StreamSchema::numeric("pooled-bagging", 2, 2);
+            let config = |parallelism| LeveragingBaggingConfig {
+                adwin_delta: 0.4, // loosened so member replacement fires
+                parallelism,
+                ..LeveragingBaggingConfig::default()
+            };
+            let mut pooled =
+                LeveragingBagging::new(schema.clone(), config(Parallelism::Threads(workers)));
+            let mut serial = LeveragingBagging::new(schema, config(Parallelism::Serial));
+            let rounds = (2_000 / batch_size).max(60);
+            for round in 0..2 * rounds {
+                let (xs, ys) = ensemble_batch(round, round / rounds, batch_size);
+                let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+                pooled.learn_batch(&rows, &ys);
+                serial.learn_batch(&rows, &ys);
+            }
+            assert_ensembles_bit_identical(&pooled, &serial, workers, batch_size);
+        }
+    }
+}
+
+#[test]
+fn pooled_arf_is_bit_identical_to_serial() {
+    for &workers in &PINNED_WORKERS {
+        for &batch_size in &PINNED_BATCH_SIZES {
+            let schema = StreamSchema::numeric("pooled-arf", 2, 2);
+            let config = |parallelism| ArfConfig {
+                warning_delta: 0.3, // loosened so background trees + resets fire
+                drift_delta: 0.2,
+                parallelism,
+                ..ArfConfig::default()
+            };
+            let mut pooled =
+                AdaptiveRandomForest::new(schema.clone(), config(Parallelism::Threads(workers)));
+            let mut serial = AdaptiveRandomForest::new(schema, config(Parallelism::Serial));
+            let rounds = (2_000 / batch_size).max(60);
+            for round in 0..2 * rounds {
+                let (xs, ys) = ensemble_batch(round, round / rounds, batch_size);
+                let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+                pooled.learn_batch(&rows, &ys);
+                serial.learn_batch(&rows, &ys);
+            }
+            assert_ensembles_bit_identical(&pooled, &serial, workers, batch_size);
+        }
+    }
+}
+
+/// Assert two trained ensembles are observably bit-identical: identical
+/// complexity (member structure) and bit-identical vote distributions on a
+/// probe sweep covering both concept phases.
+fn assert_ensembles_bit_identical<M: OnlineClassifier>(
+    a: &M,
+    b: &M,
+    workers: usize,
+    batch_size: usize,
+) {
+    let (ca, cb) = (a.complexity(), b.complexity());
+    assert_eq!(
+        ca.splits.to_bits(),
+        cb.splits.to_bits(),
+        "workers {workers}, batch {batch_size}: member structures diverged"
+    );
+    assert_eq!(ca.parameters.to_bits(), cb.parameters.to_bits());
+    for round in 0..4 {
+        let (xs, _) = ensemble_batch(9_000 + round, round % 2, 32);
+        for x in &xs {
+            let (pa, pb) = (a.predict_proba(x), b.predict_proba(x));
+            for (va, vb) in pa.iter().zip(pb.iter()) {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "workers {workers}, batch {batch_size}: votes diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn models_share_one_worker_pool() {
+    // One pool's resident threads serve the tree AND both ensembles; results
+    // stay bit-identical to private-pool (and serial) runs.
+    let schema = StreamSchema::numeric("shared-pool", 2, 2);
+    let mut tree = DynamicModelTree::new(schema.clone(), eager_config(Parallelism::Threads(2)));
+    let (xs, _) = step_batch(0, 0, 64);
+    let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+    for round in 0..120 {
+        let (xs, ys) = step_batch(round, 0, 64);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        tree.learn_batch(&rows, &ys);
+    }
+    let pool = Arc::clone(tree.worker_pool().expect("parallel learn created the pool"));
+
+    let bagging_config = |parallelism| LeveragingBaggingConfig {
+        adwin_delta: 0.4,
+        parallelism,
+        ..LeveragingBaggingConfig::default()
+    };
+    let mut shared =
+        LeveragingBagging::new(schema.clone(), bagging_config(Parallelism::Threads(2)));
+    shared.set_worker_pool(Arc::clone(&pool));
+    let mut serial = LeveragingBagging::new(schema.clone(), bagging_config(Parallelism::Serial));
+
+    let arf_config = |parallelism| ArfConfig {
+        parallelism,
+        ..ArfConfig::default()
+    };
+    let mut shared_arf =
+        AdaptiveRandomForest::new(schema.clone(), arf_config(Parallelism::Threads(2)));
+    shared_arf.set_worker_pool(Arc::clone(&pool));
+    let mut serial_arf = AdaptiveRandomForest::new(schema, arf_config(Parallelism::Serial));
+
+    for round in 0..120 {
+        let (xs, ys) = ensemble_batch(round, round / 60, 32);
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        tree.learn_batch(&rows, &ys);
+        shared.learn_batch(&rows, &ys);
+        serial.learn_batch(&rows, &ys);
+        shared_arf.learn_batch(&rows, &ys);
+        serial_arf.learn_batch(&rows, &ys);
+    }
+    assert!(Arc::ptr_eq(
+        shared.worker_pool().expect("pool was injected"),
+        &pool
+    ));
+    assert!(Arc::ptr_eq(
+        shared_arf.worker_pool().expect("pool was injected"),
+        &pool
+    ));
+    assert_ensembles_bit_identical(&shared, &serial, 2, 32);
+    assert_ensembles_bit_identical(&shared_arf, &serial_arf, 2, 32);
+    // The tree still answers correctly over the shared pool.
+    let mut out = vec![0usize; rows.len()];
+    tree.predict_batch_into(&rows, &mut out);
+    for (x, &predicted) in rows.iter().zip(out.iter()) {
+        assert_eq!(predicted, tree.predict(x));
+    }
+}
+
+#[test]
+fn pooled_worker_cycles_never_leak_arena_slots() {
+    // Repeated detach→split→prune→attach churn through the pooled worker
+    // arenas, pinned against a serial twin on the identical stream:
+    //
+    // * `validate` must never find an orphaned, doubly owned or
+    //   free-but-reachable slot after any pooled batch;
+    // * every slot stays accounted for (`slots == live + free`);
+    // * the pooled arena's capacity must track the serial twin's — if
+    //   detach/attach dropped slots instead of free-listing them, or
+    //   re-grafting bypassed the free-list-first allocator, the pooled
+    //   arena would outgrow the serial one batch after batch.
+    let schema = StreamSchema::numeric("arena-cycles", 2, 2);
+    let mut pooled = DynamicModelTree::new(schema.clone(), eager_config(Parallelism::Threads(4)));
+    let mut serial = DynamicModelTree::new(schema, eager_config(Parallelism::Serial));
+    let rounds_per_phase = 150usize;
+    let mut shrank = false;
+    for cycle in 0..2 {
+        for phase in 0..3 {
+            for round in 0..rounds_per_phase {
+                let step = cycle * 3 * rounds_per_phase + phase * rounds_per_phase + round;
+                let (xs, ys) = step_batch(step, phase, 48);
+                let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+                let nodes_before = pooled.num_inner_nodes();
+                pooled.learn_batch(&rows, &ys);
+                serial.learn_batch(&rows, &ys);
+                shrank |= pooled.num_inner_nodes() < nodes_before;
+                pooled
+                    .arena()
+                    .validate(pooled.root_id())
+                    .unwrap_or_else(|e| panic!("cycle {cycle}, phase {phase}, round {round}: {e}"));
+                let (slots, free) = (pooled.arena().num_slots(), pooled.arena().num_free());
+                let live = pooled.arena().live_count(pooled.root_id());
+                assert_eq!(
+                    slots,
+                    live + free,
+                    "cycle {cycle}, phase {phase}, round {round}: \
+                     {slots} slots ≠ {live} live + {free} free"
+                );
+            }
+        }
+    }
+    assert!(
+        shrank,
+        "the stream never pruned/replaced — the detach→prune→attach cycle went unexercised"
+    );
+    // Structure is bit-identical (pinned elsewhere), so capacity parity is
+    // the leak detector: allow only a small constant of transient slack.
+    let (pooled_slots, serial_slots) = (pooled.arena().num_slots(), serial.arena().num_slots());
+    assert!(
+        pooled_slots <= serial_slots + 16,
+        "pooled arena capacity ({pooled_slots} slots) outgrew the serial twin \
+         ({serial_slots} slots) — detach/attach is leaking slots"
+    );
+}
+
+#[test]
+fn parallelism_parse_covers_the_env_edge_cases() {
+    // The satellite contract for `DMT_PARALLELISM`: unset, empty, zero, one,
+    // garbage and huge values must all resolve safely (the parser is pure —
+    // mutating the process environment would race other tests).
+    assert_eq!(Parallelism::parse(None), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("  ")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("0")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("1")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("serial")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("two")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("-2")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("3.5")), Parallelism::Serial);
+    assert_eq!(Parallelism::parse(Some("2")), Parallelism::Threads(2));
+    assert_eq!(Parallelism::parse(Some(" 8 ")), Parallelism::Threads(8));
+    // Larger than usize: unparsable → serial, never a panic.
+    assert_eq!(
+        Parallelism::parse(Some("99999999999999999999999999")),
+        Parallelism::Serial
+    );
+    // Huge but parsable: accepted, then clamped when resolved, so a stray
+    // env value can never demand an absurd number of threads.
+    let huge = Parallelism::parse(Some("1000000"));
+    assert_eq!(huge, Parallelism::Threads(1_000_000));
+    assert_eq!(huge.workers(), dmt::core::MAX_WORKERS);
 }
 
 proptest! {
