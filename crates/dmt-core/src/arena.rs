@@ -55,6 +55,12 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild an id from a raw slot index (snapshot decoding). The caller
+    /// is responsible for bounds-checking against the owning arena.
+    pub(crate) fn from_raw(raw: u32) -> NodeId {
+        NodeId(raw)
+    }
 }
 
 /// Flat struct-of-arrays node pool of one Dynamic Model Tree.
@@ -299,6 +305,94 @@ impl NodeArena {
     /// Number of currently recycled slots on the free list.
     pub fn num_free(&self) -> usize {
         self.free.len()
+    }
+
+    /// The raw SoA columns `(split_feature, split_value, split_nominal,
+    /// left, right, free)` for snapshot encoding (`crate::snapshot`).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot_columns(&self) -> (&[u32], &[f64], &[bool], &[u32], &[u32], &[u32]) {
+        (
+            &self.split_feature,
+            &self.split_value,
+            &self.split_nominal,
+            &self.left,
+            &self.right,
+            &self.free,
+        )
+    }
+
+    /// The per-slot payload column, aligned with the SoA arrays (snapshot
+    /// encoding).
+    pub(crate) fn stats_column(&self) -> &[NodeStats] {
+        &self.stats
+    }
+
+    /// Rebuild an arena from decoded snapshot columns, enforcing the local
+    /// invariants a hostile file could violate: all columns must have the
+    /// same length, child links must be in bounds and paired (a slot has
+    /// either two children or none), and every free-listed slot must be an
+    /// unlinked leaf listed exactly once. Global invariants (every slot
+    /// reachable exactly once *or* free-listed, no reachable free slot) are
+    /// the caller's job via [`NodeArena::validate`] — they need the root id,
+    /// which the arena does not store.
+    pub(crate) fn from_columns(
+        split_feature: Vec<u32>,
+        split_value: Vec<f64>,
+        split_nominal: Vec<bool>,
+        left: Vec<u32>,
+        right: Vec<u32>,
+        stats: Vec<NodeStats>,
+        free: Vec<u32>,
+    ) -> Result<Self, String> {
+        let slots = stats.len();
+        if split_feature.len() != slots
+            || split_value.len() != slots
+            || split_nominal.len() != slots
+            || left.len() != slots
+            || right.len() != slots
+        {
+            return Err(format!(
+                "column lengths disagree: {} split features, {} split values, {} split kinds, \
+                 {} left links, {} right links, {slots} payloads",
+                split_feature.len(),
+                split_value.len(),
+                split_nominal.len(),
+                left.len(),
+                right.len(),
+            ));
+        }
+        for i in 0..slots {
+            let (l, r) = (left[i], right[i]);
+            if (l == NONE) != (r == NONE) {
+                return Err(format!("slot {i} has exactly one child"));
+            }
+            if l != NONE && (l as usize >= slots || r as usize >= slots) {
+                return Err(format!("slot {i} links to an out-of-bounds child"));
+            }
+        }
+        let mut freed = vec![false; slots];
+        for &slot in &free {
+            let i = slot as usize;
+            if i >= slots {
+                return Err(format!("free slot {slot} out of bounds ({slots} slots)"));
+            }
+            if left[i] != NONE || right[i] != NONE {
+                return Err(format!("free slot {slot} still has children"));
+            }
+            if freed[i] {
+                return Err(format!("slot {slot} free-listed more than once"));
+            }
+            freed[i] = true;
+        }
+        Ok(Self {
+            split_feature,
+            split_value,
+            split_nominal,
+            left,
+            right,
+            stats,
+            free,
+        })
     }
 
     /// Number of live nodes reachable from `root`.

@@ -1,0 +1,84 @@
+//! Typed errors for hostile or malformed batch input.
+//!
+//! The checked entry points ([`crate::DynamicModelTree::try_learn_batch`],
+//! [`crate::DynamicModelTree::try_predict_batch_into`]) validate a batch
+//! *before* any statistic is touched and report violations through
+//! [`DmtError`] instead of panicking mid-update: a rejected batch leaves the
+//! tree exactly as it was, so a stream with occasional bad rows can drop them
+//! and keep learning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a batch was rejected by the checked learn/predict entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmtError {
+    /// `xs` and `ys` (or `xs` and `out`) have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        xs: usize,
+        /// Number of labels (or output slots).
+        ys: usize,
+    },
+    /// The batch contains no rows; there is nothing to learn from.
+    EmptyBatch,
+    /// A row has the wrong number of feature columns for the tree's schema.
+    FeatureDimension {
+        /// Index of the offending row within the batch.
+        row: usize,
+        /// Number of columns the row actually has.
+        got: usize,
+        /// Number of columns the schema requires.
+        expected: usize,
+    },
+    /// A feature value is NaN or infinite. Non-finite values would poison
+    /// every loss/gradient accumulator on the row's path, so they are
+    /// rejected up front.
+    NonFiniteFeature {
+        /// Index of the offending row within the batch.
+        row: usize,
+        /// Index of the offending feature column.
+        feature: usize,
+    },
+    /// A label lies outside the schema's class range.
+    LabelOutOfRange {
+        /// Index of the offending row within the batch.
+        row: usize,
+        /// The offending label.
+        label: usize,
+        /// Number of classes in the schema.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for DmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // The wording "same length" is load-bearing: the panicking
+            // `learn_batch` wrapper surfaces this message and callers assert
+            // on it.
+            DmtError::LengthMismatch { xs, ys } => {
+                write!(f, "xs and ys must have the same length ({xs} vs {ys})")
+            }
+            DmtError::EmptyBatch => write!(f, "batch is empty"),
+            DmtError::FeatureDimension { row, got, expected } => {
+                write!(f, "row {row} has {got} features, schema expects {expected}")
+            }
+            DmtError::NonFiniteFeature { row, feature } => {
+                write!(f, "row {row} has a non-finite value in feature {feature}")
+            }
+            DmtError::LabelOutOfRange {
+                row,
+                label,
+                num_classes,
+            } => {
+                write!(
+                    f,
+                    "row {row} has label {label}, schema has {num_classes} classes"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DmtError {}

@@ -56,20 +56,24 @@
 
 pub mod arena;
 pub mod candidate;
+pub mod error;
 pub mod explain;
 pub mod export;
 pub mod node;
 pub mod parallel;
 pub mod scratch;
+pub mod snapshot;
 pub mod tree;
 
 pub use arena::{NodeArena, NodeId};
 pub use candidate::{CandidateKey, SplitCandidate};
+pub use error::DmtError;
 pub use explain::{DecisionStep, LeafExplanation};
 pub use export::TreeSummary;
 pub use node::{GainDecision, NodeStats};
 pub use parallel::{Parallelism, WorkerPool, MAX_WORKERS};
 pub use scratch::{PredictScratch, UpdateScratch};
+pub use snapshot::SnapshotError;
 pub use tree::{DmtConfig, DynamicModelTree, PREDICT_PARALLEL_THRESHOLD};
 
 // Re-exported so `DmtConfig::batch_mode` can be set without a direct

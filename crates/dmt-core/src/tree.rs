@@ -7,6 +7,7 @@ use dmt_models::{AicTest, BatchMode, Glm, Rows};
 use dmt_stream::schema::StreamSchema;
 
 use crate::arena::{NodeArena, NodeId};
+use crate::error::DmtError;
 use crate::explain::{DecisionStep, LeafExplanation};
 use crate::node::{
     learn_at, partition_indices, structural_check_inner, GainDecision, NodeStats, Routing,
@@ -205,6 +206,37 @@ impl DynamicModelTree {
         }
     }
 
+    /// Rebuild a tree from decoded snapshot state (`crate::snapshot`): the
+    /// model state is taken verbatim, the caches (scratches, prediction
+    /// pool, worker pool) start empty exactly like a fresh clone's.
+    pub(crate) fn from_snapshot_parts(
+        config: DmtConfig,
+        schema: StreamSchema,
+        arena: NodeArena,
+        root: NodeId,
+        observations: u64,
+        decisions: Vec<(u64, GainDecision)>,
+    ) -> Self {
+        let nominal_features = schema
+            .features
+            .iter()
+            .map(|f| f.feature_type.is_nominal())
+            .collect();
+        Self {
+            config,
+            schema,
+            nominal_features,
+            arena,
+            root,
+            observations,
+            decisions,
+            scratch: UpdateScratch::new(),
+            par_scratch: ParallelScratch::new(),
+            predict_scratch: Mutex::new(Vec::new()),
+            pool: None,
+        }
+    }
+
     /// Share a persistent [`WorkerPool`] with this tree: subsequent parallel
     /// learn/predict batches dispatch onto `pool`'s resident threads instead
     /// of lazily creating a private pool. Several models (trees, the
@@ -292,6 +324,80 @@ impl DynamicModelTree {
         LeafExplanation::from_model(path, &self.arena.stats(id).model, x)
     }
 
+    /// Reject rows that would corrupt the update: wrong feature dimension
+    /// (out-of-bounds routing) or non-finite values (NaN/Inf would poison
+    /// every loss/gradient accumulator on the row's path).
+    fn validate_rows(&self, xs: Rows<'_>) -> Result<(), DmtError> {
+        let expected = self.schema.num_features();
+        for (row, x) in xs.iter().enumerate() {
+            if x.len() != expected {
+                return Err(DmtError::FeatureDimension {
+                    row,
+                    got: x.len(),
+                    expected,
+                });
+            }
+            for (feature, &v) in x.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(DmtError::NonFiniteFeature { row, feature });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checked form of [`OnlineClassifier::learn_batch`]: validate the whole
+    /// batch **before** touching any statistic and report hostile input —
+    /// mismatched lengths, an empty batch, wrong feature dimensions,
+    /// non-finite features, out-of-range labels — as a typed [`DmtError`]
+    /// instead of panicking (or worse, poisoning the candidate accumulators
+    /// with NaNs mid-update). On `Err` the tree is exactly as it was, so a
+    /// stream with occasional bad rows can drop them and keep learning.
+    pub fn try_learn_batch(
+        &mut self,
+        xs: Rows<'_>,
+        ys: &[usize],
+    ) -> Result<GainDecision, DmtError> {
+        if xs.len() != ys.len() {
+            return Err(DmtError::LengthMismatch {
+                xs: xs.len(),
+                ys: ys.len(),
+            });
+        }
+        if xs.is_empty() {
+            return Err(DmtError::EmptyBatch);
+        }
+        self.validate_rows(xs)?;
+        let num_classes = self.schema.num_classes;
+        for (row, &label) in ys.iter().enumerate() {
+            if label >= num_classes {
+                return Err(DmtError::LabelOutOfRange {
+                    row,
+                    label,
+                    num_classes,
+                });
+            }
+        }
+        Ok(self.learn_batch_inner(xs, ys, Routing::Gathered))
+    }
+
+    /// Checked form of [`DynamicModelTree::predict_batch_into`]: validate
+    /// shapes and values before descending. An empty batch is fine here
+    /// (there is nothing to predict and nothing to corrupt); mismatched
+    /// output length, wrong feature dimensions and non-finite features are
+    /// typed errors.
+    pub fn try_predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) -> Result<(), DmtError> {
+        if xs.len() != out.len() {
+            return Err(DmtError::LengthMismatch {
+                xs: xs.len(),
+                ys: out.len(),
+            });
+        }
+        self.validate_rows(xs)?;
+        self.predict_batch_into(xs, out);
+        Ok(())
+    }
+
     /// Learn a batch and return the structural decision taken at the **root
     /// node** (useful for monitoring). Only that root-level decision is
     /// appended to [`DynamicModelTree::decision_log`]; structural changes
@@ -363,10 +469,20 @@ impl DynamicModelTree {
         }
         // Pre-grow the pooled prediction scratches for batches of this shape
         // so the test-then-train loop's predictions are allocation-free.
+        // A poisoned pool is not fatal: a panic inside an earlier prediction
+        // may have left a buffer half-prepared, so the pooled buffers (pure
+        // caches) are discarded and rebuilt.
+        if self.predict_scratch.is_poisoned() {
+            self.predict_scratch.clear_poison();
+            self.predict_scratch
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
         let scratches = self
             .predict_scratch
             .get_mut()
-            .expect("predict scratch pool poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if scratches.is_empty() {
             scratches.push(PredictScratch::new());
         }
@@ -602,25 +718,35 @@ impl DynamicModelTree {
         });
     }
 
+    /// Lock the prediction scratch pool, recovering from poisoning instead
+    /// of panicking: prediction is `&self` and must keep working after some
+    /// other call panicked while holding the lock (e.g. a caller-injected
+    /// panic on a worker thread). The pooled buffers are pure caches, so on
+    /// poison they are discarded — the pool refills on subsequent calls.
+    fn lock_predict_pool(&self) -> std::sync::MutexGuard<'_, Vec<PredictScratch>> {
+        match self.predict_scratch.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.predict_scratch.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
     /// Pop a prediction scratch from the tree's pool, or create a fresh one
     /// when all pooled buffers are checked out (first use, or more
     /// concurrent predictions than ever before — the returned buffer joins
     /// the pool afterwards, so the pool's size converges on the peak
     /// concurrency and steady state never allocates).
     fn checkout_predict_scratch(&self) -> PredictScratch {
-        self.predict_scratch
-            .lock()
-            .expect("predict scratch pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        self.lock_predict_pool().pop().unwrap_or_default()
     }
 
     /// Return a checked-out prediction scratch to the pool.
     fn return_predict_scratch(&self, scratch: PredictScratch) {
-        self.predict_scratch
-            .lock()
-            .expect("predict scratch pool poisoned")
-            .push(scratch);
+        self.lock_predict_pool().push(scratch);
     }
 }
 
@@ -645,8 +771,15 @@ impl OnlineClassifier for DynamicModelTree {
         dmt_models::SimpleModel::predict_proba(&self.arena.stats(leaf).model, x)
     }
 
+    /// Panicking wrapper over [`DynamicModelTree::try_learn_batch`] (the
+    /// trait has no error channel): an empty batch is a no-op, every other
+    /// rejection panics with the typed error's message. Streams that cannot
+    /// guarantee clean input should call `try_learn_batch` directly.
     fn learn_batch(&mut self, xs: Rows<'_>, ys: &[usize]) {
-        let _ = self.learn_batch_traced(xs, ys);
+        match self.try_learn_batch(xs, ys) {
+            Ok(_) | Err(DmtError::EmptyBatch) => {}
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn predict_batch_into(&self, xs: Rows<'_>, out: &mut [usize]) {
@@ -846,6 +979,115 @@ mod tests {
         let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
         let x: &[f64] = &[0.1, 0.2, 0.3];
         tree.learn_batch(&[x], &[0, 1]);
+    }
+
+    #[test]
+    fn hostile_batches_are_typed_errors_and_leave_the_tree_untouched() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let good: &[f64] = &[0.1, 0.2, 0.3];
+        tree.learn_batch(&[good], &[1]);
+        let before = tree.to_snapshot_bytes();
+
+        assert_eq!(
+            tree.try_learn_batch(&[good], &[0, 1]),
+            Err(DmtError::LengthMismatch { xs: 1, ys: 2 })
+        );
+        assert_eq!(tree.try_learn_batch(&[], &[]), Err(DmtError::EmptyBatch));
+        let short: &[f64] = &[0.1, 0.2];
+        assert_eq!(
+            tree.try_learn_batch(&[good, short], &[0, 1]),
+            Err(DmtError::FeatureDimension {
+                row: 1,
+                got: 2,
+                expected: 3
+            })
+        );
+        let nan: &[f64] = &[0.1, f64::NAN, 0.3];
+        assert_eq!(
+            tree.try_learn_batch(&[nan], &[0]),
+            Err(DmtError::NonFiniteFeature { row: 0, feature: 1 })
+        );
+        let inf: &[f64] = &[0.1, 0.2, f64::INFINITY];
+        assert_eq!(
+            tree.try_learn_batch(&[good, inf], &[0, 1]),
+            Err(DmtError::NonFiniteFeature { row: 1, feature: 2 })
+        );
+        assert_eq!(
+            tree.try_learn_batch(&[good], &[7]),
+            Err(DmtError::LabelOutOfRange {
+                row: 0,
+                label: 7,
+                num_classes: 2
+            })
+        );
+
+        // None of the rejected batches may have touched any statistic.
+        assert_eq!(tree.to_snapshot_bytes(), before);
+        assert_eq!(tree.observations(), 1);
+    }
+
+    #[test]
+    fn checked_predict_rejects_bad_shapes_and_values() {
+        let tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let good: &[f64] = &[0.1, 0.2, 0.3];
+        let mut out = [0usize; 2];
+        assert_eq!(
+            tree.try_predict_batch_into(&[good], &mut out),
+            Err(DmtError::LengthMismatch { xs: 1, ys: 2 })
+        );
+        let nan: &[f64] = &[f64::NAN, 0.2, 0.3];
+        assert_eq!(
+            tree.try_predict_batch_into(&[good, nan], &mut out),
+            Err(DmtError::NonFiniteFeature { row: 1, feature: 0 })
+        );
+        assert_eq!(tree.try_predict_batch_into(&[], &mut []), Ok(()));
+        let mut one = [9usize];
+        tree.try_predict_batch_into(&[good], &mut one).unwrap();
+        assert_eq!(one[0], tree.predict(good));
+    }
+
+    #[test]
+    fn empty_batch_through_the_trait_is_a_noop() {
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        tree.learn_batch(&[], &[]);
+        assert_eq!(tree.observations(), 0);
+    }
+
+    #[test]
+    fn prediction_recovers_from_a_poisoned_scratch_pool() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut tree = DynamicModelTree::new(sea_schema(), DmtConfig::default());
+        let _ = prequential_accuracy(&mut tree, 0, 20, 100, 23);
+        let probe: &[f64] = &[0.3, 0.8, 0.1];
+        let expected = tree.predict(probe);
+
+        // Poison the scratch pool the way a real incident would: a thread
+        // panics while holding the lock.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = tree.predict_scratch.lock().unwrap();
+            panic!("injected panic while holding the scratch pool");
+        }));
+        assert!(result.is_err());
+        assert!(tree.predict_scratch.is_poisoned());
+
+        // `&self` prediction must keep working (and agree with the
+        // pre-poison prediction) instead of bricking on the poisoned lock.
+        let mut out = [0usize];
+        tree.predict_batch_into(&[probe], &mut out);
+        assert_eq!(out[0], expected);
+        assert!(!tree.predict_scratch.is_poisoned());
+
+        // The learn path's `get_mut` site recovers too.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = tree.predict_scratch.lock().unwrap();
+            panic!("poison it again");
+        }));
+        assert!(result.is_err());
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0, 0.5, 0.2]).collect();
+        let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        tree.learn_batch(&rows, &ys);
+        assert!(!tree.predict_scratch.is_poisoned());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod arf;
 pub mod bagging;
+pub(crate) mod snapshot;
 
 pub use arf::{AdaptiveRandomForest, ArfConfig};
 pub use bagging::{LeveragingBagging, LeveragingBaggingConfig};

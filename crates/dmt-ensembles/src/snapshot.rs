@@ -1,0 +1,83 @@
+//! Shared pieces of the ensemble snapshot codecs.
+//!
+//! Both ensembles persist through the sealed envelope of
+//! [`dmt_core::snapshot`] (magic, version, CRC-32, atomic file replacement)
+//! and reuse its [`StreamSchema`](dmt_stream::schema::StreamSchema) codec.
+//! The payloads start with a kind tag so a Leveraging Bagging snapshot can
+//! never be restored as an Adaptive Random Forest (or vice versa) even
+//! though both travel in the same envelope; everything after the tag is the
+//! ensemble's own configuration, schema and member states. The per-member
+//! codecs live next to the private member structs in [`crate::bagging`] and
+//! [`crate::arf`].
+
+use dmt_models::wire::{self, Reader, WireError, Writer};
+use rand::rngs::StdRng;
+
+/// Payload kind tag of a Leveraging Bagging snapshot.
+pub(crate) const SNAPSHOT_KIND_BAGGING: u8 = 1;
+
+/// Payload kind tag of an Adaptive Random Forest snapshot.
+pub(crate) const SNAPSHOT_KIND_ARF: u8 = 2;
+
+/// Hard ceiling on the member count accepted from a snapshot. The paper's
+/// ensembles use 3 members; the bound keeps a forged header from driving the
+/// member-decode loop over an absurd range.
+pub(crate) const MAX_ENSEMBLE_MEMBERS: usize = 1024;
+
+/// Serialise a member's private xoshiro256++ stream (four raw state words);
+/// the inverse of [`decode_rng`].
+pub(crate) fn encode_rng(rng: &StdRng, w: &mut Writer) {
+    for word in rng.state() {
+        w.put_u64(word);
+    }
+}
+
+/// Reconstruct a member RNG from [`encode_rng`] output.
+///
+/// The all-zero state is the absorbing fixed point of xoshiro256++ and is
+/// unreachable from any seeding path, so it can only appear in a forged
+/// buffer — it is rejected rather than silently remapped.
+pub(crate) fn decode_rng(r: &mut Reader<'_>) -> Result<StdRng, WireError> {
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        *word = r.get_u64()?;
+    }
+    if state == [0; 4] {
+        return Err(wire::invalid(
+            "all-zero RNG state is unreachable from any seed",
+        ));
+    }
+    Ok(StdRng::from_state(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn rng_state_round_trips_and_continues_identically() {
+        let mut original = StdRng::seed_from_u64(42);
+        // Advance so the stream is mid-sequence, not at a seed boundary.
+        for _ in 0..17 {
+            original.next_u64();
+        }
+        let mut w = Writer::new();
+        encode_rng(&original, &mut w);
+        let bytes = w.into_bytes();
+        let mut restored = decode_rng(&mut Reader::new(&bytes)).expect("decode");
+        for _ in 0..100 {
+            assert_eq!(original.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn all_zero_rng_state_is_rejected() {
+        let mut w = Writer::new();
+        for _ in 0..4 {
+            w.put_u64(0);
+        }
+        let bytes = w.into_bytes();
+        assert!(decode_rng(&mut Reader::new(&bytes)).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! JSON trace of checkpoint and restore events.
+//!
+//! Long prequential runs periodically snapshot their model so a crash does
+//! not throw away hours of stream processing. This module records those
+//! events — save, restore, or a failed attempt with its typed error rendered
+//! — in an append-only [`CheckpointTrace`] that serialises through the
+//! workspace's dependency-free [`Json`] module, next to the evaluation
+//! results it belongs to. The trace is deliberately decoupled from the
+//! snapshot machinery itself: it stores what happened and when (in stream
+//! observations, the only clock a reproducible evaluation has), not model
+//! state.
+
+use crate::json::{FromJson, Json, JsonError, ToJson};
+
+/// What happened at one checkpoint attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointOutcome {
+    /// A snapshot was written and atomically moved into place.
+    Saved,
+    /// Model state was restored from a snapshot.
+    Restored,
+    /// The attempt failed; the payload is the typed error's rendering.
+    Failed(String),
+}
+
+/// One checkpoint or restore event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEvent {
+    /// Display name of the model involved (e.g. `"DMT"`).
+    pub model: String,
+    /// Observations the model had consumed when the event fired.
+    pub observations: u64,
+    /// Path of the snapshot file.
+    pub path: String,
+    /// Size of the sealed snapshot in bytes (`0` when the attempt failed
+    /// before producing one).
+    pub bytes: u64,
+    /// What happened.
+    pub outcome: CheckpointOutcome,
+}
+
+/// An append-only log of checkpoint events for one evaluation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointTrace {
+    /// The recorded events, in the order they fired.
+    pub events: Vec<CheckpointEvent>,
+}
+
+impl CheckpointTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful snapshot write.
+    pub fn record_save(&mut self, model: &str, observations: u64, path: &str, bytes: u64) {
+        self.events.push(CheckpointEvent {
+            model: model.to_string(),
+            observations,
+            path: path.to_string(),
+            bytes,
+            outcome: CheckpointOutcome::Saved,
+        });
+    }
+
+    /// Record a successful restore from a snapshot.
+    pub fn record_restore(&mut self, model: &str, observations: u64, path: &str, bytes: u64) {
+        self.events.push(CheckpointEvent {
+            model: model.to_string(),
+            observations,
+            path: path.to_string(),
+            bytes,
+            outcome: CheckpointOutcome::Restored,
+        });
+    }
+
+    /// Record a failed attempt (save or restore) with its rendered error.
+    pub fn record_failure(&mut self, model: &str, observations: u64, path: &str, error: &str) {
+        self.events.push(CheckpointEvent {
+            model: model.to_string(),
+            observations,
+            path: path.to_string(),
+            bytes: 0,
+            outcome: CheckpointOutcome::Failed(error.to_string()),
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The failed events, in order.
+    pub fn failures(&self) -> impl Iterator<Item = &CheckpointEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.outcome, CheckpointOutcome::Failed(_)))
+    }
+}
+
+impl ToJson for CheckpointEvent {
+    fn to_json(&self) -> Json {
+        let outcome = match &self.outcome {
+            CheckpointOutcome::Saved => "saved",
+            CheckpointOutcome::Restored => "restored",
+            CheckpointOutcome::Failed(_) => "failed",
+        };
+        let mut members = vec![
+            ("model".to_string(), Json::Str(self.model.clone())),
+            (
+                "observations".to_string(),
+                Json::Num(self.observations as f64),
+            ),
+            ("path".to_string(), Json::Str(self.path.clone())),
+            ("bytes".to_string(), Json::Num(self.bytes as f64)),
+            ("outcome".to_string(), Json::Str(outcome.to_string())),
+        ];
+        if let CheckpointOutcome::Failed(error) = &self.outcome {
+            members.push(("error".to_string(), Json::Str(error.clone())));
+        }
+        Json::Obj(members)
+    }
+}
+
+impl FromJson for CheckpointEvent {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let get_str = |key: &str| -> Result<String, JsonError> {
+            json.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| JsonError {
+                    message: format!("checkpoint event needs a string \"{key}\""),
+                })
+        };
+        let get_u64 = |key: &str| -> Result<u64, JsonError> {
+            json.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| JsonError {
+                    message: format!("checkpoint event needs a whole number \"{key}\""),
+                })
+        };
+        let outcome = match get_str("outcome")?.as_str() {
+            "saved" => CheckpointOutcome::Saved,
+            "restored" => CheckpointOutcome::Restored,
+            "failed" => CheckpointOutcome::Failed(get_str("error")?),
+            other => {
+                return Err(JsonError {
+                    message: format!("unknown checkpoint outcome \"{other}\""),
+                })
+            }
+        };
+        Ok(Self {
+            model: get_str("model")?,
+            observations: get_u64("observations")?,
+            path: get_str("path")?,
+            bytes: get_u64("bytes")?,
+            outcome,
+        })
+    }
+}
+
+impl ToJson for CheckpointTrace {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "checkpoint_events".to_string(),
+            Json::Arr(self.events.iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for CheckpointTrace {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let items = json
+            .get("checkpoint_events")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| JsonError {
+                message: "checkpoint trace needs a \"checkpoint_events\" array".to_string(),
+            })?;
+        let events = items
+            .iter()
+            .map(CheckpointEvent::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let mut trace = CheckpointTrace::new();
+        trace.record_save("DMT", 10_000, "run/dmt.ckpt", 4_321);
+        trace.record_restore("DMT", 10_000, "run/dmt.ckpt", 4_321);
+        trace.record_failure("Bagging Ens.", 12_000, "run/bag.ckpt", "checksum mismatch");
+        let text = trace.to_json().to_pretty_string();
+        let parsed = CheckpointTrace::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.failures().count(), 1);
+        let failure = parsed.failures().next().unwrap();
+        assert_eq!(
+            failure.outcome,
+            CheckpointOutcome::Failed("checksum mismatch".to_string())
+        );
+        assert_eq!(failure.bytes, 0);
+    }
+
+    #[test]
+    fn hostile_json_is_a_typed_error() {
+        for text in [
+            r#"{"checkpoint_events": [{"model": "DMT"}]}"#,
+            r#"{"checkpoint_events": [{"model": "DMT", "observations": 1, "path": "p", "bytes": 0, "outcome": "exploded"}]}"#,
+            r#"{"checkpoint_events": [{"model": "DMT", "observations": 1, "path": "p", "bytes": 0, "outcome": "failed"}]}"#,
+            r#"{"checkpoint_events": 7}"#,
+            r#"[]"#,
+        ] {
+            let parsed = Json::parse(text).unwrap();
+            assert!(
+                CheckpointTrace::from_json(&parsed).is_err(),
+                "must reject: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = CheckpointTrace::new();
+        assert!(trace.is_empty());
+        let round = CheckpointTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(round, trace);
+    }
+}

@@ -8,6 +8,7 @@
 use crate::linalg::{MatMut, MatRef};
 use crate::logit::LogitModel;
 use crate::softmax::SoftmaxModel;
+use crate::wire::{self, Reader, WireError, Writer};
 use crate::{BatchMode, Rows, SimpleModel};
 
 /// A Generalized Linear Model: binary logit or multinomial logit, selected by
@@ -70,6 +71,31 @@ impl Glm {
             }
         }
         child
+    }
+
+    /// Serialise the GLM (variant tag plus the underlying model) through `w`;
+    /// the inverse of [`Glm::decode`].
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Glm::Logit(m) => {
+                w.put_u8(0);
+                m.encode(w);
+            }
+            Glm::Softmax(m) => {
+                w.put_u8(1);
+                m.encode(w);
+            }
+        }
+    }
+
+    /// Reconstruct a GLM from [`Glm::encode`] output, rejecting unknown
+    /// variant tags.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Glm::Logit(LogitModel::decode(r)?)),
+            1 => Ok(Glm::Softmax(SoftmaxModel::decode(r)?)),
+            tag => Err(wire::invalid(format!("unknown GLM variant tag {tag}"))),
+        }
     }
 }
 

@@ -59,6 +59,7 @@ pub mod naive_bayes;
 pub mod online;
 pub mod perceptron;
 pub mod softmax;
+pub mod wire;
 
 pub use aic::{aic, aic_split_threshold, AicTest};
 pub use glm::Glm;
@@ -67,6 +68,7 @@ pub use naive_bayes::GaussianNaiveBayes;
 pub use online::{Complexity, OnlineClassifier};
 pub use perceptron::AveragedPerceptron;
 pub use softmax::SoftmaxModel;
+pub use wire::{WireError, Writer};
 
 /// A batch of observations: one row per instance, dense `f64` features.
 ///

@@ -8,6 +8,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::linalg::{axpy, dot, log1p_exp, sigmoid, MatMut, MatRef};
+use crate::wire::{self, Reader, WireError, Writer};
 use crate::{BatchMode, Rows, SimpleModel};
 
 /// Binary logistic-regression model with an intercept term.
@@ -92,6 +93,35 @@ impl LogitModel {
     /// Intercept term.
     pub fn bias(&self) -> f64 {
         self.params[self.num_features]
+    }
+
+    /// Serialise the full model state (shape, observation counter, raw
+    /// parameter bits) through `w`; the inverse of [`LogitModel::decode`].
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.num_features);
+        w.put_u64(self.seen);
+        w.put_f64_slice(&self.params);
+    }
+
+    /// Reconstruct a model from [`LogitModel::encode`] output, validating the
+    /// parameter count against the announced feature count so a hostile
+    /// buffer cannot build a model whose views go out of bounds.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let num_features = r.get_usize()?;
+        let seen = r.get_u64()?;
+        let params = r.get_f64_vec()?;
+        if params.len() != num_features + 1 {
+            return Err(wire::invalid(format!(
+                "logit model with {num_features} features needs {} parameters, got {}",
+                num_features + 1,
+                params.len()
+            )));
+        }
+        Ok(Self {
+            params,
+            num_features,
+            seen,
+        })
     }
 
     /// Per-row negative log-likelihood and residual `σ(z) − y` at the current

@@ -6,6 +6,7 @@
 //! models of Bifet et al. (2010), which the related-work section cites.
 
 use crate::linalg::{dot, softmax_in_place};
+use crate::wire::{self, Reader, WireError, Writer};
 use crate::{Rows, SimpleModel};
 
 /// Multi-class averaged perceptron with one weight vector (plus bias) per
@@ -33,6 +34,49 @@ impl AveragedPerceptron {
             num_classes,
             seen: 0,
         }
+    }
+
+    /// Serialise the full model state (shape, current and averaged weights)
+    /// through `w`; the inverse of [`AveragedPerceptron::decode`].
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.num_features);
+        w.put_usize(self.num_classes);
+        w.put_u64(self.seen);
+        w.put_f64_slice(&self.params);
+        w.put_f64_slice(&self.averaged);
+    }
+
+    /// Reconstruct a model from [`AveragedPerceptron::encode`] output,
+    /// validating both weight vectors against the announced shape.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let num_features = r.get_usize()?;
+        let num_classes = r.get_usize()?;
+        let seen = r.get_u64()?;
+        let params = r.get_f64_vec()?;
+        let averaged = r.get_f64_vec()?;
+        if num_classes < 2 {
+            return Err(wire::invalid(format!(
+                "perceptron needs at least two classes, got {num_classes}"
+            )));
+        }
+        let expected = num_classes
+            .checked_mul(num_features + 1)
+            .ok_or_else(|| wire::invalid("perceptron parameter count overflows"))?;
+        if params.len() != expected || averaged.len() != expected {
+            return Err(wire::invalid(format!(
+                "perceptron of shape {num_classes}×({num_features}+1) needs {expected} \
+                 parameters, got {} current and {} averaged",
+                params.len(),
+                averaged.len()
+            )));
+        }
+        Ok(Self {
+            params,
+            averaged,
+            num_features,
+            num_classes,
+            seen,
+        })
     }
 
     fn scores_into(&self, x: &[f64], out: &mut [f64]) {

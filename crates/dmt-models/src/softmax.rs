@@ -10,6 +10,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::linalg::{axpy, clamp_proba, dot, gemv_bias_into, softmax_in_place, MatMut, MatRef};
+use crate::wire::{self, Reader, WireError, Writer};
 use crate::{BatchMode, Rows, SimpleModel};
 
 /// Multinomial logistic-regression model with per-class intercepts.
@@ -76,6 +77,45 @@ impl SoftmaxModel {
         assert_eq!(out.len(), self.num_classes, "logits_into: buffer length");
         let stride = self.num_features + 1;
         gemv_bias_into(MatRef::new(&self.params, self.num_classes, stride), x, out);
+    }
+
+    /// Serialise the full model state (shape, observation counter, raw
+    /// parameter bits) through `w`; the inverse of [`SoftmaxModel::decode`].
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.num_features);
+        w.put_usize(self.num_classes);
+        w.put_u64(self.seen);
+        w.put_f64_slice(&self.params);
+    }
+
+    /// Reconstruct a model from [`SoftmaxModel::encode`] output, validating
+    /// the class count and the parameter count against the announced shape.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let num_features = r.get_usize()?;
+        let num_classes = r.get_usize()?;
+        let seen = r.get_u64()?;
+        let params = r.get_f64_vec()?;
+        if num_classes < 2 {
+            return Err(wire::invalid(format!(
+                "softmax model needs at least two classes, got {num_classes}"
+            )));
+        }
+        let expected = num_classes
+            .checked_mul(num_features + 1)
+            .ok_or_else(|| wire::invalid("softmax parameter count overflows"))?;
+        if params.len() != expected {
+            return Err(wire::invalid(format!(
+                "softmax model of shape {num_classes}×({num_features}+1) needs {expected} \
+                 parameters, got {}",
+                params.len()
+            )));
+        }
+        Ok(Self {
+            params,
+            num_features,
+            num_classes,
+            seen,
+        })
     }
 
     /// Per-row softmax probabilities (written into `class_buf`) and negative

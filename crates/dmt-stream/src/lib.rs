@@ -16,7 +16,10 @@
 //!   Covertype, Gas, Insects). The originals are not redistributable /
 //!   available offline; the simulators match the published number of samples
 //!   (scaled), features, classes, class imbalance and drift type. See
-//!   DESIGN.md §4 for the substitution argument.
+//!   DESIGN.md §4 for the substitution argument. For users holding the
+//!   original files, [`realworld::load_csv`] reads a numeric CSV into a
+//!   [`MaterializedStream`] with typed [`realworld::CsvError`]s for every
+//!   malformed input.
 //! * [`transform`] — min-max normalization and stream truncation/scaling
 //!   utilities used by the evaluation harness.
 
@@ -34,6 +37,7 @@ pub mod transform;
 
 pub use drift::{AbruptDriftStream, GradualDriftStream, LabelNoise};
 pub use instance::{Batch, Instance};
+pub use realworld::{load_csv, parse_csv, CsvError};
 pub use schema::{FeatureSpec, FeatureType, StreamSchema};
 pub use stream::{ChainStream, DataStream, MaterializedStream};
 pub use transform::{BoxedStream, MinMaxNormalize, TakeStream};

@@ -17,14 +17,25 @@
 //! never on the semantic meaning of individual columns — so the simulators
 //! exercise the same code paths and stress the same model behaviours
 //! (imbalance-robust F1, drift adaptation, high-dimensional split finding).
+//!
+//! For users who *do* hold a copy of the original files, [`load_csv`] reads a
+//! numeric CSV (features first, integer class label last, optional header)
+//! into a [`MaterializedStream`]. Every malformed input — an unparsable
+//! float, a row with the wrong number of columns, an empty file, a hostile
+//! label — is a typed [`CsvError`], never a panic.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
 
 use crate::instance::Instance;
-use crate::schema::StreamSchema;
-use crate::stream::DataStream;
+use crate::schema::{FeatureSpec, StreamSchema};
+use crate::stream::{DataStream, MaterializedStream};
 
 /// A scheduled concept-drift event inside a [`ConceptSim`].
 #[derive(Debug, Clone, PartialEq)]
@@ -378,6 +389,206 @@ simulator!(
     [DriftEvent::Incremental { from: 0.1, until: 0.95 }]
 );
 
+/// Largest class label a CSV file may carry.
+///
+/// The label space sizes every per-class allocation downstream (class counts,
+/// observer rows, softmax weights), so a hostile file claiming class
+/// `18446744073709551615` must be rejected here rather than turned into a
+/// memory bomb later.
+pub const MAX_CSV_CLASSES: usize = 1 << 12;
+
+/// Why a CSV stream failed to load.
+#[derive(Debug)]
+pub enum CsvError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file contains no data rows (it may still contain a header).
+    Empty,
+    /// A row has a different number of columns than the first row.
+    ShortRow {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Columns the first row established.
+        expected: usize,
+        /// Columns this row actually has.
+        found: usize,
+    },
+    /// A feature cell does not parse as a finite `f64`.
+    BadFloat {
+        /// 1-based line number in the file.
+        line: usize,
+        /// 0-based column index of the offending cell.
+        column: usize,
+        /// The offending cell text.
+        value: String,
+    },
+    /// The label cell is not an integer in `0..MAX_CSV_CLASSES`.
+    BadLabel {
+        /// 1-based line number in the file.
+        line: usize,
+        /// The offending cell text.
+        value: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv: {e}"),
+            CsvError::Empty => write!(f, "csv: no data rows"),
+            CsvError::ShortRow {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "csv: line {line} has {found} columns, expected {expected}"
+            ),
+            CsvError::BadFloat {
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "csv: line {line}, column {column}: {value:?} is not a finite number"
+            ),
+            CsvError::BadLabel { line, value } => write!(
+                f,
+                "csv: line {line}: label {value:?} is not an integer in 0..{MAX_CSV_CLASSES}"
+            ),
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse CSV text into a [`MaterializedStream`].
+///
+/// Format: comma-separated rows, all feature columns first and the integer
+/// class label last. Blank lines are skipped. If any cell of the first
+/// non-blank row fails to parse as a number the row is taken as a header and
+/// its names become the feature names; otherwise features are named
+/// `x0..x{m-1}`. Every row must have the same number of columns as the first,
+/// every feature must be a finite float, and every label an integer in
+/// `0..`[`MAX_CSV_CLASSES`]. `num_classes` is `max(label) + 1`, floored at 2
+/// so a degenerate single-class file still yields a valid binary schema.
+pub fn parse_csv(name: &str, text: &str) -> Result<MaterializedStream, CsvError> {
+    // (1-based line number, cells) for every non-blank line.
+    let mut rows = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim_end_matches('\r')))
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| (i, l.split(',').map(str::trim).collect::<Vec<_>>()));
+
+    let Some((first_line, first_cells)) = rows.next() else {
+        return Err(CsvError::Empty);
+    };
+    let columns = first_cells.len();
+    if columns < 2 {
+        // A data row needs at least one feature plus the label.
+        return Err(CsvError::ShortRow {
+            line: first_line,
+            expected: 2,
+            found: columns,
+        });
+    }
+    let is_header = first_cells.iter().any(|cell| cell.parse::<f64>().is_err());
+    let feature_names: Vec<String> = if is_header {
+        first_cells
+            .iter()
+            .take(columns.saturating_sub(1))
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        (0..columns.saturating_sub(1))
+            .map(|i| format!("x{i}"))
+            .collect()
+    };
+
+    let mut data = Vec::new();
+    let mut max_label = 0usize;
+    let mut parse_row = |line: usize, cells: &[&str]| -> Result<(), CsvError> {
+        if cells.len() != columns {
+            return Err(CsvError::ShortRow {
+                line,
+                expected: columns,
+                found: cells.len(),
+            });
+        }
+        let (label_cell, feature_cells) = cells.split_last().expect("columns >= 1");
+        let mut x = Vec::with_capacity(feature_cells.len());
+        for (column, cell) in feature_cells.iter().enumerate() {
+            let v: f64 = cell.parse().map_err(|_| CsvError::BadFloat {
+                line,
+                column,
+                value: cell.to_string(),
+            })?;
+            if !v.is_finite() {
+                return Err(CsvError::BadFloat {
+                    line,
+                    column,
+                    value: cell.to_string(),
+                });
+            }
+            x.push(v);
+        }
+        let y: usize = label_cell
+            .parse()
+            .ok()
+            .filter(|&y| y < MAX_CSV_CLASSES)
+            .ok_or_else(|| CsvError::BadLabel {
+                line,
+                value: label_cell.to_string(),
+            })?;
+        max_label = max_label.max(y);
+        data.push(Instance::new(x, y));
+        Ok(())
+    };
+
+    if !is_header {
+        parse_row(first_line, &first_cells)?;
+    }
+    for (line, cells) in rows {
+        parse_row(line, &cells)?;
+    }
+    if data.is_empty() {
+        return Err(CsvError::Empty);
+    }
+
+    let features = feature_names
+        .into_iter()
+        .map(FeatureSpec::numeric)
+        .collect();
+    let schema = StreamSchema::new(name, features, (max_label + 1).max(2));
+    Ok(MaterializedStream::new(schema, data))
+}
+
+/// Load a CSV file (see [`parse_csv`] for the accepted format). The stream is
+/// named after the file stem.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<MaterializedStream, CsvError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_string());
+    let text = fs::read_to_string(path)?;
+    parse_csv(&name, &text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +741,135 @@ mod tests {
         let mut spec = small_spec(vec![]);
         spec.majority_fraction = 1.0;
         let _ = ConceptSim::new(spec, 1);
+    }
+
+    #[test]
+    fn csv_parses_a_header_and_data_rows() {
+        let text = "age,height,label\n1.5,2.0,0\n3.25,-4.0,1\n\n0.0,1e3,2\n";
+        let mut stream = parse_csv("toy", text).unwrap();
+        assert_eq!(stream.schema().name, "toy");
+        assert_eq!(stream.schema().num_features(), 2);
+        assert_eq!(stream.schema().features[0].name, "age");
+        assert_eq!(stream.schema().features[1].name, "height");
+        assert_eq!(stream.schema().num_classes, 3);
+        assert_eq!(stream.total_len(), 3);
+        let first = stream.next_instance().unwrap();
+        assert_eq!(first, Instance::new(vec![1.5, 2.0], 0));
+        assert_eq!(stream.instances()[2], Instance::new(vec![0.0, 1e3], 2));
+    }
+
+    #[test]
+    fn csv_without_header_names_features_anonymously() {
+        let stream = parse_csv("raw", "0.5,1\r\n0.25,0\r\n").unwrap();
+        assert_eq!(stream.schema().features[0].name, "x0");
+        assert_eq!(stream.schema().num_features(), 1);
+        assert_eq!(stream.total_len(), 2);
+        // A single-class file still yields a valid binary schema.
+        let degenerate = parse_csv("one", "1.0,0\n2.0,0\n").unwrap();
+        assert_eq!(degenerate.schema().num_classes, 2);
+    }
+
+    #[test]
+    fn csv_rejects_a_bad_float_with_its_position() {
+        let err = parse_csv("bad", "1.0,2.0,0\n1.0,oops,1\n").unwrap_err();
+        match err {
+            CsvError::BadFloat {
+                line,
+                column,
+                value,
+            } => {
+                assert_eq!((line, column), (2, 1));
+                assert_eq!(value, "oops");
+            }
+            other => panic!("expected BadFloat, got {other}"),
+        }
+        // Non-finite floats are hostile input, not data.
+        for cell in ["NaN", "inf", "-inf"] {
+            let text = format!("1.0,{cell},0\n");
+            assert!(matches!(
+                parse_csv("bad", &text).unwrap_err(),
+                CsvError::BadFloat {
+                    line: 1,
+                    column: 1,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn csv_rejects_rows_with_the_wrong_width() {
+        let err = parse_csv("bad", "1.0,2.0,0\n3.0,1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::ShortRow {
+                line: 2,
+                expected: 3,
+                found: 2
+            }
+        ));
+        // Over-long rows are just as malformed as short ones.
+        assert!(matches!(
+            parse_csv("bad", "1.0,0\n1.0,2.0,0\n").unwrap_err(),
+            CsvError::ShortRow {
+                line: 2,
+                expected: 2,
+                found: 3
+            }
+        ));
+        // A single column cannot carry both a feature and the label.
+        assert!(matches!(
+            parse_csv("bad", "42\n").unwrap_err(),
+            CsvError::ShortRow {
+                line: 1,
+                expected: 2,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn csv_rejects_empty_input() {
+        for text in ["", "\n\n", "  \n\t\n", "age,label\n"] {
+            assert!(
+                matches!(parse_csv("empty", text).unwrap_err(), CsvError::Empty),
+                "must be Empty: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_rejects_hostile_labels() {
+        for label in ["-1", "1.5", "18446744073709551615", "9999999", "cat"] {
+            // A clean first row keeps the hostile one from being mistaken for
+            // a header.
+            let text = format!("1.0,0\n2.0,{label}\n");
+            let err = parse_csv("bad", &text).unwrap_err();
+            match err {
+                CsvError::BadLabel { line: 2, value } => assert_eq!(value, label),
+                other => panic!("expected BadLabel for {label:?}, got {other}"),
+            }
+        }
+        // The largest accepted label sits just under the cap.
+        let text = format!("1.0,{}\n", MAX_CSV_CLASSES - 1);
+        let stream = parse_csv("edge", &text).unwrap();
+        assert_eq!(stream.schema().num_classes, MAX_CSV_CLASSES);
+    }
+
+    #[test]
+    fn csv_loads_from_a_file_and_reports_io_errors() {
+        let dir = std::env::temp_dir().join(format!("dmt-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("electricity.csv");
+        std::fs::write(&path, "0.1,0.9,0\n0.8,0.2,1\n").unwrap();
+        let stream = load_csv(&path).unwrap();
+        assert_eq!(stream.schema().name, "electricity");
+        assert_eq!(stream.total_len(), 2);
+        assert_eq!(stream.schema().num_classes, 2);
+
+        let missing = load_csv(dir.join("not-there.csv")).unwrap_err();
+        assert!(matches!(missing, CsvError::Io(_)));
+        assert!(missing.source().is_some(), "Io keeps its source error");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

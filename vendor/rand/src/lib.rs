@@ -156,6 +156,28 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpointing: a generator
+        /// rebuilt via [`StdRng::from_state`] continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from saved [`StdRng::state`] words.
+        ///
+        /// The all-zero state is the one fixed point of xoshiro256++ (it only
+        /// ever emits zeros) and is unreachable from any seeding path, so it
+        /// is rejected by restoring callers; here it is mapped to the
+        /// `seed_from_u64(0)` stream to keep the constructor total.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                Self::seed_from_u64(0)
+            } else {
+                Self { s }
+            }
+        }
+    }
+
     #[inline]
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
