@@ -1,0 +1,199 @@
+//! CI accuracy-regression gate: compare a fresh `bench_accuracy` run against
+//! the committed `BENCH_ACC.json` baseline and fail (exit code 1) when any
+//! model's prequential quality on any workload drops beyond the tolerance.
+//!
+//! Three metrics are gated per (model, workload) cell — overall accuracy,
+//! Cohen's kappa and stream-level F1 — each with an **absolute-delta**
+//! tolerance ([`Tolerance::AbsoluteDelta`]). Bounded `[0, 1]` scores make
+//! ratio tolerances misbehave: near zero a ratio over-triggers (kappa 0.05 →
+//! 0.04 is noise, not a 20 % loss) and near one it under-triggers. Kappa gets
+//! a wider band than accuracy because chance correction amplifies small
+//! count changes on imbalanced workloads.
+//!
+//! Unlike the throughput gate there is no machine-speed control and no
+//! advisory tier: the workloads are deterministically synthesized from
+//! pinned seeds and the models are seeded, so a run produces the *same
+//! numbers on every machine* — any delta beyond float noise is a real
+//! behaviour change. For the same reason every (model, workload) cell of the
+//! baseline is gated by default; `--models` narrows the gate when needed.
+//!
+//! ```bash
+//! cargo run --release -p dmt-bench --bin acc_compare -- \
+//!     --baseline BENCH_ACC.json --current /tmp/acc_current.json
+//! ```
+//!
+//! Re-blessing after an intended quality change:
+//!
+//! ```bash
+//! cargo run --release -p dmt-bench --bin bench_accuracy   # rewrites BENCH_ACC.json
+//! ```
+
+use std::process::ExitCode;
+
+use dmt_bench::compare::{load_rows, matched_rows, Tolerance};
+
+struct Options {
+    baseline: String,
+    current: String,
+    /// Models the gate applies to; empty = every baseline row.
+    models: Vec<String>,
+    /// Absolute tolerated drop in overall accuracy.
+    tol_accuracy: f64,
+    /// Absolute tolerated drop in Cohen's kappa.
+    tol_kappa: f64,
+    /// Absolute tolerated drop in stream-level F1.
+    tol_f1: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            baseline: "BENCH_ACC.json".to_string(),
+            current: "/tmp/acc_current.json".to_string(),
+            models: Vec::new(),
+            tol_accuracy: 0.02,
+            tol_kappa: 0.04,
+            tol_f1: 0.02,
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut options = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--baseline" => {
+                if let Some(v) = value {
+                    options.baseline = v.clone();
+                    i += 1;
+                }
+            }
+            "--current" => {
+                if let Some(v) = value {
+                    options.current = v.clone();
+                    i += 1;
+                }
+            }
+            "--models" => {
+                if let Some(v) = value {
+                    options.models = v
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    i += 1;
+                }
+            }
+            "--tol-accuracy" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.tol_accuracy = v;
+                    i += 1;
+                }
+            }
+            "--tol-kappa" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.tol_kappa = v;
+                    i += 1;
+                }
+            }
+            "--tol-f1" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.tol_f1 = v;
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    options
+}
+
+fn run(options: &Options) -> Result<bool, String> {
+    let baseline = load_rows(&options.baseline, "model", "workload")?;
+    let current = load_rows(&options.current, "model", "workload")?;
+    let metrics: [(&str, Tolerance); 3] = [
+        ("accuracy", Tolerance::AbsoluteDelta(options.tol_accuracy)),
+        ("kappa", Tolerance::AbsoluteDelta(options.tol_kappa)),
+        ("f1", Tolerance::AbsoluteDelta(options.tol_f1)),
+    ];
+
+    println!(
+        "{:<14}{:<16}{:<10}{:>10}{:>10}{:>10}  status",
+        "Model", "Workload", "Metric", "baseline", "current", "delta"
+    );
+    let mut failed = false;
+    let mut improved = 0usize;
+    let mut compared = 0usize;
+    for (model, workload, base, cur) in matched_rows(&baseline, &current, &options.models)? {
+        for (metric, tolerance) in metrics {
+            // Old baselines may predate a metric; but a metric the baseline
+            // carries must not vanish from the current run — that is how a
+            // gate silently stops gating.
+            let Some(&base_value) = base.get(metric) else {
+                continue;
+            };
+            let Some(&cur_value) = cur.get(metric) else {
+                return Err(format!(
+                    "current run misses metric {metric} on ({model}, {workload})"
+                ));
+            };
+            let regressed = tolerance.regressed(base_value, cur_value);
+            failed |= regressed;
+            compared += 1;
+            let status = if regressed {
+                "REGRESSION"
+            } else if tolerance.improved(base_value, cur_value) {
+                improved += 1;
+                "ok (improved)"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<14}{:<16}{:<10}{:>10.4}{:>10.4}{:>+10.4}  {}",
+                model,
+                workload,
+                metric,
+                base_value,
+                cur_value,
+                cur_value - base_value,
+                status
+            );
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no cells of {:?} found in both files",
+            options.models
+        ));
+    }
+    if failed {
+        eprintln!(
+            "accuracy regression beyond tolerance (baseline {}); if the quality change is \
+             intended, re-bless with `cargo run --release -p dmt-bench --bin bench_accuracy`",
+            options.baseline
+        );
+    } else if improved > 0 {
+        eprintln!(
+            "{improved} metric(s) improved beyond the tolerance band — baseline {} is stale, \
+             consider re-blessing to lock the gains in",
+            options.baseline
+        );
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    match run(&options) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("acc_compare: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Prequential accuracy tracking for the repository's *quality* trajectory:
+//! the throughput suite (`bench_throughput`) catches perf regressions, this
+//! suite catches silent quality regressions — a refactor that keeps the
+//! trees fast but subtly breaks split selection, drift adaptation or the
+//! nominal-feature path.
+//!
+//! Every stand-alone model of Table II runs test-then-train over the named
+//! real-world-style workloads of [`dmt::stream::workload`] (electricity-like
+//! series, covertype-like high-cardinality nominals, imbalanced sparse
+//! fraud-like events, and an abrupt+gradual drift cocktail). The workloads
+//! are deterministically synthesized CSV files (pinned seeds, byte-stable,
+//! generated once into `results/datasets/`) loaded through the real
+//! `load_csv` file path, so a run is reproducible on any machine without a
+//! network. Batches are sized at 0.1 % of the stream like the paper's
+//! protocol; per (model, workload) cell the suite records overall accuracy,
+//! Cohen's kappa (chance-corrected — catches majority-class collapse that
+//! raw accuracy hides on the imbalanced workload) and stream-level F1,
+//! written to `BENCH_ACC.json`. CI re-runs this binary on the same pinned
+//! configuration and gates regressions with `acc_compare`.
+//!
+//! The DMT row is pinned to serial updates ([`dmt_bench::accuracy_model`]);
+//! parallel updates are bit-identical, but pinning keeps the blessed file
+//! independent of the `DMT_PARALLELISM` environment variable.
+//!
+//! ```bash
+//! cargo run --release -p dmt-bench --bin bench_accuracy
+//! cargo run --release -p dmt-bench --bin bench_accuracy -- \
+//!     --out /tmp/acc_current.json --workloads elec-like --max-batches 5
+//! ```
+
+use std::path::PathBuf;
+
+use dmt::eval::json::{Json, ToJson};
+use dmt::eval::{PrequentialConfig, PrequentialRun};
+use dmt::prelude::*;
+use dmt::stream::workload::{self, WORKLOADS};
+use dmt_bench::{accuracy_model, bench_seed};
+
+struct Options {
+    out: String,
+    /// Directory the synthesized CSV files live in (created on demand).
+    datasets_dir: PathBuf,
+    /// Workload names to run (default: every catalog workload).
+    workloads: Vec<String>,
+    /// Model rows to run.
+    models: Vec<ModelKind>,
+    /// Optional cap on the number of prequential batches (smoke tests).
+    max_batches: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            out: "BENCH_ACC.json".to_string(),
+            datasets_dir: workload::default_datasets_dir(),
+            workloads: WORKLOADS.iter().map(|w| w.name.to_string()).collect(),
+            models: STANDALONE_MODELS.to_vec(),
+            max_batches: None,
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut options = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--out" => {
+                if let Some(v) = value {
+                    options.out = v.clone();
+                    i += 1;
+                }
+            }
+            "--datasets-dir" => {
+                if let Some(v) = value {
+                    options.datasets_dir = PathBuf::from(v);
+                    i += 1;
+                }
+            }
+            "--workloads" => {
+                if let Some(v) = value {
+                    options.workloads = v.split(',').map(|s| s.trim().to_string()).collect();
+                    i += 1;
+                }
+            }
+            "--models" => {
+                if let Some(v) = value {
+                    options.models = match v.as_str() {
+                        "dmt" => vec![ModelKind::Dmt],
+                        "all" => ALL_MODELS.to_vec(),
+                        _ => STANDALONE_MODELS.to_vec(),
+                    };
+                    i += 1;
+                }
+            }
+            "--max-batches" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.max_batches = Some(v);
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    options
+}
+
+struct CellResult {
+    model: String,
+    workload: String,
+    instances: u64,
+    batches: u64,
+    accuracy: f64,
+    kappa: f64,
+    f1: f64,
+    final_splits: f64,
+    final_params: f64,
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("model".to_string(), self.model.to_json()),
+            ("workload".to_string(), self.workload.to_json()),
+            ("instances".to_string(), self.instances.to_json()),
+            ("batches".to_string(), self.batches.to_json()),
+            ("accuracy".to_string(), self.accuracy.to_json()),
+            ("kappa".to_string(), self.kappa.to_json()),
+            ("f1".to_string(), self.f1.to_json()),
+            ("final_splits".to_string(), self.final_splits.to_json()),
+            ("final_params".to_string(), self.final_params.to_json()),
+        ])
+    }
+}
+
+fn run_cell(kind: ModelKind, workload_name: &str, options: &Options) -> CellResult {
+    // Rebuilt from its pinned-seed file per cell, so every model row of one
+    // run consumes the identical instance sequence.
+    let mut stream = workload::build_workload(workload_name, &options.datasets_dir)
+        .unwrap_or_else(|e| panic!("workload {workload_name}: {e}"))
+        .unwrap_or_else(|| panic!("unknown workload {workload_name}"));
+    let schema = stream.schema().clone();
+    let mut model = accuracy_model(kind, &schema, bench_seed::MODEL);
+    let runner = PrequentialRun::new(PrequentialConfig {
+        max_batches: options.max_batches,
+        ..PrequentialConfig::default()
+    });
+    let result = runner.evaluate(model.as_mut(), &mut stream, None);
+    let complexity = model.complexity();
+    CellResult {
+        model: kind.display_name().to_string(),
+        workload: workload_name.to_string(),
+        instances: result.instances,
+        batches: result.num_batches() as u64,
+        accuracy: result.overall_accuracy,
+        kappa: result.overall_kappa,
+        f1: result.overall_f1,
+        final_splits: complexity.splits,
+        final_params: complexity.parameters,
+    }
+}
+
+fn main() {
+    let options = parse_options();
+    workload::ensure_all_datasets(&options.datasets_dir)
+        .unwrap_or_else(|e| panic!("synthesize datasets into {:?}: {e}", options.datasets_dir));
+
+    let mut results: Vec<CellResult> = Vec::new();
+    println!(
+        "{:<14}{:<16}{:>10}{:>10}{:>10}{:>10}",
+        "Model", "Workload", "accuracy", "kappa", "f1", "splits"
+    );
+    for workload_name in &options.workloads {
+        for &kind in &options.models {
+            let cell = run_cell(kind, workload_name, &options);
+            println!(
+                "{:<14}{:<16}{:>10.4}{:>10.4}{:>10.4}{:>10.1}",
+                cell.model, cell.workload, cell.accuracy, cell.kappa, cell.f1, cell.final_splits
+            );
+            results.push(cell);
+        }
+    }
+
+    let config = PrequentialConfig::default();
+    let doc = Json::Obj(vec![
+        ("bench".to_string(), "accuracy_v1".to_json()),
+        (
+            "protocol".to_string(),
+            "prequential test-then-train over deterministically synthesized workload files \
+             (pinned seeds, batch = 0.1 % of the stream); accuracy/kappa/f1 are stream-level \
+             over the whole run; DMT pinned to serial updates"
+                .to_json(),
+        ),
+        (
+            "config".to_string(),
+            Json::Obj(vec![
+                (
+                    "batch_fraction".to_string(),
+                    config.batch_fraction.to_json(),
+                ),
+                (
+                    "min_batch_size".to_string(),
+                    config.min_batch_size.to_json(),
+                ),
+                ("model_seed".to_string(), bench_seed::MODEL.to_json()),
+            ]),
+        ),
+        ("results".to_string(), results.to_json()),
+    ]);
+    std::fs::write(&options.out, doc.to_pretty_string()).expect("write bench output");
+    eprintln!("wrote {}", options.out);
+}

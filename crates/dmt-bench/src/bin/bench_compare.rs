@@ -18,6 +18,11 @@
 //! or machine-speed changes alone show up in exactly one. Pass `--control ""`
 //! to gate on the raw ratio only (e.g. for two runs on the same machine).
 //!
+//! File loading, row matching and the ratio-tolerance math are shared with
+//! the accuracy gate (`acc_compare`) via [`dmt_bench::compare`]; this binary
+//! keeps only the throughput-specific policy (control normalisation and the
+//! parallel-row downgrade below).
+//!
 //! # Parallel rows vs the baseline machine's core count
 //!
 //! A parallel row (e.g. `DMT (2T)`) is only a meaningful baseline when the
@@ -41,7 +46,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use dmt::eval::json::Json;
+use dmt_bench::compare::{load_rows, matched_rows, BenchRows, Row, Tolerance};
 
 struct Options {
     baseline: String,
@@ -111,29 +116,6 @@ fn parse_options() -> Options {
     options
 }
 
-/// The gated throughput metrics of one `bench_throughput` cell.
-struct CellMetrics {
-    /// Test-then-train `instances_per_sec` (always present).
-    train: f64,
-    /// Predict-only `predict_instances_per_sec` (absent in baselines blessed
-    /// before the predict-only row existed).
-    predict: Option<f64>,
-    /// Worker count pinned for this row (1 = serial). Read from the per-row
-    /// `parallelism` field when present; older files fall back to the
-    /// `"… (nT)"` display-name convention, then to 1.
-    parallelism: usize,
-}
-
-/// One parsed `bench_throughput` JSON file.
-struct BenchFile {
-    /// `(model, stream) -> metrics` rows.
-    cells: BTreeMap<(String, String), CellMetrics>,
-    /// Core count of the machine the file was produced on
-    /// (`config.available_parallelism`); files from before the field existed
-    /// are conservatively treated as single-core.
-    available_parallelism: usize,
-}
-
 /// Pinned worker count encoded in a row's display name by the
 /// `"… (nT)"` convention (`"DMT (2T)"` → 2); `None` for serial rows.
 fn name_parallelism(model: &str) -> Option<usize> {
@@ -142,79 +124,47 @@ fn name_parallelism(model: &str) -> Option<usize> {
     inner.strip_suffix('T')?.parse().ok()
 }
 
-fn load_throughput(path: &str) -> Result<BenchFile, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
-    let results = json
-        .get("results")
-        .and_then(|r| r.as_array())
-        .ok_or_else(|| format!("{path}: missing results array"))?;
-    let available_parallelism = json
-        .get("config")
-        .and_then(|c| c.get("available_parallelism"))
-        .and_then(|v| v.as_f64())
-        .map(|v| v as usize)
+/// Worker count pinned for a row (1 = serial): the per-row `parallelism`
+/// field when present, else the `"… (nT)"` display-name convention, else 1.
+fn cell_parallelism(model: &str, row: &Row) -> usize {
+    row.get("parallelism")
+        .map(|v| *v as usize)
+        .or_else(|| name_parallelism(model))
         .unwrap_or(1)
-        .max(1);
-    let mut cells = BTreeMap::new();
-    for cell in results {
-        let model = cell
-            .get("model")
-            .and_then(|v| v.as_str())
-            .ok_or_else(|| format!("{path}: cell without model"))?;
-        let stream = cell
-            .get("stream")
-            .and_then(|v| v.as_str())
-            .ok_or_else(|| format!("{path}: cell without stream"))?;
-        let train = cell
-            .get("instances_per_sec")
-            .and_then(|v| v.as_f64())
-            .ok_or_else(|| format!("{path}: cell without instances_per_sec"))?;
-        let predict = cell
-            .get("predict_instances_per_sec")
-            .and_then(|v| v.as_f64());
-        let parallelism = cell
-            .get("parallelism")
-            .and_then(|v| v.as_f64())
-            .map(|v| v as usize)
-            .or_else(|| name_parallelism(model))
-            .unwrap_or(1)
-            .max(1);
-        cells.insert(
-            (model.to_string(), stream.to_string()),
-            CellMetrics {
-                train,
-                predict,
-                parallelism,
-            },
-        );
-    }
-    Ok(BenchFile {
-        cells,
-        available_parallelism,
-    })
+        .max(1)
 }
 
-/// Accessor pulling one gated metric out of a cell (`None` = not recorded).
-type MetricExtractor = fn(&CellMetrics) -> Option<f64>;
+/// Core count of the machine a bench file was produced on; files from before
+/// the field existed are conservatively treated as single-core.
+fn available_parallelism(file: &BenchRows) -> usize {
+    file.config
+        .get("available_parallelism")
+        .map(|v| *v as usize)
+        .unwrap_or(1)
+        .max(1)
+}
 
-/// The per-cell metrics the gate iterates over.
-const METRICS: [(&str, MetricExtractor); 2] =
-    [("train", |m| Some(m.train)), ("predict", |m| m.predict)];
+/// The per-cell metrics the gate iterates over: display label → JSON field.
+const METRICS: [(&str, &str); 2] = [
+    ("train", "instances_per_sec"),
+    ("predict", "predict_instances_per_sec"),
+];
 
 fn run(options: &Options) -> Result<bool, String> {
-    let baseline = load_throughput(&options.baseline)?;
-    let current = load_throughput(&options.current)?;
+    let baseline = load_rows(&options.baseline, "model", "stream")?;
+    let current = load_rows(&options.current, "model", "stream")?;
+    let tolerance = Tolerance::Ratio(options.tolerance);
+    let baseline_cores = available_parallelism(&baseline);
 
     // Per-(stream, metric) machine-speed factor from the control model.
     let mut control_ratio: BTreeMap<(String, &str), f64> = BTreeMap::new();
     if !options.control.is_empty() {
-        for ((model, stream), base) in &baseline.cells {
+        for ((model, stream), base) in &baseline.rows {
             if model == &options.control {
-                if let Some(cur) = current.cells.get(&(model.clone(), stream.clone())) {
-                    for (metric, extract) in METRICS {
-                        if let (Some(b), Some(c)) = (extract(base), extract(cur)) {
-                            if b > 0.0 {
+                if let Some(cur) = current.rows.get(&(model.clone(), stream.clone())) {
+                    for (metric, field) in METRICS {
+                        if let (Some(b), Some(c)) = (base.get(field), cur.get(field)) {
+                            if *b > 0.0 {
                                 control_ratio.insert((stream.clone(), metric), c / b);
                             }
                         }
@@ -230,21 +180,15 @@ fn run(options: &Options) -> Result<bool, String> {
     );
     let mut failed = false;
     let mut compared = 0usize;
-    for ((model, stream), base) in &baseline.cells {
-        if !options.models.iter().any(|m| m == model) {
-            continue;
-        }
-        let Some(cur) = current.cells.get(&(model.clone(), stream.clone())) else {
-            return Err(format!("current run misses cell ({model}, {stream})"));
-        };
+    for (model, stream, base, cur) in matched_rows(&baseline, &current, &options.models)? {
         // A parallel row the baseline machine could not actually run
         // concurrently is advisory only: its blessed numbers measure
         // dispatch overhead, not parallel throughput (see the module docs).
-        let advisory = base.parallelism > baseline.available_parallelism;
-        for (metric, extract) in METRICS {
+        let advisory = cell_parallelism(model, base) > baseline_cores;
+        for (metric, field) in METRICS {
             // A metric is gated only when both files carry it, so old
             // baselines without the predict-only row keep working.
-            let (Some(base_ips), Some(cur_ips)) = (extract(base), extract(cur)) else {
+            let (Some(&base_ips), Some(&cur_ips)) = (base.get(field), cur.get(field)) else {
                 continue;
             };
             if base_ips <= 0.0 {
@@ -252,7 +196,7 @@ fn run(options: &Options) -> Result<bool, String> {
             }
             let raw_ratio = cur_ips / base_ips;
             let machine = control_ratio
-                .get(&(stream.clone(), metric))
+                .get(&(stream.to_string(), metric))
                 .copied()
                 .unwrap_or(1.0);
             let normalised = raw_ratio / machine;
@@ -260,8 +204,7 @@ fn run(options: &Options) -> Result<bool, String> {
             // comparisons) and control-normalised (slower CI runners).
             // Requiring both keeps control-row jitter from failing an
             // unchanged model.
-            let floor = 1.0 - options.tolerance;
-            let ok = raw_ratio >= floor || normalised >= floor;
+            let ok = !tolerance.regressed(base_ips, cur_ips) || normalised >= tolerance.floor(1.0);
             failed |= !ok && !advisory;
             compared += 1;
             let status = if ok {
@@ -307,7 +250,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::name_parallelism;
+    use super::{cell_parallelism, name_parallelism, Row};
 
     #[test]
     fn name_parallelism_parses_the_nt_convention() {
@@ -318,5 +261,14 @@ mod tests {
         assert_eq!(name_parallelism("FIMT-DD"), None);
         assert_eq!(name_parallelism("weird (T)"), None);
         assert_eq!(name_parallelism("weird (-3T)"), None);
+    }
+
+    #[test]
+    fn cell_parallelism_prefers_the_recorded_field() {
+        let mut row = Row::new();
+        row.insert("parallelism".to_string(), 4.0);
+        assert_eq!(cell_parallelism("DMT (2T)", &row), 4);
+        assert_eq!(cell_parallelism("DMT (2T)", &Row::new()), 2);
+        assert_eq!(cell_parallelism("DMT (ours)", &Row::new()), 1);
     }
 }

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use std::collections::BTreeMap;
 
 use dmt::eval::json::{self, FromJson, Json, JsonError, ToJson};
@@ -106,6 +108,33 @@ impl ThroughputModel {
             },
         ))
     }
+}
+
+/// Build one model row of the accuracy suite (`bench_accuracy` and the CI
+/// accuracy-regression gate).
+///
+/// Identical to [`build_model`] except that the DMT row is pinned to
+/// `Parallelism::Serial` explicitly. Parallel updates are bit-identical to
+/// serial ones, but pinning keeps the blessed `BENCH_ACC.json` independent of
+/// any `DMT_PARALLELISM` environment variable on the blessing machine — the
+/// same policy the throughput rows follow (see [`ThroughputModel::build`]).
+pub fn accuracy_model(
+    kind: ModelKind,
+    schema: &dmt::stream::StreamSchema,
+    seed: u64,
+) -> Box<dyn OnlineClassifier> {
+    use dmt::core::Parallelism;
+    if kind == ModelKind::Dmt {
+        return Box::new(DynamicModelTree::new(
+            schema.clone(),
+            DmtConfig {
+                seed,
+                parallelism: Parallelism::Serial,
+                ..DmtConfig::default()
+            },
+        ));
+    }
+    build_model(kind, schema, seed)
 }
 
 /// The model rows of the throughput suite, in run order: every stand-alone

@@ -66,6 +66,11 @@ pub struct PrequentialResult {
     pub overall_accuracy: f64,
     /// Overall (stream-level) F1 across the whole run.
     pub overall_f1: f64,
+    /// Overall Cohen's kappa across the whole run. Chance-corrected, so an
+    /// always-majority classifier scores ~0 even on strongly imbalanced
+    /// streams — the accuracy-regression gate relies on this to catch models
+    /// collapsing to the majority class, which raw accuracy can hide.
+    pub overall_kappa: f64,
     /// Total number of instances processed.
     pub instances: u64,
 }
@@ -120,6 +125,7 @@ impl ToJson for PrequentialResult {
                 self.overall_accuracy.to_json(),
             ),
             ("overall_f1".to_string(), self.overall_f1.to_json()),
+            ("overall_kappa".to_string(), self.overall_kappa.to_json()),
             ("instances".to_string(), self.instances.to_json()),
         ])
     }
@@ -136,6 +142,8 @@ impl FromJson for PrequentialResult {
             seconds_per_batch: json::member(value, "seconds_per_batch")?,
             overall_accuracy: json::member(value, "overall_accuracy")?,
             overall_f1: json::member(value, "overall_f1")?,
+            // Absent in files written before the kappa field existed.
+            overall_kappa: json::member(value, "overall_kappa").unwrap_or(0.0),
             instances: json::member(value, "instances")?,
         })
     }
@@ -218,6 +226,7 @@ impl PrequentialRun {
         }
         result.overall_accuracy = overall.accuracy();
         result.overall_f1 = overall.weighted_f1();
+        result.overall_kappa = overall.kappa();
         result
     }
 }
@@ -348,6 +357,46 @@ mod tests {
         assert!(f1_mean > 0.0 && f1_mean < 1.0, "f1 {f1_mean}");
         assert!(f1_std >= 0.0);
         assert!(result.overall_accuracy > 0.5);
+    }
+
+    #[test]
+    fn majority_learner_has_chance_level_kappa() {
+        // SEA is ~2:1 imbalanced, so the majority learner reaches decent raw
+        // accuracy — but its kappa must sit at chance level. This separation
+        // is exactly why the accuracy gate tracks both.
+        let mut stream = TakeStream::new(SeaGenerator::new(0, 0.0, 5), 10_000);
+        let mut model = MajorityLearner::new(2);
+        let runner = PrequentialRun::new(PrequentialConfig::default());
+        let result = runner.evaluate(&mut model, &mut stream, None);
+        assert!(result.overall_accuracy > 0.55);
+        assert!(
+            result.overall_kappa.abs() < 0.05,
+            "kappa {}",
+            result.overall_kappa
+        );
+    }
+
+    #[test]
+    fn kappa_round_trips_through_json_and_tolerates_old_files() {
+        let result = PrequentialResult {
+            overall_kappa: 0.625,
+            ..PrequentialResult::default()
+        };
+        let json = result.to_json();
+        let back = PrequentialResult::from_json(&json).unwrap();
+        assert_eq!(back.overall_kappa, 0.625);
+        // A file written before the field existed parses with kappa 0.
+        let Json::Obj(members) = json else {
+            panic!("expected object")
+        };
+        let old = Json::Obj(
+            members
+                .into_iter()
+                .filter(|(k, _)| k != "overall_kappa")
+                .collect(),
+        );
+        let back = PrequentialResult::from_json(&old).unwrap();
+        assert_eq!(back.overall_kappa, 0.0);
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //!
 //! All synthetic streams use 10 % noise/perturbation and are min-max
 //! normalised to `[0, 1]` like every other stream (§VI-B).
+//!
+//! Beyond Table I, the catalog also resolves the named file-backed workloads
+//! of [`crate::workload`] (`elec-like`, `forest-like`, `fraud-like`,
+//! `drift-cocktail`): [`build_stream`] recognises their names too, so every
+//! harness binary can address them the same way it addresses a paper stream.
+//! Workload datasets are pinned by construction — the `seed` argument is
+//! ignored for them (documented on [`build_stream`]) and `scale` truncates
+//! the stream instead of re-sizing the synthesis.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +31,7 @@ use crate::realworld;
 use crate::schema::StreamSchema;
 use crate::stream::DataStream;
 use crate::transform::{MinMaxNormalize, TakeStream};
+use crate::workload;
 
 /// Published metadata of one Table I row.
 #[derive(Debug, Clone, PartialEq)]
@@ -300,7 +309,27 @@ pub fn agrawal_ranges() -> Vec<(f64, f64)> {
 ///
 /// Returns `None` for unknown names. Streams come back boxed because the
 /// concrete types differ per data set.
+///
+/// Names from [`crate::workload::WORKLOADS`] resolve too: those streams are
+/// file-backed with pinned synthesis seeds, so `seed` is ignored for them
+/// (determinism is the point of the accuracy gate they feed) and
+/// `scale < 1.0` truncates the stream to the leading fraction. Building a
+/// workload panics if its dataset directory cannot be written — file-system
+/// failure is not a "dataset does not exist" condition.
 pub fn build_stream(name: &str, scale: f64, seed: u64) -> Option<Box<dyn DataStream>> {
+    if workload::workload_info(name).is_some() {
+        let stream = workload::build_workload_default(name)
+            .unwrap_or_else(|e| panic!("workload {name}: {e}"))
+            .expect("workload_info and build_workload agree on names");
+        if scale < 1.0 {
+            let total = stream
+                .remaining_hint()
+                .expect("file-backed workloads know their length");
+            let take = ((total as f64 * scale) as u64).max(1_000.min(total));
+            return Some(Box::new(TakeStream::new(stream, take)));
+        }
+        return Some(stream);
+    }
     let scaled = |published: u64| realworld::scaled_samples(published, scale);
     let stream: Box<dyn DataStream> = match name {
         "Electricity" => Box::new(realworld::electricity_sim(scale, seed)),
@@ -375,6 +404,24 @@ mod tests {
     #[test]
     fn unknown_name_returns_none() {
         assert!(build_stream("NotADataset", 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn workload_names_resolve_through_the_catalog() {
+        // The seed argument is ignored for file-backed workloads: both
+        // builds must produce the identical stream.
+        let mut a = build_stream("drift-cocktail", 1.0, 1).unwrap();
+        let mut b = build_stream("drift-cocktail", 1.0, 999).unwrap();
+        assert_eq!(a.remaining_hint(), Some(24_000));
+        for _ in 0..64 {
+            assert_eq!(a.next_instance(), b.next_instance());
+        }
+        // Scaling truncates instead of re-synthesizing.
+        let mut scaled = build_stream("elec-like", 0.1, 1).unwrap();
+        assert_eq!(scaled.remaining_hint(), Some(2_000));
+        let full = build_stream("elec-like", 1.0, 1).unwrap();
+        assert_eq!(scaled.next_instance().unwrap().x.len(), 8);
+        assert_eq!(full.schema().name, "elec-like");
     }
 
     #[test]

@@ -68,6 +68,19 @@ impl<A: DataStream, B: DataStream> DataStream for AbruptDriftStream<A, B> {
         }
         instance
     }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        // If `before` exhausts ahead of the drift position the stream ends
+        // there (the switch never happens), so the head segment is bounded by
+        // both the position and `before`'s own hint.
+        let (before, after) = (self.before.remaining_hint()?, self.after.remaining_hint()?);
+        let until_switch = self.position.saturating_sub(self.emitted);
+        if before < until_switch {
+            Some(before)
+        } else {
+            Some(until_switch + after)
+        }
+    }
 }
 
 /// Gradual (incremental) concept drift following scikit-multiflow's
@@ -127,6 +140,12 @@ impl<A: DataStream, B: DataStream> DataStream for GradualDriftStream<A, B> {
             self.emitted += 1;
         }
         instance
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        // Whichever concept a draw lands on, the exhausted side falls back to
+        // the other, so the stream drains both completely.
+        Some(self.before.remaining_hint()? + self.after.remaining_hint()?)
     }
 }
 
@@ -252,6 +271,33 @@ mod tests {
             after_window > 570,
             "late labels should be mostly new concept"
         );
+    }
+
+    #[test]
+    fn abrupt_drift_reports_its_remaining_length() {
+        let mut s = AbruptDriftStream::new(constant_stream(100, 0), constant_stream(50, 1), 10);
+        assert_eq!(s.remaining_hint(), Some(60));
+        for _ in 0..10 {
+            let _ = s.next_instance();
+        }
+        assert_eq!(s.remaining_hint(), Some(50));
+        // When `before` cannot reach the drift position the stream ends with
+        // `before`, so the hint is bounded by it.
+        let s = AbruptDriftStream::new(constant_stream(3, 0), constant_stream(50, 1), 10);
+        assert_eq!(s.remaining_hint(), Some(3));
+    }
+
+    #[test]
+    fn gradual_drift_reports_both_concepts_in_its_hint() {
+        let mut s =
+            GradualDriftStream::new(constant_stream(30, 0), constant_stream(20, 1), 25, 10, 3);
+        assert_eq!(s.remaining_hint(), Some(50));
+        let mut emitted = 0;
+        while s.next_instance().is_some() {
+            emitted += 1;
+        }
+        assert_eq!(emitted, 50, "gradual drift drains both concepts");
+        assert_eq!(s.remaining_hint(), Some(0));
     }
 
     #[test]

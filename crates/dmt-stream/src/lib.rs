@@ -22,6 +22,13 @@
 //!   malformed input.
 //! * [`transform`] — min-max normalization and stream truncation/scaling
 //!   utilities used by the evaluation harness.
+//! * [`workload`] — named real-world-style workloads backed by
+//!   deterministically synthesized CSV files (pinned seeds, byte-stable,
+//!   generated once into `results/datasets/`) and loaded through the
+//!   [`realworld::load_csv`] file path: electricity-like series,
+//!   covertype-like high-cardinality nominals, imbalanced sparse fraud-like
+//!   events and an abrupt+gradual drift cocktail. These feed the
+//!   `bench_accuracy` prequential suite and the CI accuracy-regression gate.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,6 +41,7 @@ pub mod realworld;
 pub mod schema;
 pub mod stream;
 pub mod transform;
+pub mod workload;
 
 pub use drift::{AbruptDriftStream, GradualDriftStream, LabelNoise};
 pub use instance::{Batch, Instance};
@@ -41,3 +49,4 @@ pub use realworld::{load_csv, parse_csv, CsvError};
 pub use schema::{FeatureSpec, FeatureType, StreamSchema};
 pub use stream::{ChainStream, DataStream, MaterializedStream};
 pub use transform::{BoxedStream, MinMaxNormalize, TakeStream};
+pub use workload::{build_workload, build_workload_default, WorkloadInfo, WORKLOADS};

@@ -417,7 +417,9 @@ pub enum CsvError {
     BadFloat {
         /// 1-based line number in the file.
         line: usize,
-        /// 0-based column index of the offending cell.
+        /// 1-based column number of the offending cell, consistent with the
+        /// 1-based line so an error position can be pasted into an editor's
+        /// go-to-line:column as-is.
         column: usize,
         /// The offending cell text.
         value: String,
@@ -531,7 +533,8 @@ pub fn parse_csv(name: &str, text: &str) -> Result<MaterializedStream, CsvError>
         }
         let (label_cell, feature_cells) = cells.split_last().expect("columns >= 1");
         let mut x = Vec::with_capacity(feature_cells.len());
-        for (column, cell) in feature_cells.iter().enumerate() {
+        for (index, cell) in feature_cells.iter().enumerate() {
+            let column = index + 1;
             let v: f64 = cell.parse().map_err(|_| CsvError::BadFloat {
                 line,
                 column,
@@ -778,7 +781,7 @@ mod tests {
                 column,
                 value,
             } => {
-                assert_eq!((line, column), (2, 1));
+                assert_eq!((line, column), (2, 2), "line and column are both 1-based");
                 assert_eq!(value, "oops");
             }
             other => panic!("expected BadFloat, got {other}"),
@@ -790,10 +793,45 @@ mod tests {
                 parse_csv("bad", &text).unwrap_err(),
                 CsvError::BadFloat {
                     line: 1,
-                    column: 1,
+                    column: 2,
                     ..
                 }
             ));
+        }
+    }
+
+    #[test]
+    fn csv_error_lines_count_the_header_as_line_one() {
+        // With a header the first data row is file line 2, and error
+        // positions must report *file* lines — a reader jumping to the
+        // reported line in an editor must land on the offending row, not one
+        // above it.
+        let err = parse_csv("bad", "age,height,label\n1.0,oops,0\n").unwrap_err();
+        match err {
+            CsvError::BadFloat { line, column, .. } => assert_eq!((line, column), (2, 2)),
+            other => panic!("expected BadFloat, got {other}"),
+        }
+        let err = parse_csv("bad", "age,height,label\n1.0,2.0,0\n3.0,1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::ShortRow {
+                line: 3,
+                expected: 3,
+                found: 2
+            }
+        ));
+        let err = parse_csv("bad", "age,label\n1.0,0\n2.0,-7\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadLabel { line: 3, .. }));
+    }
+
+    #[test]
+    fn csv_error_lines_count_blank_lines() {
+        // Blank lines are skipped as data but still occupy file lines; the
+        // reported position must stay aligned with the file.
+        let err = parse_csv("bad", "age,label\n\n1.0,0\n\n\nnope,1\n").unwrap_err();
+        match err {
+            CsvError::BadFloat { line, column, .. } => assert_eq!((line, column), (6, 1)),
+            other => panic!("expected BadFloat, got {other}"),
         }
     }
 

@@ -93,6 +93,27 @@ impl MaterializedStream {
     pub fn instances(&self) -> &[Instance] {
         &self.data
     }
+
+    /// Replace the schema, keeping the instances.
+    ///
+    /// CSV files carry no type information, so [`crate::realworld::load_csv`]
+    /// declares every column numeric; workloads with factorised categorical
+    /// columns use this to re-declare them nominal (and to rename the
+    /// stream). The replacement schema must describe the same number of
+    /// feature columns and at least as many classes as the loaded data uses.
+    pub fn with_schema(mut self, schema: StreamSchema) -> Self {
+        assert_eq!(
+            schema.num_features(),
+            self.schema.num_features(),
+            "replacement schema must keep the feature count"
+        );
+        assert!(
+            schema.num_classes >= self.schema.num_classes,
+            "replacement schema must cover every observed class"
+        );
+        self.schema = schema;
+        self
+    }
 }
 
 impl DataStream for MaterializedStream {
@@ -215,6 +236,38 @@ mod tests {
         let collected = MaterializedStream::collect_from(&mut source, 4);
         assert_eq!(collected.total_len(), 4);
         assert_eq!(collected.instances()[3].x[0], 3.0);
+    }
+
+    #[test]
+    fn with_schema_replaces_metadata_but_not_data() {
+        use crate::schema::FeatureSpec;
+        let s = toy_stream(3, 1);
+        let replacement = StreamSchema::new(
+            "renamed",
+            vec![FeatureSpec::numeric("a"), FeatureSpec::nominal("b", 5)],
+            4,
+        );
+        let mut s = s.with_schema(replacement);
+        assert_eq!(s.schema().name, "renamed");
+        assert_eq!(s.schema().nominal_indices(), vec![1]);
+        assert_eq!(s.schema().num_classes, 4);
+        assert_eq!(s.next_instance().unwrap().x[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn with_schema_rejects_a_width_mismatch() {
+        let s = toy_stream(1, 0);
+        let _ = s.with_schema(StreamSchema::numeric("bad", 3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "every observed class")]
+    fn with_schema_rejects_narrowing_the_label_space() {
+        let schema = StreamSchema::numeric("toy", 1, 4);
+        let data = vec![Instance::new(vec![0.0], 3)];
+        let s = MaterializedStream::new(schema, data);
+        let _ = s.with_schema(StreamSchema::numeric("bad", 1, 2));
     }
 
     #[test]

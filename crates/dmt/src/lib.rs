@@ -11,7 +11,7 @@
 //! |---|---|
 //! | [`core`] | the Dynamic Model Tree ([`core::DynamicModelTree`], [`core::DmtConfig`]) |
 //! | [`models`] | GLMs, Naive Bayes, AIC, the [`models::OnlineClassifier`] trait |
-//! | [`stream`] | stream abstractions, generators, the Table I catalog |
+//! | [`stream`] | stream abstractions, generators, the Table I catalog, the named workload suite |
 //! | [`drift`] | ADWIN, Page-Hinkley, DDM drift detectors |
 //! | [`baselines`] | VFDT (MC/NBA), HT-Ada, EFDT, FIMT-DD |
 //! | [`ensembles`] | Adaptive Random Forest, Leveraging Bagging |
@@ -52,7 +52,10 @@ pub mod prelude {
     pub use crate::core::{DmtConfig, DynamicModelTree, Parallelism};
     pub use crate::eval::{PrequentialConfig, PrequentialResult, PrequentialRun};
     pub use crate::models::{BatchMode, Complexity, OnlineClassifier, SimpleModel};
-    pub use crate::stream::{Batch, DataStream, Instance, StreamSchema};
+    pub use crate::stream::{
+        build_workload, build_workload_default, Batch, DataStream, Instance, StreamSchema,
+        WorkloadInfo, WORKLOADS,
+    };
     pub use crate::zoo::{build_model, ModelKind, ALL_MODELS, STANDALONE_MODELS};
 }
 
@@ -74,5 +77,8 @@ mod tests {
         assert_eq!(batch.len(), 16);
         let detector = crate::drift::Adwin::default();
         assert_eq!(detector.width(), 0);
+        // The workload suite is part of the prelude surface.
+        assert_eq!(WORKLOADS.len(), 4);
+        assert!(WORKLOADS.iter().any(|w| w.name == "drift-cocktail"));
     }
 }

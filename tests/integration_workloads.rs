@@ -1,0 +1,165 @@
+//! Integration pins for the real-world workload suite
+//! (`dmt::stream::workload`): the drift cocktail's change-points sit where
+//! the catalog metadata says they do, the synthesized CSV files round-trip
+//! byte-stably through the file system and `load_csv`, and the DMT actually
+//! learns the cocktail end to end. These back the CI accuracy-regression
+//! gate — if synthesis or composition drifts, these fail before a confusing
+//! `acc_compare` delta does.
+
+use std::path::PathBuf;
+
+use dmt::eval::{PrequentialConfig, PrequentialRun};
+use dmt::prelude::*;
+use dmt::stream::workload::{
+    self, COCKTAIL_CHANGE_POINTS, COCKTAIL_GRADUAL_WIDTH, DATASET_FILES, WORKLOADS,
+};
+
+/// Fresh per-test dataset directory, so the pins exercise synthesis (not a
+/// file another run left behind) and tests never race on shared files.
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmt-workloads-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Mean label over `instances[range]`.
+fn label_mean(labels: &[usize], range: std::ops::Range<usize>) -> f64 {
+    let slice = &labels[range];
+    slice.iter().sum::<usize>() as f64 / slice.len() as f64
+}
+
+#[test]
+fn drift_cocktail_change_points_are_pinned() {
+    let dir = scratch_dir("cocktail");
+    let mut stream = workload::build_workload("drift-cocktail", &dir)
+        .expect("synthesize + load")
+        .expect("known workload");
+    let mut labels = Vec::new();
+    while let Some(instance) = stream.next_instance() {
+        labels.push(instance.y);
+    }
+    assert_eq!(labels.len(), 24_000);
+
+    // The metadata the bench suite prints must match the composition pinned
+    // here: abrupt switch at 8 000, gradual (sigmoid, width 2 000) at 16 000.
+    let info = workload::workload_info("drift-cocktail").unwrap();
+    assert_eq!(info.change_points, &COCKTAIL_CHANGE_POINTS);
+    assert_eq!(COCKTAIL_GRADUAL_WIDTH, 2_000);
+
+    // Concept A has a ~0.3 positive prior, concept B ~0.7, so windowed label
+    // means locate every change-point under the pinned seeds.
+    let before = label_mean(&labels, 5_000..8_000);
+    assert!((0.25..0.35).contains(&before), "concept A prior: {before}");
+    // Abrupt at 8 000: the very next window is already on concept B.
+    let right_after = label_mean(&labels, 8_000..9_000);
+    assert!(
+        (0.65..0.75).contains(&right_after),
+        "abrupt switch to concept B: {right_after}"
+    );
+    let plateau = label_mean(&labels, 10_000..15_000);
+    assert!(
+        (0.65..0.75).contains(&plateau),
+        "concept B plateau: {plateau}"
+    );
+    // Gradual at 16 000: inside the mixing window the prior sits between the
+    // two concepts...
+    let mixing = label_mean(&labels, 15_200..16_800);
+    assert!(
+        (0.40..0.60).contains(&mixing),
+        "sigmoid mixing window: {mixing}"
+    );
+    // ...and well past it the stream is pure concept A again.
+    let after = label_mean(&labels, 18_000..24_000);
+    assert!((0.25..0.35).contains(&after), "back on concept A: {after}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn workload_files_round_trip_byte_stably() {
+    let dir = scratch_dir("roundtrip");
+    for file in DATASET_FILES {
+        let synthesized = workload::synthesize_dataset(file).expect("known file stem");
+        let path = workload::ensure_dataset(&dir, file).expect("write dataset");
+        let on_disk = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(on_disk, synthesized, "{file}: disk bytes differ");
+
+        // Ensuring again must hit the write-once path and leave the exact
+        // bytes alone.
+        let again = workload::ensure_dataset(&dir, file).expect("re-ensure");
+        assert_eq!(again, path);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), synthesized);
+
+        // The loaded stream matches the text: one instance per non-header
+        // line, and two independent loads yield bit-identical features.
+        let mut a = dmt::stream::load_csv(&path).expect("load_csv");
+        let mut b = dmt::stream::load_csv(&path).expect("load_csv again");
+        let mut instances = 0usize;
+        while let (Some(ia), Some(ib)) = (a.next_instance(), b.next_instance()) {
+            assert_eq!(ia.y, ib.y);
+            for (va, vb) in ia.x.iter().zip(ib.x.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{file}: features diverge");
+            }
+            instances += 1;
+        }
+        assert_eq!(instances, synthesized.lines().count() - 1, "{file}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_workload_is_deterministic_across_directories() {
+    // Same workload synthesized into two different directories must emit the
+    // identical instance sequence — the property the accuracy gate's
+    // machine-independence claim rests on.
+    let dir_a = scratch_dir("det-a");
+    let dir_b = scratch_dir("det-b");
+    for info in &WORKLOADS {
+        let mut a = workload::build_workload(info.name, &dir_a)
+            .unwrap()
+            .unwrap();
+        let mut b = workload::build_workload(info.name, &dir_b)
+            .unwrap()
+            .unwrap();
+        let mut count = 0u64;
+        loop {
+            match (a.next_instance(), b.next_instance()) {
+                (None, None) => break,
+                (Some(ia), Some(ib)) => {
+                    assert_eq!(ia.y, ib.y, "{}: labels diverge at {count}", info.name);
+                    for (va, vb) in ia.x.iter().zip(ib.x.iter()) {
+                        assert_eq!(va.to_bits(), vb.to_bits(), "{}", info.name);
+                    }
+                    count += 1;
+                }
+                _ => panic!("{}: streams end at different lengths", info.name),
+            }
+        }
+        assert_eq!(count, info.samples, "{}", info.name);
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn dmt_learns_the_drift_cocktail() {
+    let dir = scratch_dir("learn");
+    let mut stream = workload::build_workload("drift-cocktail", &dir)
+        .unwrap()
+        .unwrap();
+    let schema = stream.schema().clone();
+    let mut model = build_model(ModelKind::Dmt, &schema, 1);
+    let runner = PrequentialRun::new(PrequentialConfig::default());
+    let result = runner.evaluate(model.as_mut(), &mut stream, None);
+    assert_eq!(result.instances, 24_000);
+    // The blessed BENCH_ACC.json records ~0.91 accuracy / ~0.81 kappa on this
+    // cell; generous floors here so this pin survives model tuning while
+    // still catching a model that stops adapting across the change-points.
+    assert!(
+        result.overall_accuracy > 0.8,
+        "accuracy {}",
+        result.overall_accuracy
+    );
+    assert!(result.overall_kappa > 0.5, "kappa {}", result.overall_kappa);
+    let _ = std::fs::remove_dir_all(&dir);
+}
