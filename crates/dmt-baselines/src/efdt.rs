@@ -17,7 +17,7 @@
 //! re-evaluations is set to 1,000 and the leaves use majority voting.
 
 use dmt_models::online::{Complexity, OnlineClassifier};
-use dmt_models::Rows;
+use dmt_models::{MemoryUsage, Rows};
 use dmt_stream::schema::StreamSchema;
 
 use crate::leaf_stats::{LeafPolicy, LeafStats};
@@ -107,6 +107,23 @@ impl EfdtNode {
                 let (il, ll) = left.count_nodes();
                 let (ir, lr) = right.count_nodes();
                 (1 + il + ir, ll + lr)
+            }
+        }
+    }
+
+    /// Heap bytes of this subtree — EFDT inner nodes keep full leaf
+    /// statistics for re-evaluation, so they count like leaves plus their
+    /// boxed children.
+    fn memory_bytes(&self) -> usize {
+        match self {
+            EfdtNode::Leaf { stats, .. } => stats.memory_bytes(),
+            EfdtNode::Inner {
+                left, right, stats, ..
+            } => {
+                2 * std::mem::size_of::<EfdtNode>()
+                    + stats.memory_bytes()
+                    + left.memory_bytes()
+                    + right.memory_bytes()
             }
         }
     }
@@ -334,6 +351,10 @@ impl OnlineClassifier for EfdtClassifier {
             self.schema.num_classes,
             self.schema.num_features(),
         )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.root.memory_bytes()
     }
 }
 

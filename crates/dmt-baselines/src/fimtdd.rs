@@ -22,8 +22,9 @@
 use std::collections::BTreeMap;
 
 use dmt_drift::{DriftDetector, PageHinkley};
+use dmt_models::memory::vec_bytes;
 use dmt_models::online::{Complexity, OnlineClassifier};
-use dmt_models::{Glm, Rows, SimpleModel};
+use dmt_models::{Glm, MemoryUsage, Rows, SimpleModel};
 use dmt_stream::schema::StreamSchema;
 
 use crate::observer::SplitTest;
@@ -172,6 +173,28 @@ impl FimtNode {
                 let (il, ll) = left.count_nodes();
                 let (ir, lr) = right.count_nodes();
                 (1 + il + ir, ll + lr)
+            }
+        }
+    }
+
+    /// Heap bytes of this subtree. E-BST bins live in a `BTreeMap`; the
+    /// estimate charges each entry its key/value size plus one pointer of
+    /// node overhead, which is close enough for budget reporting.
+    fn memory_bytes(&self) -> usize {
+        let map_entry = std::mem::size_of::<i64>()
+            + std::mem::size_of::<TargetStats>()
+            + std::mem::size_of::<usize>();
+        match self {
+            FimtNode::Leaf { model, ebsts, .. } => {
+                model.memory_bytes()
+                    + vec_bytes(ebsts)
+                    + ebsts
+                        .iter()
+                        .map(|e| e.bins.len() * map_entry)
+                        .sum::<usize>()
+            }
+            FimtNode::Inner { left, right, .. } => {
+                2 * std::mem::size_of::<FimtNode>() + left.memory_bytes() + right.memory_bytes()
             }
         }
     }
@@ -383,6 +406,10 @@ impl OnlineClassifier for FimtDdClassifier {
             splits: inner as f64 + leaves as f64 * splits_per_leaf,
             parameters: inner as f64 + leaves as f64 * params_per_leaf,
         }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.root.memory_bytes()
     }
 }
 

@@ -11,7 +11,7 @@
 
 use dmt_drift::{Adwin, DriftDetector};
 use dmt_models::online::{Complexity, OnlineClassifier};
-use dmt_models::Rows;
+use dmt_models::{MemoryUsage, Rows};
 use dmt_stream::schema::StreamSchema;
 
 use crate::leaf_stats::{LeafPolicy, LeafStats};
@@ -108,6 +108,34 @@ impl AdaNode {
                 let (il, ll) = left.count_nodes();
                 let (ir, lr) = right.count_nodes();
                 (1 + il + ir, ll + lr)
+            }
+        }
+    }
+
+    /// Heap bytes of this subtree. Unlike [`AdaNode::count_nodes`], alternate
+    /// subtrees **do** count here: memory accounting reports resident bytes,
+    /// and an alternate is resident whether or not it is deployed.
+    fn memory_bytes(&self) -> usize {
+        match self {
+            AdaNode::Leaf {
+                stats,
+                error_monitor,
+                ..
+            } => stats.memory_bytes() + error_monitor.memory_bytes(),
+            AdaNode::Inner {
+                left,
+                right,
+                error_monitor,
+                alternate,
+                ..
+            } => {
+                2 * std::mem::size_of::<AdaNode>()
+                    + left.memory_bytes()
+                    + right.memory_bytes()
+                    + error_monitor.memory_bytes()
+                    + alternate
+                        .as_ref()
+                        .map_or(0, |a| std::mem::size_of::<AdaNode>() + a.memory_bytes())
             }
         }
     }
@@ -307,6 +335,10 @@ impl OnlineClassifier for HoeffdingAdaptiveTree {
             self.schema.num_classes,
             self.schema.num_features(),
         )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.root.memory_bytes()
     }
 }
 

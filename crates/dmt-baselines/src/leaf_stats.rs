@@ -12,8 +12,9 @@
 //!   of majority class / Naive Bayes has been more accurate at this leaf so
 //!   far (Gama et al., 2003).
 
+use dmt_models::memory::{slice_deep_bytes, vec_bytes};
 use dmt_models::wire::{self, Reader, WireError, Writer};
-use dmt_models::{GaussianNaiveBayes, SimpleModel};
+use dmt_models::{GaussianNaiveBayes, MemoryUsage, SimpleModel};
 use dmt_stream::schema::{FeatureType, StreamSchema};
 
 use crate::observer::{AttributeObserver, SplitSuggestion};
@@ -43,6 +44,18 @@ pub struct LeafStats {
     nb_correct: f64,
     /// Weight seen at the time of the last split attempt (for grace periods).
     pub weight_at_last_eval: f64,
+}
+
+impl MemoryUsage for LeafStats {
+    /// Heap bytes of the class counts, every attribute observer (Gaussian
+    /// estimators or nominal count tables) and the optional Naive Bayes
+    /// model.
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.class_counts)
+            + vec_bytes(&self.observers)
+            + slice_deep_bytes(&self.observers)
+            + self.nb.as_ref().map_or(0, MemoryUsage::memory_bytes)
+    }
 }
 
 impl LeafStats {

@@ -8,8 +8,10 @@
 //!   one-vs-rest binary splits (the paper restricts all trees to binary
 //!   splits, §VI-C).
 
+use dmt_models::memory::vec_bytes;
 use dmt_models::naive_bayes::RunningStats;
 use dmt_models::wire::{self, Reader, WireError, Writer};
+use dmt_models::MemoryUsage;
 
 use crate::split_criterion::SplitCriterion;
 
@@ -85,6 +87,14 @@ pub struct GaussianObserver {
     per_class: Vec<RunningStats>,
     min: f64,
     max: f64,
+}
+
+impl MemoryUsage for GaussianObserver {
+    /// Heap bytes of the per-class estimator vector (`RunningStats` owns no
+    /// heap of its own).
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.per_class)
+    }
 }
 
 impl GaussianObserver {
@@ -205,6 +215,15 @@ pub struct NominalObserver {
     num_classes: usize,
 }
 
+impl MemoryUsage for NominalObserver {
+    /// Heap bytes of the `value × class` count table — for high-cardinality
+    /// nominal features this is the dominant per-leaf cost of the Hoeffding
+    /// family, which is exactly what the `memory-budget` workload stresses.
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.counts) + self.counts.iter().map(vec_bytes).sum::<usize>()
+    }
+}
+
 impl NominalObserver {
     /// Create an observer for a nominal attribute with `cardinality` values.
     pub fn new(cardinality: usize, num_classes: usize) -> Self {
@@ -316,6 +335,15 @@ pub enum AttributeObserver {
     Numeric(GaussianObserver),
     /// Count-table observer for nominal features.
     Nominal(NominalObserver),
+}
+
+impl MemoryUsage for AttributeObserver {
+    fn memory_bytes(&self) -> usize {
+        match self {
+            AttributeObserver::Numeric(o) => o.memory_bytes(),
+            AttributeObserver::Nominal(o) => o.memory_bytes(),
+        }
+    }
 }
 
 impl AttributeObserver {

@@ -13,7 +13,7 @@
 
 use dmt_models::online::{Complexity, OnlineClassifier};
 use dmt_models::wire::{self, Reader, WireError, Writer};
-use dmt_models::Rows;
+use dmt_models::{MemoryUsage, Rows};
 use dmt_stream::schema::StreamSchema;
 
 use crate::leaf_stats::{LeafPolicy, LeafStats};
@@ -138,6 +138,17 @@ impl Node {
                 let (il, ll) = left.count_nodes();
                 let (ir, lr) = right.count_nodes();
                 (1 + il + ir, ll + lr)
+            }
+        }
+    }
+
+    /// Heap bytes of this subtree: each node's own boxed allocation plus the
+    /// leaf statistics it owns.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        match self {
+            Node::Leaf { stats, .. } => stats.memory_bytes(),
+            Node::Inner { left, right, .. } => {
+                2 * std::mem::size_of::<Node>() + left.memory_bytes() + right.memory_bytes()
             }
         }
     }
@@ -561,6 +572,10 @@ impl OnlineClassifier for HoeffdingTreeClassifier {
             self.schema.num_classes,
             self.schema.num_features(),
         )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.root.memory_bytes()
     }
 }
 

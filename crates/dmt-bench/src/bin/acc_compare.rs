@@ -2,13 +2,17 @@
 //! the committed `BENCH_ACC.json` baseline and fail (exit code 1) when any
 //! model's prequential quality on any workload drops beyond the tolerance.
 //!
-//! Three metrics are gated per (model, workload) cell — overall accuracy,
-//! Cohen's kappa and stream-level F1 — each with an **absolute-delta**
-//! tolerance ([`Tolerance::AbsoluteDelta`]). Bounded `[0, 1]` scores make
-//! ratio tolerances misbehave: near zero a ratio over-triggers (kappa 0.05 →
+//! Four metrics are gated per (model, workload) cell. Overall accuracy,
+//! Cohen's kappa and stream-level F1 each use an **absolute-delta**
+//! tolerance ([`Tolerance::AbsoluteDelta`]): bounded `[0, 1]` scores make
+//! ratio tolerances misbehave — near zero a ratio over-triggers (kappa 0.05 →
 //! 0.04 is noise, not a 20 % loss) and near one it under-triggers. Kappa gets
 //! a wider band than accuracy because chance correction amplifies small
-//! count changes on imbalanced workloads.
+//! count changes on imbalanced workloads. The fourth metric,
+//! `bytes_per_model`, is lower-is-better and gated with an **absolute
+//! ceiling** ([`Tolerance::AbsoluteCeiling`], `--tol-bytes`): resident bytes
+//! may grow by at most the tolerance over the blessed value, so memory creep
+//! fails CI like a quality loss does, while shrinking never trips the gate.
 //!
 //! Unlike the throughput gate there is no machine-speed control and no
 //! advisory tier: the workloads are deterministically synthesized from
@@ -43,6 +47,9 @@ struct Options {
     tol_kappa: f64,
     /// Absolute tolerated drop in stream-level F1.
     tol_f1: f64,
+    /// Absolute tolerated *growth* in resident bytes per model
+    /// ([`Tolerance::AbsoluteCeiling`]) — memory creep is a regression too.
+    tol_bytes: f64,
 }
 
 impl Default for Options {
@@ -54,6 +61,10 @@ impl Default for Options {
             tol_accuracy: 0.02,
             tol_kappa: 0.04,
             tol_f1: 0.02,
+            // Half a MiB of headroom: capacity-based accounting moves in
+            // powers of two, so legitimate refactors jiggle the count by
+            // whole allocation steps — but silent unbounded growth fails.
+            tol_bytes: 512.0 * 1024.0,
         }
     }
 }
@@ -105,6 +116,12 @@ fn parse_options() -> Options {
                     i += 1;
                 }
             }
+            "--tol-bytes" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.tol_bytes = v;
+                    i += 1;
+                }
+            }
             _ => {}
         }
         i += 1;
@@ -115,10 +132,14 @@ fn parse_options() -> Options {
 fn run(options: &Options) -> Result<bool, String> {
     let baseline = load_rows(&options.baseline, "model", "workload")?;
     let current = load_rows(&options.current, "model", "workload")?;
-    let metrics: [(&str, Tolerance); 3] = [
+    let metrics: [(&str, Tolerance); 4] = [
         ("accuracy", Tolerance::AbsoluteDelta(options.tol_accuracy)),
         ("kappa", Tolerance::AbsoluteDelta(options.tol_kappa)),
         ("f1", Tolerance::AbsoluteDelta(options.tol_f1)),
+        (
+            "bytes_per_model",
+            Tolerance::AbsoluteCeiling(options.tol_bytes),
+        ),
     ];
 
     println!(

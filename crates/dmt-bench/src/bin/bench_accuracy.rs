@@ -118,6 +118,9 @@ struct CellResult {
     f1: f64,
     final_splits: f64,
     final_params: f64,
+    /// Resident heap bytes of the finished model — deterministic for a
+    /// pinned run, so the accuracy gate can put an absolute ceiling on it.
+    bytes_per_model: u64,
 }
 
 impl ToJson for CellResult {
@@ -132,6 +135,10 @@ impl ToJson for CellResult {
             ("f1".to_string(), self.f1.to_json()),
             ("final_splits".to_string(), self.final_splits.to_json()),
             ("final_params".to_string(), self.final_params.to_json()),
+            (
+                "bytes_per_model".to_string(),
+                self.bytes_per_model.to_json(),
+            ),
         ])
     }
 }
@@ -150,6 +157,7 @@ fn run_cell(kind: ModelKind, workload_name: &str, options: &Options) -> CellResu
     });
     let result = runner.evaluate(model.as_mut(), &mut stream, None);
     let complexity = model.complexity();
+    let bytes_per_model = model.memory_bytes() as u64;
     CellResult {
         model: kind.display_name().to_string(),
         workload: workload_name.to_string(),
@@ -160,6 +168,7 @@ fn run_cell(kind: ModelKind, workload_name: &str, options: &Options) -> CellResu
         f1: result.overall_f1,
         final_splits: complexity.splits,
         final_params: complexity.parameters,
+        bytes_per_model,
     }
 }
 
@@ -170,15 +179,21 @@ fn main() {
 
     let mut results: Vec<CellResult> = Vec::new();
     println!(
-        "{:<14}{:<16}{:>10}{:>10}{:>10}{:>10}",
-        "Model", "Workload", "accuracy", "kappa", "f1", "splits"
+        "{:<14}{:<16}{:>10}{:>10}{:>10}{:>10}{:>12}",
+        "Model", "Workload", "accuracy", "kappa", "f1", "splits", "KiB"
     );
     for workload_name in &options.workloads {
         for &kind in &options.models {
             let cell = run_cell(kind, workload_name, &options);
             println!(
-                "{:<14}{:<16}{:>10.4}{:>10.4}{:>10.4}{:>10.1}",
-                cell.model, cell.workload, cell.accuracy, cell.kappa, cell.f1, cell.final_splits
+                "{:<14}{:<16}{:>10.4}{:>10.4}{:>10.4}{:>10.1}{:>12.1}",
+                cell.model,
+                cell.workload,
+                cell.accuracy,
+                cell.kappa,
+                cell.f1,
+                cell.final_splits,
+                cell.bytes_per_model as f64 / 1024.0
             );
             results.push(cell);
         }

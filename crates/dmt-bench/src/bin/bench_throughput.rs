@@ -102,6 +102,9 @@ struct CellResult {
     predict_instances_per_sec: f64,
     final_splits: f64,
     final_params: f64,
+    /// Resident heap bytes of the finished model (capacity-based accounting;
+    /// informational in the timing file — the accuracy gate owns the ceiling).
+    bytes_per_model: u64,
 }
 
 impl ToJson for CellResult {
@@ -130,6 +133,10 @@ impl ToJson for CellResult {
             ),
             ("final_splits".to_string(), self.final_splits.to_json()),
             ("final_params".to_string(), self.final_params.to_json()),
+            (
+                "bytes_per_model".to_string(),
+                self.bytes_per_model.to_json(),
+            ),
         ])
     }
 }
@@ -189,6 +196,7 @@ fn run_cell(kind: ThroughputModel, stream_name: &str, options: &Options) -> Cell
     let predict_seconds = predict_start.elapsed().as_secs_f64();
 
     let complexity = model.complexity();
+    let bytes_per_model = model.memory_bytes() as u64;
     CellResult {
         model: kind.display_name(),
         stream: stream_name.to_string(),
@@ -201,6 +209,7 @@ fn run_cell(kind: ThroughputModel, stream_name: &str, options: &Options) -> Cell
         predict_instances_per_sec: predict_instances as f64 / predict_seconds,
         final_splits: complexity.splits,
         final_params: complexity.parameters,
+        bytes_per_model,
     }
 }
 
@@ -209,20 +218,21 @@ fn main() {
     let mut results: Vec<CellResult> = Vec::new();
 
     println!(
-        "{:<14}{:<10}{:>16}{:>16}{:>18}{:>12}",
-        "Model", "Stream", "inst/sec", "µs/batch", "predict inst/sec", "splits"
+        "{:<14}{:<10}{:>16}{:>16}{:>18}{:>12}{:>12}",
+        "Model", "Stream", "inst/sec", "µs/batch", "predict inst/sec", "splits", "KiB"
     );
     for stream in THROUGHPUT_STREAMS {
         for &kind in &throughput_models() {
             let cell = run_cell(kind, stream, &options);
             println!(
-                "{:<14}{:<10}{:>16.0}{:>16.1}{:>18.0}{:>12.1}",
+                "{:<14}{:<10}{:>16.0}{:>16.1}{:>18.0}{:>12.1}{:>12.1}",
                 cell.model,
                 cell.stream,
                 cell.instances_per_sec,
                 cell.micros_per_batch,
                 cell.predict_instances_per_sec,
-                cell.final_splits
+                cell.final_splits,
+                cell.bytes_per_model as f64 / 1024.0
             );
             results.push(cell);
         }

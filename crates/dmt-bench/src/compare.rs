@@ -26,20 +26,30 @@ pub enum Tolerance {
     /// over-trigger near zero (kappa 0.05 → 0.04 is noise, not a 20 % loss)
     /// and under-trigger near one.
     AbsoluteDelta(f64),
+    /// Absolute ceiling on a lower-is-better metric: regressed when
+    /// `current > baseline + tolerance`. The shape for resident byte counts,
+    /// where *growth* is the regression and shrinking is always welcome.
+    AbsoluteCeiling(f64),
 }
 
 impl Tolerance {
-    /// Lowest acceptable current value for a given baseline value.
+    /// Lowest acceptable current value for a given baseline value. For
+    /// [`Tolerance::AbsoluteCeiling`] (lower is better) this is the *highest*
+    /// acceptable value instead — the bound the gate enforces either way.
     pub fn floor(&self, baseline: f64) -> f64 {
         match self {
             Tolerance::Ratio(tolerance) => baseline * (1.0 - tolerance),
             Tolerance::AbsoluteDelta(tolerance) => baseline - tolerance,
+            Tolerance::AbsoluteCeiling(tolerance) => baseline + tolerance,
         }
     }
 
     /// Whether `current` regresses beyond the tolerance against `baseline`.
     pub fn regressed(&self, baseline: f64, current: f64) -> bool {
-        current < self.floor(baseline)
+        match self {
+            Tolerance::AbsoluteCeiling(_) => current > self.floor(baseline),
+            _ => current < self.floor(baseline),
+        }
     }
 
     /// Whether `current` *improves* on `baseline` by more than the tolerance
@@ -49,6 +59,7 @@ impl Tolerance {
         match self {
             Tolerance::Ratio(tolerance) => current > baseline * (1.0 + tolerance),
             Tolerance::AbsoluteDelta(tolerance) => current > baseline + tolerance,
+            Tolerance::AbsoluteCeiling(tolerance) => current < baseline - tolerance,
         }
     }
 }
@@ -193,6 +204,20 @@ mod tests {
         assert!(tol.regressed(0.9, 0.87));
         assert!(tol.improved(0.9, 0.93));
         assert!(!tol.improved(0.9, 0.91));
+    }
+
+    #[test]
+    fn ceiling_tolerance_gates_growth_not_shrinkage() {
+        let tol = Tolerance::AbsoluteCeiling(1024.0);
+        // Growing within the band is fine; beyond it is a regression.
+        assert!(!tol.regressed(100_000.0, 100_500.0));
+        assert!(tol.regressed(100_000.0, 101_500.0));
+        // Shrinking is never a regression — beyond the band it flags the
+        // baseline as stale (improvement), within it is just noise.
+        assert!(!tol.regressed(100_000.0, 50_000.0));
+        assert!(tol.improved(100_000.0, 98_000.0));
+        assert!(!tol.improved(100_000.0, 99_500.0));
+        assert!((tol.floor(100_000.0) - 101_024.0).abs() < 1e-9);
     }
 
     #[test]

@@ -14,13 +14,25 @@
 //! across the heap, which is the standard layout in high-throughput tree
 //! learners (VFDT/MOA-style systems).
 //!
-//! # Free-list reuse
+//! # Free-list reuse and canonical order
 //!
 //! The DMT retires structure all the time (prune and replace, paper §III):
 //! collapsed subtrees push their slots onto an internal free list and the
 //! next split pops from it, so long drifting streams do not fragment or grow
-//! the arena without bound. Slots are recycled in LIFO order, which keeps
-//! recently hot cache lines in use.
+//! the arena without bound. The free list is kept in **canonical order** —
+//! sorted descending, so allocation pops the lowest free slot first. The
+//! canonical order makes slot assignment a pure function of the structural
+//! edit history (not of the push order inside one edit), keeps reuse biased
+//! towards the dense low end of the arrays, and lets the snapshot codec
+//! treat the free list as a set: any two arenas in the same logical state
+//! serialise to the same bytes.
+//!
+//! Even with reuse, a tree that once grew large holds its peak-size columns
+//! forever; [`NodeArena::compact`] rewrites the arena into a dense,
+//! hole-free layout (preorder slot order, empty free list, capacities
+//! shrunk) so the memory-budget ladder can actually return bytes to the
+//! allocator. Compaction moves payloads without touching their values, so
+//! predictions and future learning are bit-identical across it.
 //!
 //! # Iteration by id
 //!
@@ -32,7 +44,8 @@
 //! parallel subtree updates later.
 
 use dmt_models::linalg::MatRef;
-use dmt_models::{argmax, Rows, SimpleModel as _};
+use dmt_models::memory::{slice_deep_bytes, vec_bytes};
+use dmt_models::{argmax, MemoryUsage, Rows, SimpleModel as _};
 
 use crate::candidate::CandidateKey;
 use crate::node::NodeStats;
@@ -84,7 +97,9 @@ pub struct NodeArena {
     right: Vec<u32>,
     /// Cold per-node payload, aligned with the arrays above.
     stats: Vec<NodeStats>,
-    /// Recycled slots, popped LIFO by the next allocation.
+    /// Recycled slots in canonical (descending) order, so the next
+    /// allocation pops the lowest free slot. Bulk-free operations restore
+    /// the order via [`NodeArena::canonicalise_free`].
     free: Vec<u32>,
 }
 
@@ -191,6 +206,14 @@ impl NodeArena {
         if r != NONE {
             self.free_subtree(r);
         }
+        self.canonicalise_free();
+    }
+
+    /// Restore the canonical (descending) free-list order after a bulk free,
+    /// so slot reuse depends only on *which* slots are free, never on the
+    /// traversal order that freed them.
+    fn canonicalise_free(&mut self) {
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
     }
 
     /// Push `slot` and all its descendants onto the free list.
@@ -331,7 +354,9 @@ impl NodeArena {
     /// invariants a hostile file could violate: all columns must have the
     /// same length, child links must be in bounds and paired (a slot has
     /// either two children or none), and every free-listed slot must be an
-    /// unlinked leaf listed exactly once. Global invariants (every slot
+    /// unlinked leaf listed exactly once. The free list is canonicalised
+    /// (descending order) regardless of the order it arrived in, so a loaded
+    /// arena re-serialises to stable bytes. Global invariants (every slot
     /// reachable exactly once *or* free-listed, no reachable free slot) are
     /// the caller's job via [`NodeArena::validate`] — they need the root id,
     /// which the arena does not store.
@@ -384,7 +409,7 @@ impl NodeArena {
             }
             freed[i] = true;
         }
-        Ok(Self {
+        let mut arena = Self {
             split_feature,
             split_value,
             split_nominal,
@@ -392,13 +417,98 @@ impl NodeArena {
             right,
             stats,
             free,
-        })
+        };
+        // Canonicalise rather than trust the decoded order: a snapshot whose
+        // free list was reordered (by hand or by an older writer) loads into
+        // the same in-memory state as the canonically-written one, so
+        // re-serialising is stable and future slot reuse cannot depend on
+        // wire-level byte order.
+        arena.canonicalise_free();
+        Ok(arena)
     }
 
     /// Number of live nodes reachable from `root`.
     pub fn live_count(&self, root: NodeId) -> usize {
         let (inner, leaves) = self.count_nodes(root);
         (inner + leaves) as usize
+    }
+
+    /// Append every node of the subtree rooted at `root` to `out` in
+    /// preorder (node, left subtree, right subtree) — the deterministic
+    /// iteration order the budget ladder and [`NodeArena::compact`] share.
+    pub fn preorder_ids(&self, root: NodeId, out: &mut Vec<NodeId>) {
+        let mut stack = vec![root.0];
+        while let Some(slot) = stack.pop() {
+            out.push(NodeId(slot));
+            let i = slot as usize;
+            if self.left[i] != NONE {
+                stack.push(self.right[i]);
+                stack.push(self.left[i]);
+            }
+        }
+    }
+
+    /// Rewrite the arena into a dense, hole-free layout and return the new
+    /// root id (always [`NodeId`] 0).
+    ///
+    /// Live nodes are renumbered into preorder, free-listed holes disappear,
+    /// and every column is reallocated at exactly the live size — this is
+    /// the only operation that *returns* memory to the allocator, so the
+    /// budget ladder runs it before resorting to structural degradation. All
+    /// node payloads are moved, never recomputed: predictions, parameters
+    /// and future learning are bit-identical across a compaction. Only slot
+    /// *numbering* changes, which is invisible everywhere except snapshot
+    /// bytes (a snapshot taken after compacting is the dense encoding of the
+    /// same tree).
+    ///
+    /// Every [`NodeId`] previously handed out is invalidated; the tree
+    /// (which owns the only long-lived id, its root) re-roots on the return
+    /// value.
+    pub fn compact(&mut self, root: NodeId) -> NodeId {
+        let mut order = Vec::with_capacity(self.num_slots() - self.free.len());
+        self.preorder_ids(root, &mut order);
+        let live = order.len();
+        let mut remap = vec![NONE; self.num_slots()];
+        for (new, id) in order.iter().enumerate() {
+            remap[id.index()] = new as u32;
+        }
+        let mut split_feature = Vec::with_capacity(live);
+        let mut split_value = Vec::with_capacity(live);
+        let mut split_nominal = Vec::with_capacity(live);
+        let mut left = Vec::with_capacity(live);
+        let mut right = Vec::with_capacity(live);
+        let mut stats = Vec::with_capacity(live);
+        for id in &order {
+            let i = id.index();
+            split_feature.push(self.split_feature[i]);
+            split_value.push(self.split_value[i]);
+            split_nominal.push(self.split_nominal[i]);
+            left.push(if self.left[i] == NONE {
+                NONE
+            } else {
+                remap[self.left[i] as usize]
+            });
+            right.push(if self.right[i] == NONE {
+                NONE
+            } else {
+                remap[self.right[i] as usize]
+            });
+            stats.push(std::mem::replace(
+                &mut self.stats[i],
+                NodeStats::placeholder(),
+            ));
+        }
+        self.split_feature = split_feature;
+        self.split_value = split_value;
+        self.split_nominal = split_nominal;
+        self.left = left;
+        self.right = right;
+        self.stats = stats;
+        self.free = Vec::new();
+        let new_root = NodeId(remap[root.index()]);
+        debug_assert_eq!(new_root, NodeId(0));
+        debug_assert!(self.validate(new_root).is_ok());
+        new_root
     }
 
     /// Check the arena's structural invariants for the tree rooted at
@@ -476,6 +586,7 @@ impl NodeArena {
         let stats = std::mem::replace(&mut self.stats[id.index()], NodeStats::placeholder());
         let root = out.alloc_leaf(stats);
         self.move_children_into(id, out, root);
+        self.canonicalise_free();
         root
     }
 
@@ -617,6 +728,24 @@ impl NodeArena {
                 stack.push((self.left[i], lo as u32, write as u32));
             }
         }
+    }
+}
+
+impl MemoryUsage for NodeArena {
+    /// Heap bytes of all seven SoA columns plus every slot's payload
+    /// (leaf model parameters, loss window, candidate pools). Free slots
+    /// still count whatever their placeholder stats retain — the point of
+    /// the accounting is resident bytes, not live bytes, which is exactly
+    /// what [`NodeArena::compact`] reclaims.
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.split_feature)
+            + vec_bytes(&self.split_value)
+            + vec_bytes(&self.split_nominal)
+            + vec_bytes(&self.left)
+            + vec_bytes(&self.right)
+            + vec_bytes(&self.free)
+            + vec_bytes(&self.stats)
+            + slice_deep_bytes(&self.stats)
     }
 }
 
@@ -794,6 +923,125 @@ mod tests {
         arena.attach_subtree(l, &mut worker, droot);
         arena.validate(root).unwrap();
         assert_eq!(arena.stats(l).count, 42);
+    }
+
+    #[test]
+    fn free_list_is_canonical_after_collapse() {
+        let (mut arena, root) = NodeArena::with_root(leaf_stats());
+        let (l, r) = arena.install_split(root, numeric_key(0, 0.5), leaf_stats(), leaf_stats());
+        arena.install_split(l, numeric_key(1, 0.25), leaf_stats(), leaf_stats());
+        arena.install_split(r, numeric_key(1, 0.75), leaf_stats(), leaf_stats());
+        arena.collapse_to_leaf(root);
+        assert_eq!(arena.num_free(), 6);
+        let free = arena.snapshot_columns().5;
+        assert!(
+            free.windows(2).all(|w| w[0] > w[1]),
+            "free list must be strictly descending, got {free:?}"
+        );
+        // Allocation drains the free list lowest-slot-first.
+        let a = arena.alloc_leaf(leaf_stats());
+        let b = arena.alloc_leaf(leaf_stats());
+        assert!(a.0 < b.0);
+        assert_eq!(a.0, 1);
+    }
+
+    #[test]
+    fn compact_preserves_structure_and_predictions() {
+        let (mut arena, root) = NodeArena::with_root(leaf_stats());
+        let (l, r) = arena.install_split(root, numeric_key(0, 0.5), leaf_stats(), leaf_stats());
+        arena.install_split(l, numeric_key(1, 0.25), leaf_stats(), leaf_stats());
+        let (rl, _rr) = arena.install_split(r, numeric_key(1, 0.75), leaf_stats(), leaf_stats());
+        arena.install_split(rl, numeric_key(0, 0.9), leaf_stats(), leaf_stats());
+        // Punch holes: collapse the left inner node back to a leaf.
+        arena.collapse_to_leaf(l);
+        assert!(arena.num_free() > 0);
+        let live = arena.live_count(root);
+
+        let xs: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![(i % 11) as f64 / 10.0, ((i * 5) % 13) as f64 / 12.0])
+            .collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut before = vec![0usize; rows.len()];
+        let mut scratch = PredictScratch::new();
+        arena.predict_batch_into(root, &rows, &mut before, &mut scratch);
+        let probs_before: Vec<u64> = rows
+            .iter()
+            .map(|x| arena.leaf_for(root, x))
+            .flat_map(|leaf| arena.stats(leaf).model.predict_proba(&xs[0]))
+            .map(|p| p.to_bits())
+            .collect();
+
+        let new_root = arena.compact(root);
+        assert_eq!(new_root, NodeId(0));
+        arena.validate(new_root).unwrap();
+        assert_eq!(arena.num_free(), 0);
+        assert_eq!(arena.num_slots(), live);
+        assert_eq!(arena.live_count(new_root), live);
+        // Columns are allocated at exactly the live size.
+        assert_eq!(arena.stats.capacity(), live);
+        assert_eq!(arena.left.capacity(), live);
+
+        let mut after = vec![0usize; rows.len()];
+        arena.predict_batch_into(new_root, &rows, &mut after, &mut scratch);
+        assert_eq!(before, after, "compaction must not change predictions");
+        let probs_after: Vec<u64> = rows
+            .iter()
+            .map(|x| arena.leaf_for(new_root, x))
+            .flat_map(|leaf| arena.stats(leaf).model.predict_proba(&xs[0]))
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(
+            probs_before, probs_after,
+            "leaf models moved bit-identically"
+        );
+    }
+
+    #[test]
+    fn compact_renumbers_into_preorder() {
+        let (mut arena, root) = NodeArena::with_root(leaf_stats());
+        let (l, r) = arena.install_split(root, numeric_key(0, 0.5), leaf_stats(), leaf_stats());
+        arena.install_split(r, numeric_key(1, 0.75), leaf_stats(), leaf_stats());
+        arena.collapse_to_leaf(l);
+        let new_root = arena.compact(root);
+        let mut order = Vec::new();
+        arena.preorder_ids(new_root, &mut order);
+        let slots: Vec<u32> = order.iter().map(|id| id.0).collect();
+        assert_eq!(
+            slots,
+            (0..arena.num_slots() as u32).collect::<Vec<_>>(),
+            "compacted ids are dense preorder"
+        );
+        // Compacting an already-dense arena is a fixed point.
+        let again = arena.compact(new_root);
+        assert_eq!(again, new_root);
+        assert_eq!(arena.num_slots(), slots.len());
+    }
+
+    #[test]
+    fn compact_single_leaf_is_identity() {
+        let (mut arena, root) = NodeArena::with_root(leaf_stats());
+        arena.stats_mut(root).loss_sum = 2.5;
+        let new_root = arena.compact(root);
+        assert_eq!(new_root, NodeId(0));
+        assert_eq!(arena.num_slots(), 1);
+        assert_eq!(arena.stats(new_root).loss_sum, 2.5);
+    }
+
+    #[test]
+    fn arena_memory_bytes_shrink_after_compaction() {
+        let (mut arena, root) = NodeArena::with_root(leaf_stats());
+        let (l, _r) = arena.install_split(root, numeric_key(0, 0.5), leaf_stats(), leaf_stats());
+        arena.install_split(l, numeric_key(1, 0.25), leaf_stats(), leaf_stats());
+        arena.collapse_to_leaf(root);
+        let before = arena.memory_bytes();
+        assert!(before > 0);
+        let new_root = arena.compact(root);
+        let after = arena.memory_bytes();
+        assert!(
+            after < before,
+            "compaction must release bytes ({after} >= {before})"
+        );
+        arena.validate(new_root).unwrap();
     }
 
     #[test]

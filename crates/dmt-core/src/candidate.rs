@@ -14,6 +14,8 @@
 //! note before line 4), which halves memory.
 
 use dmt_models::linalg::{self, MatRef};
+use dmt_models::memory::vec_bytes;
+use dmt_models::MemoryUsage;
 
 /// Identity of a split candidate: which feature is tested and against what.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +68,14 @@ pub struct SplitCandidate {
     pub count: u64,
     /// Most recent gain estimate (used for pool management / replacement).
     pub last_gain: f64,
+}
+
+impl MemoryUsage for SplitCandidate {
+    /// Heap bytes of the candidate's left-child gradient accumulator (the
+    /// only heap allocation a candidate owns).
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.grad_sum)
+    }
 }
 
 impl SplitCandidate {

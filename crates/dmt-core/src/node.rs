@@ -10,7 +10,8 @@
 use std::collections::HashMap;
 
 use dmt_models::linalg::{self, MatMut, MatRef};
-use dmt_models::{Glm, SimpleModel as _};
+use dmt_models::memory::{slice_deep_bytes, vec_bytes};
+use dmt_models::{Glm, MemoryUsage, SimpleModel as _};
 
 use crate::arena::{NodeArena, NodeId};
 use crate::candidate::{CandidateKey, SplitCandidate};
@@ -84,6 +85,18 @@ pub struct NodeStats {
     pub candidates: Vec<SplitCandidate>,
 }
 
+impl MemoryUsage for NodeStats {
+    /// Heap bytes of the leaf model parameters, the gradient accumulator and
+    /// the candidate pool (capacity-based, including each candidate's own
+    /// gradient vector).
+    fn memory_bytes(&self) -> usize {
+        self.model.memory_bytes()
+            + vec_bytes(&self.grad_sum)
+            + vec_bytes(&self.candidates)
+            + slice_deep_bytes(&self.candidates)
+    }
+}
+
 impl NodeStats {
     /// Create statistics around an existing simple model.
     pub fn new(model: Glm) -> Self {
@@ -117,6 +130,14 @@ impl NodeStats {
     /// Number of free parameters `k` of the node's simple model.
     pub fn k(&self) -> usize {
         self.model.num_params()
+    }
+
+    /// Drop the stored candidate pool and return its backing allocations
+    /// to the allocator. First rung of the budget ladder: the pool is
+    /// re-proposed from future batches, so this costs adaptation latency
+    /// on the affected node but no model quality.
+    pub(crate) fn shed_candidates(&mut self) {
+        self.candidates = Vec::new();
     }
 
     /// First-order candidate-loss approximation of eq. (7):
@@ -791,11 +812,17 @@ pub(crate) fn partition_indices(
 /// serial and parallel runs therefore take bit-identical structural
 /// decisions. The check only reads/mutates `id`'s own subtree, so the order
 /// in which disjoint subtrees are checked cannot change any outcome.
+///
+/// `allow_growth` is the budget ladder's hard floor (rung 4): when `false`,
+/// replacements are suppressed (they re-allocate child payloads) while prunes
+/// — which only ever release memory — still run. Unbudgeted trees always
+/// pass `true`, so the flag is inert unless a memory budget is armed.
 pub(crate) fn structural_check_inner(
     arena: &mut NodeArena,
     id: NodeId,
     config: &DmtConfig,
     scratch: &mut UpdateScratch,
+    allow_growth: bool,
 ) -> GainDecision {
     if arena.stats(id).count < config.min_observations_split {
         return GainDecision::Keep;
@@ -830,7 +857,7 @@ pub(crate) fn structural_check_inner(
         arena.collapse_to_leaf(id);
         return GainDecision::Prune { gain: gain_prune };
     }
-    if replace_ok {
+    if replace_ok && allow_growth {
         let candidate = arena.stats(id).candidates[replace_idx].clone();
         // Ignore a "replacement" that would re-install the very same
         // split — it would only discard the children's progress without
@@ -869,6 +896,12 @@ pub(crate) fn structural_check_inner(
 /// identical to processing the original batch order one instance at a time.
 /// `routing` selects where the split test reads its feature value from; see
 /// [`Routing`].
+///
+/// `allow_growth` is the budget ladder's hard floor (rung 4): `false`
+/// suppresses new splits and replacements — the only structural moves that
+/// allocate — while statistics keep accumulating and prunes keep running, so
+/// a tree pinned at its floor still learns and adapts. Unbudgeted trees
+/// always pass `true`.
 #[allow(clippy::too_many_arguments)] // one recursive hot path, threaded context
 pub(crate) fn learn_at(
     arena: &mut NodeArena,
@@ -880,6 +913,7 @@ pub(crate) fn learn_at(
     config: &DmtConfig,
     scratch: &mut UpdateScratch,
     routing: Routing,
+    allow_growth: bool,
 ) -> GainDecision {
     if idx.is_empty() {
         return GainDecision::Keep;
@@ -888,7 +922,7 @@ pub(crate) fn learn_at(
         let stats = arena.stats_mut(id);
         stats.update_with_batch_indexed(xs, ys, idx, nominal_features, config, scratch);
         // Split check (gain (3) against the AIC threshold).
-        if stats.count < config.min_observations_split {
+        if stats.count < config.min_observations_split || !allow_growth {
             return GainDecision::Keep;
         }
         if let Some((best_idx, gain)) = stats.best_candidate(stats.loss_sum, config.learning_rate) {
@@ -949,6 +983,7 @@ pub(crate) fn learn_at(
             config,
             scratch,
             routing,
+            allow_growth,
         );
         learn_at(
             arena,
@@ -960,9 +995,10 @@ pub(crate) fn learn_at(
             config,
             scratch,
             routing,
+            allow_growth,
         );
 
-        structural_check_inner(arena, id, config, scratch)
+        structural_check_inner(arena, id, config, scratch, allow_growth)
     }
 }
 
@@ -1327,6 +1363,7 @@ mod tests {
                 &cfg,
                 &mut scratch,
                 Routing::Gathered,
+                true,
             ) {
                 split_seen = true;
                 break;
@@ -1357,6 +1394,7 @@ mod tests {
                 &cfg,
                 &mut scratch,
                 Routing::Gathered,
+                true,
             ),
             GainDecision::Keep
         );

@@ -13,6 +13,9 @@
 
 use std::collections::HashMap;
 
+use dmt_models::memory::{slice_deep_bytes, vec_bytes};
+use dmt_models::MemoryUsage;
+
 use crate::arena::{NodeArena, NodeId};
 use crate::candidate::SplitCandidate;
 
@@ -79,6 +82,37 @@ pub struct UpdateScratch {
     /// iterated, so its nondeterministic internal order cannot leak into any
     /// result. Cleared per feature, capacity retained across batches.
     pub(crate) bucket_lookup: HashMap<u64, u32>,
+}
+
+impl MemoryUsage for UpdateScratch {
+    /// Heap bytes retained by every reusable buffer, including the gradient
+    /// vectors owned by pooled proposal/retired candidates. `HashMap`
+    /// capacity is approximated as `capacity × (key + value + 1 metadata
+    /// byte)`, close enough for budget purposes.
+    fn memory_bytes(&self) -> usize {
+        let map_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 1;
+        vec_bytes(&self.losses)
+            + vec_bytes(&self.grads)
+            + vec_bytes(&self.grad_buf)
+            + vec_bytes(&self.class_buf)
+            + vec_bytes(&self.indices)
+            + vec_bytes(&self.partition_buf)
+            + vec_bytes(&self.values_buf)
+            + vec_bytes(&self.xbuf)
+            + vec_bytes(&self.ybuf)
+            + vec_bytes(&self.sort_pairs)
+            + vec_bytes(&self.boundaries)
+            + vec_bytes(&self.acc_buf)
+            + vec_bytes(&self.proposals_buf)
+            + slice_deep_bytes(&self.proposals_buf)
+            + vec_bytes(&self.retired)
+            + slice_deep_bytes(&self.retired)
+            + vec_bytes(&self.bucket_keys)
+            + vec_bytes(&self.bucket_losses)
+            + vec_bytes(&self.bucket_counts)
+            + vec_bytes(&self.bucket_grads)
+            + self.bucket_lookup.capacity() * map_entry
+    }
 }
 
 impl UpdateScratch {
@@ -154,6 +188,21 @@ pub(crate) struct ParallelScratch {
     pub(crate) slots: Vec<WorkerSlot>,
 }
 
+impl MemoryUsage for ParallelScratch {
+    /// Heap bytes of the task/spine bookkeeping plus every pooled worker's
+    /// private arena and scratch.
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.tasks)
+            + vec_bytes(&self.spine)
+            + vec_bytes(&self.slots)
+            + self
+                .slots
+                .iter()
+                .map(|s| s.arena.memory_bytes() + s.scratch.memory_bytes())
+                .sum::<usize>()
+    }
+}
+
 impl ParallelScratch {
     /// Create an empty pool (buffers grow on first parallel batch).
     pub(crate) fn new() -> Self {
@@ -187,6 +236,17 @@ pub struct PredictScratch {
     pub(crate) xbuf: Vec<f64>,
     /// Class probabilities of one leaf group (`group × num_classes`).
     pub(crate) probs: Vec<f64>,
+}
+
+impl MemoryUsage for PredictScratch {
+    /// Heap bytes of the routing/gather buffers.
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.indices)
+            + vec_bytes(&self.pen)
+            + vec_bytes(&self.stack)
+            + vec_bytes(&self.xbuf)
+            + vec_bytes(&self.probs)
+    }
 }
 
 impl PredictScratch {

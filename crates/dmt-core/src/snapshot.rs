@@ -62,8 +62,9 @@ use crate::tree::{DmtConfig, DynamicModelTree};
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DMTSNAP\0";
 
 /// Current snapshot format version; readers reject anything else with
-/// [`SnapshotError::VersionSkew`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// [`SnapshotError::VersionSkew`]. Version 2 appended the optional
+/// [`DmtConfig::memory_budget_bytes`] field to the config record.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Byte length of the fixed snapshot header (magic, version, checksum,
 /// payload length).
@@ -312,6 +313,13 @@ fn encode_config(c: &DmtConfig, w: &mut Writer) {
         }
     }
     w.put_usize(c.predict_parallel_threshold);
+    match c.memory_budget_bytes {
+        None => w.put_u8(0),
+        Some(budget) => {
+            w.put_u8(1);
+            w.put_usize(budget);
+        }
+    }
 }
 
 /// Generous sanity cap on `candidate_factor`: the per-node candidate pool is
@@ -340,6 +348,11 @@ fn decode_config(r: &mut Reader<'_>) -> Result<DmtConfig, SnapshotError> {
         tag => return Err(invalid(format!("unknown parallelism tag {tag}"))),
     };
     let predict_parallel_threshold = r.get_usize()?;
+    let memory_budget_bytes = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_usize()?),
+        tag => return Err(invalid(format!("unknown memory budget tag {tag}"))),
+    };
     if !learning_rate.is_finite() || !epsilon.is_finite() || !replacement_rate.is_finite() {
         return Err(invalid("config contains non-finite hyperparameters"));
     }
@@ -359,6 +372,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<DmtConfig, SnapshotError> {
         batch_mode,
         parallelism,
         predict_parallel_threshold,
+        memory_budget_bytes,
     })
 }
 

@@ -2,8 +2,9 @@
 
 use std::sync::{Arc, Mutex};
 
+use dmt_models::memory::vec_bytes;
 use dmt_models::online::{Complexity, OnlineClassifier};
-use dmt_models::{AicTest, BatchMode, Glm, Rows};
+use dmt_models::{AicTest, BatchMode, Glm, MemoryUsage, Rows};
 use dmt_stream::schema::StreamSchema;
 
 use crate::arena::{NodeArena, NodeId};
@@ -76,6 +77,26 @@ pub struct DmtConfig {
     /// serial prediction are bit-identical: rows are independent and the
     /// batched GLM kernels are pinned to the scalar path per row.
     pub predict_parallel_threshold: usize,
+    /// Optional resident-memory budget in bytes
+    /// ([`DynamicModelTree::memory_bytes`] must not exceed it after a batch).
+    /// `None` (the default) disables all budget machinery — the tree is
+    /// bit-identical to an unbudgeted build. `Some(budget)` arms a
+    /// four-rung degradation ladder that runs at the end of every learn
+    /// batch while the tree is over budget:
+    ///
+    /// 1. retire split-candidate pools on the coldest nodes (re-proposed
+    ///    from later batches — costs adaptation latency, no model quality),
+    /// 2. compact the arena and drop pooled scratch caches (pure-cache
+    ///    reclamation, no behavioural change at all),
+    /// 3. merge subtrees back into model leaves, best prune gain first
+    ///    (the paper's own gain (5) machinery, applied under duress),
+    /// 4. freeze growth: new splits/replacements are deferred until the
+    ///    tree is back under budget; learning, prediction and prunes
+    ///    continue.
+    ///
+    /// The tree keeps answering predictions and consuming batches at every
+    /// rung — degradation is graceful, never a panic or a stall.
+    pub memory_budget_bytes: Option<usize>,
 }
 
 impl Default for DmtConfig {
@@ -91,6 +112,7 @@ impl Default for DmtConfig {
             batch_mode: BatchMode::default(),
             parallelism: Parallelism::from_env(),
             predict_parallel_threshold: PREDICT_PARALLEL_THRESHOLD,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -157,6 +179,13 @@ pub struct DynamicModelTree {
     /// threads between several models. Dropped (threads joined) when the
     /// last `Arc` owner goes away.
     pool: Option<Arc<WorkerPool>>,
+    /// Rung 4 of the budget ladder: `true` while the last budget enforcement
+    /// could not get under [`DmtConfig::memory_budget_bytes`] even after
+    /// merging the tree down, so the next batch learns without growing.
+    /// Always `false` on unbudgeted trees. Derived state — recomputed by
+    /// every budget pass, deliberately not serialised (a restored tree
+    /// re-evaluates its budget on the first batch it learns).
+    growth_frozen: bool,
 }
 
 impl Clone for DynamicModelTree {
@@ -177,6 +206,7 @@ impl Clone for DynamicModelTree {
             par_scratch: ParallelScratch::new(),
             predict_scratch: Mutex::new(Vec::new()),
             pool: self.pool.clone(),
+            growth_frozen: self.growth_frozen,
         }
     }
 }
@@ -203,6 +233,7 @@ impl DynamicModelTree {
             par_scratch: ParallelScratch::new(),
             predict_scratch: Mutex::new(Vec::new()),
             pool: None,
+            growth_frozen: false,
         }
     }
 
@@ -234,6 +265,7 @@ impl DynamicModelTree {
             par_scratch: ParallelScratch::new(),
             predict_scratch: Mutex::new(Vec::new()),
             pool: None,
+            growth_frozen: false,
         }
     }
 
@@ -448,8 +480,9 @@ impl DynamicModelTree {
             // pool-chunked prediction) until the tree is dropped.
             self.pool = Some(Arc::new(WorkerPool::new(workers)));
         }
+        let allow_growth = !self.growth_frozen;
         let decision = if use_parallel {
-            self.learn_batch_parallel(xs, ys, &mut indices, workers)
+            self.learn_batch_parallel(xs, ys, &mut indices, workers, allow_growth)
         } else {
             learn_at(
                 &mut self.arena,
@@ -461,6 +494,7 @@ impl DynamicModelTree {
                 &self.config,
                 &mut self.scratch,
                 routing,
+                allow_growth,
             )
         };
         self.scratch.indices = indices;
@@ -494,6 +528,11 @@ impl DynamicModelTree {
                 self.arena.num_slots(),
             );
         }
+        // Enforcement is the *last* step of the batch so the budget covers
+        // everything the batch left resident — the pre-grown prediction
+        // scratches included. Anything earlier and a post-enforcement
+        // allocation could leave the tree over budget at the boundary.
+        self.enforce_budget();
         decision
     }
 
@@ -531,6 +570,7 @@ impl DynamicModelTree {
         ys: &[usize],
         indices: &mut [usize],
         workers: usize,
+        allow_growth: bool,
     ) -> GainDecision {
         let m = self.schema.num_features();
         let mut tasks = std::mem::take(&mut self.par_scratch.tasks);
@@ -614,6 +654,7 @@ impl DynamicModelTree {
                 config,
                 &mut slot.scratch,
                 Routing::Gathered,
+                allow_growth,
             );
         });
 
@@ -634,7 +675,13 @@ impl DynamicModelTree {
         debug_assert_eq!(spine.first(), Some(&self.root));
         let mut decision = GainDecision::Keep;
         for &id in spine.iter().rev() {
-            decision = structural_check_inner(&mut self.arena, id, &self.config, &mut self.scratch);
+            decision = structural_check_inner(
+                &mut self.arena,
+                id,
+                &self.config,
+                &mut self.scratch,
+                allow_growth,
+            );
         }
         self.par_scratch.tasks = tasks;
         self.par_scratch.spine = spine;
@@ -748,6 +795,134 @@ impl DynamicModelTree {
     fn return_predict_scratch(&self, scratch: PredictScratch) {
         self.lock_predict_pool().push(scratch);
     }
+
+    /// Resident heap bytes of the whole model: the node arena (structure
+    /// columns, leaf/inner model parameters, loss windows, candidate pools),
+    /// the decision log, and every reusable cache the tree keeps warm
+    /// (update scratch, parallel worker slots, pooled prediction buffers).
+    /// Capacity-based and heap-only, following the
+    /// [`dmt_models::memory::MemoryUsage`] conventions; this is the figure
+    /// [`DmtConfig::memory_budget_bytes`] is enforced against and the benches
+    /// report as `bytes_per_model`.
+    pub fn memory_bytes(&self) -> usize {
+        let predict_pool: usize = {
+            let pool = self.lock_predict_pool();
+            vec_bytes(&pool) + pool.iter().map(MemoryUsage::memory_bytes).sum::<usize>()
+        };
+        self.arena.memory_bytes()
+            + self.scratch.memory_bytes()
+            + self.par_scratch.memory_bytes()
+            + predict_pool
+            + vec_bytes(&self.nominal_features)
+            + vec_bytes(&self.decisions)
+    }
+
+    /// Whether the budget ladder is currently sitting on its hard floor
+    /// (rung 4): the last enforcement pass could not fit the tree under
+    /// [`DmtConfig::memory_budget_bytes`], so new splits and replacements
+    /// are deferred. Always `false` on unbudgeted trees.
+    pub fn growth_frozen(&self) -> bool {
+        self.growth_frozen
+    }
+
+    /// Budget-enforcement ladder, run at the end of every learn batch.
+    /// A no-op (no arithmetic, no allocation, no flag changes beyond the
+    /// early return) when [`DmtConfig::memory_budget_bytes`] is `None`, so
+    /// unbudgeted trees stay bit-identical to builds without this machinery.
+    ///
+    /// While over budget the rungs escalate in order of increasing cost to
+    /// model quality — see the [`DmtConfig::memory_budget_bytes`] docs for
+    /// the ladder. The tree never refuses a batch and never panics under
+    /// pressure; the worst case (rung 4) is a frozen structure that still
+    /// trains its node models and still predicts.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.config.memory_budget_bytes else {
+            return;
+        };
+        self.growth_frozen = false;
+        let mut bytes = self.memory_bytes();
+        if bytes <= budget {
+            return;
+        }
+
+        // Rung 1: retire split-candidate pools, coldest window first (ties
+        // broken by preorder position — fully deterministic). The pools are
+        // re-proposed from later batches, so this trades adaptation latency
+        // on cold nodes for bytes.
+        let mut order = Vec::new();
+        self.arena.preorder_ids(self.root, &mut order);
+        let mut by_cold: Vec<(u64, usize, NodeId)> = order
+            .iter()
+            .enumerate()
+            .filter(|&(_, &id)| !self.arena.stats(id).candidates.is_empty())
+            .map(|(pos, &id)| (self.arena.stats(id).count, pos, id))
+            .collect();
+        by_cold.sort_unstable_by_key(|&(count, pos, _)| (count, pos));
+        for &(_, _, id) in &by_cold {
+            if bytes <= budget {
+                break;
+            }
+            let stats = self.arena.stats_mut(id);
+            let freed = vec_bytes(&stats.candidates)
+                + dmt_models::memory::slice_deep_bytes(&stats.candidates);
+            stats.shed_candidates();
+            bytes = bytes.saturating_sub(freed);
+        }
+        // The decremented counter above is only a stop heuristic; every exit
+        // decision of the ladder is taken on a fresh measurement, so a drift
+        // between `freed` and the real footprint can never end enforcement
+        // while the tree is still over budget.
+        bytes = self.memory_bytes();
+        if bytes <= budget {
+            return;
+        }
+
+        // Rung 2: compact the arena into a dense layout and drop the pooled
+        // caches (pure reclamation — predictions and future learning are
+        // unaffected; the caches regrow to what the workload actually needs).
+        self.root = self.arena.compact(self.root);
+        self.scratch = UpdateScratch::new();
+        self.par_scratch = ParallelScratch::new();
+        self.lock_predict_pool().clear();
+        if self.memory_bytes() <= budget {
+            return;
+        }
+
+        // Rung 3: merge subtrees back into model leaves, best prune gain
+        // (eq. (5)) first, re-compacting after every merge so the freed
+        // slots actually leave the resident set. This reuses the paper's own
+        // prune machinery; when no merge is AIC-justified the smallest loss
+        // increase goes first. Floor: a single-leaf tree.
+        while !self.arena.is_leaf(self.root) && self.memory_bytes() > budget {
+            let mut order = Vec::new();
+            self.arena.preorder_ids(self.root, &mut order);
+            let mut best: Option<(f64, usize, NodeId)> = None;
+            for (pos, &id) in order.iter().enumerate() {
+                if self.arena.is_leaf(id) {
+                    continue;
+                }
+                let (leaf_loss, _) = self.arena.subtree_leaf_loss(id);
+                let gain = leaf_loss - self.arena.stats(id).loss_sum;
+                if best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, pos, id));
+                }
+            }
+            let Some((gain, _, id)) = best else { break };
+            self.arena.stats_mut(id).reset_window();
+            self.arena.collapse_to_leaf(id);
+            self.root = self.arena.compact(self.root);
+            self.decisions
+                .push((self.observations, GainDecision::Prune { gain }));
+        }
+        if self.memory_bytes() <= budget {
+            return;
+        }
+
+        // Rung 4: hard floor. Even a single leaf with shed candidates does
+        // not fit — keep learning and predicting, defer all growth until a
+        // later pass gets back under budget.
+        self.growth_frozen = true;
+    }
 }
 
 impl OnlineClassifier for DynamicModelTree {
@@ -799,6 +974,10 @@ impl OnlineClassifier for DynamicModelTree {
             splits: inner as f64 + leaves as f64 * splits_per_leaf,
             parameters: inner as f64 + leaves as f64 * params_per_leaf,
         }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        DynamicModelTree::memory_bytes(self)
     }
 }
 

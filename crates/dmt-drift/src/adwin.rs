@@ -8,7 +8,9 @@
 //! This implementation uses the exponential-histogram bucket structure of the
 //! original paper, so memory is `O(M log(W/M))` for window length `W`.
 
+use dmt_models::memory::vec_bytes;
 use dmt_models::wire::{self, Reader, WireError, Writer};
+use dmt_models::MemoryUsage;
 
 use crate::DriftDetector;
 
@@ -40,6 +42,19 @@ pub struct Adwin {
     /// Check for cuts only every `clock` observations (standard optimisation).
     clock: u64,
     drift: bool,
+}
+
+impl MemoryUsage for Adwin {
+    /// Heap bytes of the exponential-histogram bucket rows — the only
+    /// growing state of the detector (`O(M log(W/M))` of the window).
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.rows)
+            + self
+                .rows
+                .iter()
+                .map(|row| vec_bytes(&row.totals) + vec_bytes(&row.variances))
+                .sum::<usize>()
+    }
 }
 
 impl Adwin {

@@ -34,9 +34,10 @@ use std::sync::Arc;
 use dmt_core::snapshot::{self as core_snapshot, SnapshotError};
 use dmt_core::{Parallelism, WorkerPool};
 use dmt_drift::{Adwin, DriftDetector};
+use dmt_models::memory::vec_bytes;
 use dmt_models::online::{Complexity, OnlineClassifier};
 use dmt_models::wire::{self, Reader, WireError, Writer};
-use dmt_models::Rows;
+use dmt_models::{MemoryUsage, Rows};
 use dmt_stream::schema::StreamSchema;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -598,6 +599,23 @@ impl OnlineClassifier for AdaptiveRandomForest {
             total.parameters += c.parameters;
         }
         total
+    }
+
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.members)
+            + self
+                .members
+                .iter()
+                .map(|m| {
+                    m.tree.memory_bytes()
+                        + vec_bytes(&m.subspace)
+                        + m.warning.memory_bytes()
+                        + m.drift.memory_bytes()
+                        + m.background.as_ref().map_or(0, |(tree, subspace)| {
+                            tree.memory_bytes() + vec_bytes(subspace)
+                        })
+                })
+                .sum::<usize>()
     }
 }
 

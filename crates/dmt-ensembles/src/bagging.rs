@@ -30,9 +30,10 @@ use std::sync::Arc;
 use dmt_core::snapshot::{self as core_snapshot, SnapshotError};
 use dmt_core::{Parallelism, WorkerPool};
 use dmt_drift::{Adwin, DriftDetector};
+use dmt_models::memory::vec_bytes;
 use dmt_models::online::{Complexity, OnlineClassifier};
 use dmt_models::wire::{Reader, WireError, Writer};
-use dmt_models::Rows;
+use dmt_models::{MemoryUsage, Rows};
 use dmt_stream::schema::StreamSchema;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -421,6 +422,15 @@ impl OnlineClassifier for LeveragingBagging {
             total.parameters += c.parameters;
         }
         total
+    }
+
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.members)
+            + self
+                .members
+                .iter()
+                .map(|m| m.tree.memory_bytes() + m.detector.memory_bytes())
+                .sum::<usize>()
     }
 }
 

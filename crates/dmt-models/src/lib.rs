@@ -55,6 +55,7 @@ pub mod glm;
 pub mod linalg;
 pub mod logit;
 pub mod loss;
+pub mod memory;
 pub mod naive_bayes;
 pub mod online;
 pub mod perceptron;
@@ -64,6 +65,7 @@ pub mod wire;
 pub use aic::{aic, aic_split_threshold, AicTest};
 pub use glm::Glm;
 pub use logit::LogitModel;
+pub use memory::MemoryUsage;
 pub use naive_bayes::GaussianNaiveBayes;
 pub use online::{Complexity, OnlineClassifier};
 pub use perceptron::AveragedPerceptron;

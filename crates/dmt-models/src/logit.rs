@@ -32,6 +32,12 @@ impl LogitModel {
         }
     }
 
+    /// Heap bytes held by the parameter vector (capacity-based; see
+    /// [`crate::memory::MemoryUsage`]).
+    pub(crate) fn params_heap_bytes(&self) -> usize {
+        crate::memory::vec_bytes(&self.params)
+    }
+
     /// Create a model with small random initial weights drawn uniformly from
     /// `[-0.1, 0.1]`, matching the paper's "random initial weights" remark for
     /// the root node (§IV-E).

@@ -115,6 +115,18 @@ pub struct GaussianNaiveBayes {
 }
 
 impl GaussianNaiveBayes {
+    /// Heap bytes held by the per-class statistics tables (capacity-based;
+    /// see [`crate::memory::MemoryUsage`]).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        crate::memory::vec_bytes(&self.stats)
+            + self
+                .stats
+                .iter()
+                .map(crate::memory::vec_bytes)
+                .sum::<usize>()
+            + crate::memory::vec_bytes(&self.class_counts)
+    }
+
     /// Create an empty model for `num_features` features and `num_classes`
     /// classes.
     pub fn new(num_features: usize, num_classes: usize) -> Self {

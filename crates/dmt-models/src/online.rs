@@ -41,6 +41,17 @@ pub trait OnlineClassifier: Send {
     /// Current model complexity (splits and parameters).
     fn complexity(&self) -> Complexity;
 
+    /// Resident heap bytes this model keeps alive between batches
+    /// (capacity-based; see [`crate::memory::MemoryUsage`] for the
+    /// conventions). Every classifier in the workspace overrides this with a
+    /// full accounting of its learning state; the benches report it as
+    /// `bytes_per_model` and a model registry can budget or evict by it. The
+    /// default of `0` exists only so external implementors of the trait are
+    /// not forced to account — `0` means "unaccounted", never "free".
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+
     /// Predict a whole batch into a caller-provided buffer
     /// (`out.len() == xs.len()`), so evaluation loops can reuse one
     /// predictions buffer across batches instead of allocating per call.

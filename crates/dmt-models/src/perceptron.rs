@@ -23,6 +23,12 @@ pub struct AveragedPerceptron {
 }
 
 impl AveragedPerceptron {
+    /// Heap bytes held by the current and averaged weight vectors
+    /// (capacity-based; see [`crate::memory::MemoryUsage`]).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        crate::memory::vec_bytes(&self.params) + crate::memory::vec_bytes(&self.averaged)
+    }
+
     /// Create a zero-initialised perceptron.
     pub fn new(num_features: usize, num_classes: usize) -> Self {
         assert!(num_classes >= 2, "a classifier needs at least two classes");

@@ -35,6 +35,12 @@ impl SoftmaxModel {
         }
     }
 
+    /// Heap bytes held by the parameter vector (capacity-based; see
+    /// [`crate::memory::MemoryUsage`]).
+    pub(crate) fn params_heap_bytes(&self) -> usize {
+        crate::memory::vec_bytes(&self.params)
+    }
+
     /// Create a model with small random initial weights in `[-0.1, 0.1]`.
     pub fn new_random(num_features: usize, num_classes: usize, seed: u64) -> Self {
         assert!(num_classes >= 2, "softmax needs at least two classes");

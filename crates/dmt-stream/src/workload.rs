@@ -12,7 +12,7 @@
 //! the CSV loader, schema overrides and drift compositions are exercised
 //! end-to-end, exactly like a real deployment.
 //!
-//! Four workloads are exposed by name (see [`WORKLOADS`]):
+//! Five workloads are exposed by name (see [`WORKLOADS`]):
 //!
 //! | name | stresses |
 //! |---|---|
@@ -20,6 +20,7 @@
 //! | `forest-like` | 7 imbalanced classes, high-cardinality nominals (40/128) |
 //! | `fraud-like` | 40:1 class imbalance, sparse rows (most cells zero) |
 //! | `drift-cocktail` | abrupt **and** gradual drift composed on one stream |
+//! | `memory-budget` | nominals of cardinality 64/256 + geometry redrawn every 3k — sustained allocation pressure |
 //!
 //! The drift cocktail composes two synthesized concept files with
 //! [`crate::drift::AbruptDriftStream`] and [`crate::drift::GradualDriftStream`],
@@ -57,17 +58,19 @@ mod seed {
     pub const COCKTAIL_B: u64 = 0x00C0_C0B0;
     /// Seed of the gradual-drift mixing RNG in the cocktail composition.
     pub const COCKTAIL_MIX: u64 = 0x00C0_C011;
+    pub const MEMORY_BUDGET: u64 = 0x3E3_B4D6;
 }
 
 /// File stems of the synthesized datasets (`<stem>.csv` in the datasets
 /// directory). The cocktail workload composes two concept files; the other
 /// workloads map one-to-one.
-pub const DATASET_FILES: [&str; 5] = [
+pub const DATASET_FILES: [&str; 6] = [
     "elec_like",
     "forest_like",
     "fraud_like",
     "cocktail_a",
     "cocktail_b",
+    "memory_budget",
 ];
 
 /// Static description of one named workload.
@@ -100,8 +103,21 @@ pub const COCKTAIL_CHANGE_POINTS: [(u64, &str); 2] = [(8_000, "abrupt"), (16_000
 /// Transition width of the cocktail's gradual drift, in instances.
 pub const COCKTAIL_GRADUAL_WIDTH: u64 = 2_000;
 
+/// Concept change-points of the memory-budget workload: the blob geometry is
+/// redrawn every 3 000 instances, so the tree never converges and keeps
+/// growing structure — the sustained memory pressure the workload is for.
+pub const MEMORY_BUDGET_CHANGE_POINTS: [(u64, &str); 7] = [
+    (3_000, "abrupt"),
+    (6_000, "abrupt"),
+    (9_000, "abrupt"),
+    (12_000, "abrupt"),
+    (15_000, "abrupt"),
+    (18_000, "abrupt"),
+    (21_000, "abrupt"),
+];
+
 /// The named workloads, in bench order.
-pub const WORKLOADS: [WorkloadInfo; 4] = [
+pub const WORKLOADS: [WorkloadInfo; 5] = [
     WorkloadInfo {
         name: "elec-like",
         description: "electricity-market style: autocorrelated price/demand series, \
@@ -137,6 +153,16 @@ pub const WORKLOADS: [WorkloadInfo; 4] = [
         features: 8,
         classes: 2,
         change_points: &COCKTAIL_CHANGE_POINTS,
+    },
+    WorkloadInfo {
+        name: "memory-budget",
+        description: "memory-pressure stress: nominals of cardinality 64 and 256 \
+                      plus a blob geometry redrawn every 3k instances, so candidate \
+                      pools and tree structure grow without bound",
+        samples: 24_000,
+        features: 10,
+        classes: 2,
+        change_points: &MEMORY_BUDGET_CHANGE_POINTS,
     },
 ];
 
@@ -360,6 +386,58 @@ fn synthesize_cocktail(file_seed: u64, positive_prior: f64, swap_centers: bool) 
     out
 }
 
+/// Memory-budget recipe: the adversarial workload for byte-budgeted trees.
+/// Eight numeric columns follow two Gaussian blobs whose centres are redrawn
+/// from a fresh phase seed every 3 000 instances
+/// ([`MEMORY_BUDGET_CHANGE_POINTS`]), so no finished subtree stays correct
+/// for long and the tree keeps replacing structure. Two nominal columns of
+/// cardinality 64 (class-correlated, so the tree *wants* to split on it) and
+/// 256 (id-like noise) blow up per-candidate bucket statistics — exactly the
+/// allocation profile the degradation ladder must keep under a byte budget.
+fn synthesize_memory_budget() -> String {
+    const N: usize = 24_000;
+    const NUMERIC: usize = 8;
+    const PHASE_LEN: usize = 3_000;
+    let mut rng = StdRng::seed_from_u64(seed::MEMORY_BUDGET);
+    let noise = Normal::new(0.0, 0.1).expect("std > 0");
+    let mut out = String::with_capacity(N * 72);
+    for i in 0..NUMERIC {
+        out.push_str(&format!("m{i},"));
+    }
+    out.push_str("device_id,session_id,label\n");
+
+    let mut center0 = vec![0.0f64; NUMERIC];
+    let mut center1 = vec![0.0f64; NUMERIC];
+    for t in 0..N {
+        if t % PHASE_LEN == 0 {
+            // Redraw the blob geometry from a phase-derived pinned seed; the
+            // per-row RNG keeps its own stream so adding phases never shifts
+            // the noise of earlier rows.
+            let phase = (t / PHASE_LEN) as u64;
+            let mut geometry = StdRng::seed_from_u64(seed::MEMORY_BUDGET ^ (phase << 32));
+            for c in center0.iter_mut() {
+                *c = geometry.gen_range(0.1..0.9);
+            }
+            for c in center1.iter_mut() {
+                *c = geometry.gen_range(0.1..0.9);
+            }
+        }
+        let mut y = usize::from(rng.gen_bool(0.5));
+        let center = if y == 1 { &center1 } else { &center0 };
+        for &c in center.iter() {
+            push_f64(&mut out, clamp01(c + noise.sample(&mut rng)));
+            out.push(',');
+        }
+        let device = (y * 29 + rng.gen_range(0..37usize)) % 64;
+        let session = rng.gen_range(0..256usize);
+        if rng.gen_bool(0.05) {
+            y = 1 - y;
+        }
+        out.push_str(&format!("{device},{session},{y}\n"));
+    }
+    out
+}
+
 /// Synthesize one dataset file by stem. Returns `None` for unknown stems.
 ///
 /// The output is a complete CSV text (header included) and is **byte-stable**:
@@ -373,6 +451,7 @@ pub fn synthesize_dataset(file: &str) -> Option<String> {
         "fraud_like" => Some(synthesize_fraud_like()),
         "cocktail_a" => Some(synthesize_cocktail(seed::COCKTAIL_A, 0.3, false)),
         "cocktail_b" => Some(synthesize_cocktail(seed::COCKTAIL_B, 0.7, true)),
+        "memory_budget" => Some(synthesize_memory_budget()),
         _ => None,
     }
 }
@@ -472,6 +551,14 @@ pub fn build_workload(name: &str, dir: &Path) -> Result<Option<BoxedStream>, Csv
                 seed::COCKTAIL_MIX,
             );
             Box::new(TakeStream::new(gradual, 24_000))
+        }
+        "memory-budget" => {
+            let s = load_dataset(dir, "memory_budget")?;
+            let mut features = s.schema().features.clone();
+            features[8] = FeatureSpec::nominal("device_id", 64);
+            features[9] = FeatureSpec::nominal("session_id", 256);
+            let schema = StreamSchema::new("memory-budget", features, 2);
+            Box::new(s.with_schema(schema))
         }
         _ => return Ok(None),
     };
@@ -632,6 +719,41 @@ mod tests {
     fn workload_info_lookup_matches_the_table() {
         assert_eq!(workload_info("drift-cocktail").unwrap().samples, 24_000);
         assert!(workload_info("nope").is_none());
-        assert_eq!(WORKLOADS.len(), 4);
+        assert_eq!(WORKLOADS.len(), 5);
+    }
+
+    #[test]
+    fn memory_budget_has_high_cardinality_nominals_and_phase_churn() {
+        let dir = temp_dir("membudget");
+        let mut stream = build_workload("memory-budget", &dir).unwrap().unwrap();
+        assert_eq!(stream.schema().nominal_indices(), vec![8, 9]);
+        let mut distinct_sessions = std::collections::BTreeSet::new();
+        let mut phase_means = Vec::new();
+        let mut sum = 0.0f64;
+        let mut n = 0u64;
+        while let Some(inst) = stream.next_instance() {
+            assert!(inst.x[8] < 64.0 && inst.x[9] < 256.0);
+            distinct_sessions.insert(inst.x[9] as u64);
+            sum += inst.x[0];
+            n += 1;
+            if n.is_multiple_of(3_000) {
+                phase_means.push(sum / 3_000.0);
+                sum = 0.0;
+            }
+        }
+        assert_eq!(n, 24_000);
+        assert!(
+            distinct_sessions.len() > 200,
+            "session_id must be high-cardinality: {}",
+            distinct_sessions.len()
+        );
+        // The redrawn geometry must actually move the feature distribution
+        // between phases (otherwise there is no sustained churn to stress).
+        let moved = phase_means
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).abs() > 0.02)
+            .count();
+        assert!(moved >= 4, "phases barely move: {phase_means:?}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

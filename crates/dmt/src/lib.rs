@@ -78,7 +78,8 @@ mod tests {
         let detector = crate::drift::Adwin::default();
         assert_eq!(detector.width(), 0);
         // The workload suite is part of the prelude surface.
-        assert_eq!(WORKLOADS.len(), 4);
+        assert_eq!(WORKLOADS.len(), 5);
         assert!(WORKLOADS.iter().any(|w| w.name == "drift-cocktail"));
+        assert!(WORKLOADS.iter().any(|w| w.name == "memory-budget"));
     }
 }

@@ -258,6 +258,13 @@ impl ZooModel {
         }
     }
 
+    /// Resident heap bytes of the model, via
+    /// [`OnlineClassifier::memory_bytes`]. Every zoo kind implements the
+    /// accounting, so this is never the trait's "unaccounted" zero.
+    pub fn memory_bytes(&self) -> usize {
+        self.as_classifier().memory_bytes()
+    }
+
     /// Box the model behind the classifier trait (what [`build_model`]
     /// returns).
     pub fn into_boxed(self) -> Box<dyn OnlineClassifier> {
@@ -448,6 +455,28 @@ mod tests {
             Err(e) => panic!("unexpected error class: {e}"),
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_model_kind_accounts_its_memory() {
+        let schema = StreamSchema::numeric("toy", 4, 3);
+        let (xs, ys) = training_batch(200);
+        let xs: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![x[0], x[1], 1.0 - x[0], 0.5])
+            .collect();
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        for kind in ALL_MODELS {
+            let mut model = build_zoo_model(kind, &schema, 7);
+            let fresh = model.memory_bytes();
+            assert!(fresh > 0, "{kind:?} reports zero bytes when fresh");
+            model.as_classifier_mut().learn_batch(&rows, &ys);
+            let trained = model.memory_bytes();
+            assert!(
+                trained >= fresh,
+                "{kind:?} shrank while learning: {fresh} -> {trained}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! probability outputs, metric ranges, drift-detector sanity, candidate gain
 //! consistency and the DMT's structural bookkeeping.
 
-use dmt::core::{DmtConfig, DynamicModelTree};
+use dmt::core::{CandidateKey, DmtConfig, DynamicModelTree, NodeArena, NodeStats, Parallelism};
 use dmt::drift::{Adwin, DriftDetector, PageHinkley};
 use dmt::eval::ConfusionMatrix;
 use dmt::models::linalg::{MatMut, MatRef};
@@ -454,6 +454,125 @@ proptest! {
         // The batched arena descent agrees with the per-instance path even
         // for a single-row batch.
         prop_assert_eq!(tree.predict_batch(&[&probe])[0], tree.predict(&probe));
+    }
+
+    // ---- arena compaction / memory-budget invariants -----------------------
+    //
+    // Compaction renumbers the arena into dense preorder; the budget ladder
+    // drives it (plus candidate shedding and subtree merges) whenever a tree
+    // runs over its byte budget. These properties pin the bookkeeping over
+    // *random* structural histories — arbitrary interleavings of splits and
+    // prunes, which is exactly the state space drift adaptation explores.
+
+    #[test]
+    fn arena_compaction_preserves_predictions_over_random_histories(
+        ops in proptest::collection::vec((0usize..4, 0usize..64, 0.0f64..1.0), 1..40),
+        probes in proptest::collection::vec(unit_vector(3), 4),
+    ) {
+        let mut seed = 100u64;
+        let (mut arena, root) = NodeArena::with_root(NodeStats::new(Glm::new_random(3, 2, seed)));
+        for &(op, target, value) in &ops {
+            let mut ids = Vec::new();
+            arena.preorder_ids(root, &mut ids);
+            if op != 3 {
+                // Split a random leaf (three times as likely as a prune, so
+                // histories actually grow).
+                let leaves: Vec<_> = ids.iter().copied().filter(|&id| arena.is_leaf(id)).collect();
+                let id = leaves[target % leaves.len()];
+                seed += 2;
+                arena.install_split(
+                    id,
+                    CandidateKey { feature: target % 3, value, is_nominal: false },
+                    NodeStats::new(Glm::new_random(3, 2, seed)),
+                    NodeStats::new(Glm::new_random(3, 2, seed + 1)),
+                );
+            } else {
+                // Prune a random inner node back into a leaf.
+                let inners: Vec<_> = ids.iter().copied().filter(|&id| !arena.is_leaf(id)).collect();
+                if !inners.is_empty() {
+                    arena.collapse_to_leaf(inners[target % inners.len()]);
+                }
+            }
+        }
+        // Slot bookkeeping before compaction: every slot is live or free,
+        // never both, never neither.
+        let live = arena.live_count(root);
+        prop_assert_eq!(arena.num_slots(), live + arena.num_free());
+        prop_assert!(arena.validate(root).is_ok(), "{:?}", arena.validate(root));
+
+        let before: Vec<Vec<f64>> = probes
+            .iter()
+            .map(|p| SimpleModel::predict_proba(&arena.stats(arena.leaf_for(root, p)).model, p))
+            .collect();
+        let root = arena.compact(root);
+        // Compaction yields a dense preorder arena: no free slots, the root
+        // at slot zero, the live set unchanged, the structure still valid.
+        prop_assert_eq!(root.index(), 0);
+        prop_assert_eq!(arena.num_free(), 0);
+        prop_assert_eq!(arena.num_slots(), live);
+        prop_assert!(arena.validate(root).is_ok(), "{:?}", arena.validate(root));
+        // Renumbering slots must not move a single bit of any prediction.
+        for (probe, expected) in probes.iter().zip(before.iter()) {
+            let after = SimpleModel::predict_proba(&arena.stats(arena.leaf_for(root, probe)).model, probe);
+            prop_assert_eq!(expected.len(), after.len());
+            for (a, b) in expected.iter().zip(after.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_trees_stay_bounded_and_snapshots_round_trip(
+        batches in proptest::collection::vec(labelled_batch(3, 2, 40), 2..7),
+        budget_kib in 64usize..256,
+        threaded in 0usize..2,
+    ) {
+        let budget = budget_kib * 1024;
+        let config = DmtConfig {
+            memory_budget_bytes: Some(budget),
+            parallelism: if threaded == 1 { Parallelism::Threads(2) } else { Parallelism::Serial },
+            ..DmtConfig::default()
+        };
+        let schema = StreamSchema::numeric("prop-budget", 3, 2);
+        let mut tree = DynamicModelTree::new(schema, config);
+        for (i, (xs, ys)) in batches.iter().enumerate() {
+            // Alternate the label polarity between batches: sustained drift
+            // keeps the tree restructuring while the ladder holds the line.
+            let ys: Vec<usize> = if i % 2 == 0 {
+                ys.clone()
+            } else {
+                ys.iter().map(|&y| 1 - y).collect()
+            };
+            let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            tree.learn_batch(&rows, &ys);
+            prop_assert!(
+                tree.memory_bytes() <= budget,
+                "batch {}: {} bytes over the {} budget", i, tree.memory_bytes(), budget
+            );
+            prop_assert_eq!(tree.num_inner_nodes() + 1, tree.num_leaves());
+        }
+        // Budget enforcement (compaction included) must leave the snapshot
+        // codec bit-stable: save → load → save is the identity on bytes, and
+        // the restored tree predicts bit-identically. One documented
+        // exception: when `DMT_PARALLELISM` is set it overrides the
+        // snapshotted parallelism on load, so the first round trip may
+        // rewrite that one config field — the codec must still reach a
+        // byte-stable fixed point on the very next hop.
+        let bytes = tree.to_snapshot_bytes();
+        let restored = DynamicModelTree::from_snapshot_bytes(&bytes).expect("snapshot restores");
+        let second = restored.to_snapshot_bytes();
+        if std::env::var_os("DMT_PARALLELISM").is_none() {
+            prop_assert_eq!(&bytes, &second);
+        }
+        let refetched = DynamicModelTree::from_snapshot_bytes(&second).expect("snapshot restores");
+        prop_assert_eq!(&second, &refetched.to_snapshot_bytes());
+        for probe in [[0.1, 0.5, 0.9], [0.7, 0.2, 0.4]] {
+            let a = tree.predict_proba(&probe);
+            let b = restored.predict_proba(&probe);
+            for (va, vb) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
     }
 
     #[test]
