@@ -22,6 +22,14 @@
 //! parallel updates are bit-identical, but pinning keeps the blessed file
 //! independent of the `DMT_PARALLELISM` environment variable.
 //!
+//! Besides the workloads, the suite folds the paper-reproduction surface into
+//! the same gate: every Table I data set of the catalog
+//! ([`dmt::stream::catalog::TABLE1`]) runs at a pinned small scale
+//! (`--paper-scale`, default 1 % of the published stream size; `--no-paper`
+//! skips the grid) and is recorded under the `paper:<dataset>` workload name
+//! — so a change that shifts the paper tables now fails `acc_compare` instead
+//! of silently drifting until someone re-runs `table1`/`table2_to_6` by hand.
+//!
 //! ```bash
 //! cargo run --release -p dmt-bench --bin bench_accuracy
 //! cargo run --release -p dmt-bench --bin bench_accuracy -- \
@@ -33,8 +41,15 @@ use std::path::PathBuf;
 use dmt::eval::json::{Json, ToJson};
 use dmt::eval::{PrequentialConfig, PrequentialRun};
 use dmt::prelude::*;
+use dmt::stream::catalog;
 use dmt::stream::workload::{self, WORKLOADS};
 use dmt_bench::{accuracy_model, bench_seed};
+
+/// Stream scale of the paper-reproduction cells: every Table I data set is
+/// truncated to this fraction of its published size, so the full paper grid
+/// stays a seconds-scale CI job while still exercising each simulator's
+/// schema (nominal cardinalities, class counts, drift profile).
+const DEFAULT_PAPER_SCALE: f64 = 0.01;
 
 struct Options {
     out: String,
@@ -46,6 +61,9 @@ struct Options {
     models: Vec<ModelKind>,
     /// Optional cap on the number of prequential batches (smoke tests).
     max_batches: Option<usize>,
+    /// Scale of the paper-reproduction (Table I) cells; `0` skips them
+    /// entirely (`--paper-scale 0` or `--no-paper`).
+    paper_scale: f64,
 }
 
 impl Default for Options {
@@ -56,6 +74,7 @@ impl Default for Options {
             workloads: WORKLOADS.iter().map(|w| w.name.to_string()).collect(),
             models: STANDALONE_MODELS.to_vec(),
             max_batches: None,
+            paper_scale: DEFAULT_PAPER_SCALE,
         }
     }
 }
@@ -100,6 +119,15 @@ fn parse_options() -> Options {
                     options.max_batches = Some(v);
                     i += 1;
                 }
+            }
+            "--paper-scale" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    options.paper_scale = v;
+                    i += 1;
+                }
+            }
+            "--no-paper" => {
+                options.paper_scale = 0.0;
             }
             _ => {}
         }
@@ -146,9 +174,28 @@ impl ToJson for CellResult {
 fn run_cell(kind: ModelKind, workload_name: &str, options: &Options) -> CellResult {
     // Rebuilt from its pinned-seed file per cell, so every model row of one
     // run consumes the identical instance sequence.
-    let mut stream = workload::build_workload(workload_name, &options.datasets_dir)
+    let stream = workload::build_workload(workload_name, &options.datasets_dir)
         .unwrap_or_else(|e| panic!("workload {workload_name}: {e}"))
         .unwrap_or_else(|| panic!("unknown workload {workload_name}"));
+    evaluate_cell(kind, workload_name.to_string(), stream, options)
+}
+
+/// One paper-reproduction cell: a Table I stream at the pinned
+/// `--paper-scale`, recorded under the `paper:<dataset>` workload name so the
+/// `acc_compare` gate covers the paper grid with the same tolerances as the
+/// real-world-style workloads.
+fn run_paper_cell(kind: ModelKind, dataset: &str, options: &Options) -> CellResult {
+    let stream = catalog::build_stream(dataset, options.paper_scale, bench_seed::STREAM)
+        .unwrap_or_else(|| panic!("unknown Table I dataset {dataset}"));
+    evaluate_cell(kind, format!("paper:{dataset}"), stream, options)
+}
+
+fn evaluate_cell(
+    kind: ModelKind,
+    workload_name: String,
+    mut stream: Box<dyn DataStream>,
+    options: &Options,
+) -> CellResult {
     let schema = stream.schema().clone();
     let mut model = accuracy_model(kind, &schema, bench_seed::MODEL);
     let runner = PrequentialRun::new(PrequentialConfig {
@@ -160,7 +207,7 @@ fn run_cell(kind: ModelKind, workload_name: &str, options: &Options) -> CellResu
     let bytes_per_model = model.memory_bytes() as u64;
     CellResult {
         model: kind.display_name().to_string(),
-        workload: workload_name.to_string(),
+        workload: workload_name,
         instances: result.instances,
         batches: result.num_batches() as u64,
         accuracy: result.overall_accuracy,
@@ -199,6 +246,28 @@ fn main() {
         }
     }
 
+    // Paper-reproduction grid: every Table I data set at the pinned scale,
+    // same models, same gate. Cells are named `paper:<dataset>` so the
+    // blessed file keeps the two surfaces distinguishable.
+    if options.paper_scale > 0.0 {
+        for info in &catalog::TABLE1 {
+            for &kind in &options.models {
+                let cell = run_paper_cell(kind, info.name, &options);
+                println!(
+                    "{:<14}{:<16}{:>10.4}{:>10.4}{:>10.4}{:>10.1}{:>12.1}",
+                    cell.model,
+                    cell.workload,
+                    cell.accuracy,
+                    cell.kappa,
+                    cell.f1,
+                    cell.final_splits,
+                    cell.bytes_per_model as f64 / 1024.0
+                );
+                results.push(cell);
+            }
+        }
+    }
+
     let config = PrequentialConfig::default();
     let doc = Json::Obj(vec![
         ("bench".to_string(), "accuracy_v1".to_json()),
@@ -221,6 +290,7 @@ fn main() {
                     config.min_batch_size.to_json(),
                 ),
                 ("model_seed".to_string(), bench_seed::MODEL.to_json()),
+                ("paper_scale".to_string(), options.paper_scale.to_json()),
             ]),
         ),
         ("results".to_string(), results.to_json()),

@@ -56,6 +56,7 @@
 
 pub mod arena;
 pub mod candidate;
+pub mod epoch;
 pub mod error;
 pub mod explain;
 pub mod export;
@@ -67,6 +68,7 @@ pub mod tree;
 
 pub use arena::{NodeArena, NodeId};
 pub use candidate::{CandidateKey, SplitCandidate};
+pub use epoch::{Epoch, EpochCell, PinnedEpoch};
 pub use error::DmtError;
 pub use explain::{DecisionStep, LeafExplanation};
 pub use export::TreeSummary;

@@ -817,6 +817,23 @@ impl DynamicModelTree {
             + vec_bytes(&self.decisions)
     }
 
+    /// Re-arm (or disarm, with `None`) the resident-memory budget of a live
+    /// tree — see [`DmtConfig::memory_budget_bytes`] for the degradation
+    /// ladder the budget drives.
+    ///
+    /// Used by the multi-tenant registry's fleet-budget arbitration: when
+    /// tenants join or leave, every tree's share of the fleet-wide byte pool
+    /// is recomputed and applied here. The new budget takes effect at the
+    /// end of the next learn batch (the ladder runs at batch boundaries);
+    /// disarming a budget also clears a standing growth freeze so the tree
+    /// resumes splitting immediately.
+    pub fn set_memory_budget(&mut self, budget: Option<usize>) {
+        self.config.memory_budget_bytes = budget;
+        if budget.is_none() {
+            self.growth_frozen = false;
+        }
+    }
+
     /// Whether the budget ladder is currently sitting on its hard floor
     /// (rung 4): the last enforcement pass could not fit the tree under
     /// [`DmtConfig::memory_budget_bytes`], so new splits and replacements

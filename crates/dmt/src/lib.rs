@@ -45,6 +45,7 @@ pub use dmt_eval as eval;
 pub use dmt_models as models;
 pub use dmt_stream as stream;
 
+pub mod registry;
 pub mod zoo;
 
 /// The most common imports in one place.
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use crate::core::{DmtConfig, DynamicModelTree, Parallelism};
     pub use crate::eval::{PrequentialConfig, PrequentialResult, PrequentialRun};
     pub use crate::models::{BatchMode, Complexity, OnlineClassifier, SimpleModel};
+    pub use crate::registry::{ModelRegistry, RegistryConfig, RegistryError};
     pub use crate::stream::{
         build_workload, build_workload_default, Batch, DataStream, Instance, StreamSchema,
         WorkloadInfo, WORKLOADS,

@@ -1,0 +1,62 @@
+//! Minimal end-to-end tour of the serving plane: start a [`DmtServer`] over
+//! a [`ModelRegistry`], register a DMT tenant, then drive it from a
+//! [`ServeClient`] — learn a few batches, predict against the published
+//! epoch snapshot, and read the tenant's serving stats.
+//!
+//! ```bash
+//! cargo run -p dmt-serve --release --example serve_quickstart
+//! ```
+
+use std::sync::Arc;
+
+use dmt::prelude::*;
+use dmt::zoo::ZooModel;
+use dmt_serve::{DmtServer, ServeClient, ServeConfig};
+
+fn main() {
+    // 1. A registry holds the named tenants; the server multiplexes TCP
+    //    clients onto it. Port 0 picks a free port.
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig::default()));
+    let schema = StreamSchema::numeric("quickstart", 2, 2);
+    let tree = DynamicModelTree::new(schema.clone(), DmtConfig::default());
+    registry
+        .register("demo", schema, ZooModel::Dmt(tree))
+        .expect("register tenant");
+    let mut server =
+        DmtServer::start(ServeConfig::default(), Arc::clone(&registry)).expect("start server");
+    println!("serving on {}", server.local_addr());
+
+    // 2. A client speaks the length-prefixed sealed-frame protocol; every
+    //    call is one request frame and one response frame.
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Learn a toy concept: class = (x0 + x1 > 1.0).
+    for step in 0..200 {
+        let x0 = (step % 20) as f64 / 20.0;
+        let x1 = ((step * 7) % 20) as f64 / 20.0;
+        let rows_data = [[x0, x1]];
+        let rows: Vec<&[f64]> = rows_data.iter().map(|r| r.as_slice()).collect();
+        let label = usize::from(x0 + x1 > 1.0);
+        let (epoch, observations) = client.learn("demo", &rows, &[label]).expect("learn rpc");
+        if step == 199 {
+            println!("learned {observations} instances, serving epoch {epoch:?}");
+        }
+    }
+
+    // 3. Predictions answer from the pinned epoch snapshot — they never wait
+    //    on a writer, and the reported epoch tells you exactly which
+    //    published tree produced them.
+    let probe_data = [[0.1, 0.2], [0.9, 0.8]];
+    let probe: Vec<&[f64]> = probe_data.iter().map(|r| r.as_slice()).collect();
+    let (epoch, predictions) = client.predict("demo", &probe).expect("predict rpc");
+    println!("epoch {epoch:?} predicts {predictions:?}");
+
+    let stats = client.stats("demo").expect("stats rpc");
+    println!(
+        "tenant kind {} at epoch {}: {} observations, {} bytes resident",
+        stats.kind, stats.epoch, stats.observations, stats.memory_bytes
+    );
+
+    drop(client);
+    server.shutdown();
+}
