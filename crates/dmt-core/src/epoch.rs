@@ -34,6 +34,16 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::lockrank::{LockRank, RankToken};
+
+/// Debug-build ceiling on [`EpochCell::live_epochs`]: the serving plane
+/// retains the current epoch plus one per in-flight pin, so a live count
+/// beyond this bound means pins are being leaked (held across batches or
+/// parked in a collection) rather than dropped after each prediction.
+/// [`EpochCell::publish`] asserts against it under `cfg(debug_assertions)`;
+/// release builds carry no check.
+pub const EPOCH_LEAK_HIGH_WATER: usize = 256;
+
 /// One published snapshot: an immutable value tagged with the sequence
 /// number the writer published it under.
 ///
@@ -122,6 +132,7 @@ impl<T> EpochCell<T> {
     /// critical section but the `Arc` operations — but a poisoned lock is
     /// still served (the pointer is always valid) rather than panicking.
     pub fn pin(&self) -> PinnedEpoch<T> {
+        let _rank = RankToken::acquire(LockRank::EpochCell);
         match self.current.read() {
             Ok(guard) => Arc::clone(&guard),
             Err(poisoned) => Arc::clone(&poisoned.into_inner()),
@@ -135,12 +146,25 @@ impl<T> EpochCell<T> {
     /// still memory-safe, they just interleave their sequence numbers.
     pub fn publish(&self, value: T) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        self.live.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        // Leak detector (debug builds): a healthy cell holds the current
+        // epoch plus one per in-flight pin; a count past the high-water mark
+        // means readers are leaking pins, and the test that drove it here
+        // should fail loudly instead of the process growing without bound.
+        #[cfg(debug_assertions)]
+        assert!(
+            live <= EPOCH_LEAK_HIGH_WATER,
+            "epoch leak: {live} live epochs exceed the high-water mark of \
+             {EPOCH_LEAK_HIGH_WATER} — pins are being retained across publishes"
+        );
+        #[cfg(not(debug_assertions))]
+        let _ = live;
         let epoch = Arc::new(Epoch {
             seq,
             value,
             live: Arc::clone(&self.live),
         });
+        let _rank = RankToken::acquire(LockRank::EpochCell);
         let mut guard = match self.current.write() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -194,6 +218,33 @@ mod tests {
         // one — the 99 superseded, unpinned epochs were reclaimed eagerly.
         assert_eq!(cell.live_epochs(), 2);
         drop(old);
+        assert_eq!(cell.live_epochs(), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "epoch leak")]
+    fn leaked_pins_trip_the_high_water_detector() {
+        let cell = EpochCell::new(0usize);
+        // A pathological reader parks every pin instead of dropping it; the
+        // publish that pushes the live count past the bound must panic.
+        let mut leaked = Vec::new();
+        for i in 1..=(EPOCH_LEAK_HIGH_WATER + 1) {
+            leaked.push(cell.pin());
+            cell.publish(i);
+        }
+    }
+
+    #[test]
+    fn bounded_pins_stay_under_the_high_water_mark() {
+        // The detector must NOT fire for the intended usage: pins dropped
+        // promptly, far more publishes than the bound.
+        let cell = EpochCell::new(0usize);
+        for i in 1..=(2 * EPOCH_LEAK_HIGH_WATER) {
+            let pin = cell.pin();
+            assert_eq!(**pin, i - 1);
+            cell.publish(i);
+        }
         assert_eq!(cell.live_epochs(), 1);
     }
 

@@ -60,6 +60,7 @@ pub mod epoch;
 pub mod error;
 pub mod explain;
 pub mod export;
+pub mod lockrank;
 pub mod node;
 pub mod parallel;
 pub mod scratch;
@@ -72,6 +73,7 @@ pub use epoch::{Epoch, EpochCell, PinnedEpoch};
 pub use error::DmtError;
 pub use explain::{DecisionStep, LeafExplanation};
 pub use export::TreeSummary;
+pub use lockrank::{LockRank, RankToken, Ranked};
 pub use node::{GainDecision, NodeStats};
 pub use parallel::{Parallelism, WorkerPool, MAX_WORKERS};
 pub use scratch::{PredictScratch, UpdateScratch};

@@ -71,6 +71,8 @@ use std::sync::Weak;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::lockrank::{LockRank, RankToken};
+
 /// Hard ceiling on the resolved worker count: a configuration or environment
 /// value beyond this is clamped, so `DMT_PARALLELISM=100000` can never ask
 /// the pool to spawn an absurd number of threads.
@@ -371,6 +373,7 @@ impl WorkerPool {
         let task = erase_job_lifetime(&drain);
         let my_generation;
         {
+            let _rank = RankToken::acquire(LockRank::PoolJobSlot);
             let mut state = self.shared.state.lock().expect("pool state");
             state.generation += 1;
             my_generation = state.generation;
@@ -432,6 +435,7 @@ struct RetireGuard<'p> {
 
 impl Drop for RetireGuard<'_> {
     fn drop(&mut self) {
+        let _rank = RankToken::acquire(LockRank::PoolJobSlot);
         let mut state = self.shared.state.lock().expect("pool state");
         if state
             .job
@@ -450,6 +454,7 @@ impl Drop for WorkerPool {
     /// returns, no pool thread is running (or will ever run) anywhere.
     fn drop(&mut self) {
         {
+            let _rank = RankToken::acquire(LockRank::PoolJobSlot);
             let mut state = self.shared.state.lock().expect("pool state");
             state.shutdown = true;
             self.shared.work.notify_all();
@@ -488,13 +493,27 @@ fn erase_job_lifetime<'a>(task: &'a (dyn Fn() + Sync + 'a)) -> *const (dyn Fn() 
 /// each published generation exactly once, repeat.
 fn worker_loop(shared: Arc<PoolShared>) {
     let mut last_generation = 0u64;
+    let mut rank = RankToken::acquire(LockRank::PoolJobSlot);
     let mut state = shared.state.lock().expect("pool state");
     loop {
         if let Some(job) = state.job {
             if job.generation != last_generation {
+                // Job-slot generation invariant: the dispatch counter only
+                // ever increments under the state lock, so a resident thread
+                // must observe published generations strictly increasing. A
+                // violation means the slot was overwritten with a stale job
+                // — exactly the torn hand-off the retire protocol exists to
+                // prevent.
+                debug_assert!(
+                    job.generation > last_generation,
+                    "pool job slot regressed: saw generation {} after {}",
+                    job.generation,
+                    last_generation
+                );
                 last_generation = job.generation;
                 state.enter(job.generation);
                 drop(state);
+                drop(rank);
                 // SAFETY: the dispatching `run` call does not return before
                 // this thread leaves the generation below, so the closure
                 // and everything it borrows are still alive.
@@ -506,6 +525,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 // dispatcher — so guard the call here too (the payload, if
                 // any, was already recorded by the closure itself).
                 let _ = catch_unwind(AssertUnwindSafe(task));
+                rank = RankToken::acquire(LockRank::PoolJobSlot);
                 state = shared.state.lock().expect("pool state");
                 if state.leave(job.generation) {
                     shared.done.notify_all();
@@ -518,6 +538,8 @@ fn worker_loop(shared: Arc<PoolShared>) {
         }
         state = shared.work.wait(state).expect("pool state");
     }
+    drop(state);
+    drop(rank);
 }
 
 /// The serial fallback shared by pool-less callers and one-executor pools:

@@ -42,7 +42,10 @@
 //!   environment variable is set it overrides the snapshotted
 //!   [`DmtConfig::parallelism`], so a snapshot saved by a serial build can be
 //!   served by a threaded deployment (and vice versa) — results stay
-//!   bit-identical either way.
+//!   bit-identical either way. The override never leaks back into the wire
+//!   bytes: re-saving a restored tree writes the *persisted* parallelism
+//!   ([`DynamicModelTree::persisted_parallelism`]), so save → load → save is
+//!   the identity on bytes regardless of the restoring host's environment.
 
 use std::fs::File;
 use std::io::Write as _;
@@ -65,6 +68,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DMTSNAP\0";
 /// [`SnapshotError::VersionSkew`]. Version 2 appended the optional
 /// [`DmtConfig::memory_budget_bytes`] field to the config record.
 pub const SNAPSHOT_VERSION: u32 = 2;
+
+// The byte-level primitives crate sits below this one in the dependency
+// stack and cannot import SNAPSHOT_VERSION, so it carries its own copy; the
+// two must move in lockstep (dmt_lint's `version-skew` pass checks the
+// literals, this guard checks the build).
+const _: () = assert!(SNAPSHOT_VERSION == dmt_models::wire::WIRE_FORMAT_VERSION);
 
 /// Byte length of the fixed snapshot header (magic, version, checksum,
 /// payload length).
@@ -674,7 +683,13 @@ impl DynamicModelTree {
     /// (header, checksum and payload — see the [module docs](self)).
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        encode_config(self.config(), &mut w);
+        // Serialise the parallelism the model was created (or restored)
+        // with, not the host-local override currently in effect — restoring
+        // under `DMT_PARALLELISM` and re-saving must reproduce the original
+        // bytes.
+        let mut config = self.config().clone();
+        config.parallelism = self.persisted_parallelism();
+        encode_config(&config, &mut w);
         encode_schema(self.schema(), &mut w);
         w.put_u64(self.observations());
         w.put_u32(self.root_id().index() as u32);
@@ -705,6 +720,9 @@ impl DynamicModelTree {
         let payload = open_payload(bytes)?;
         let mut r = Reader::new(payload);
         let mut config = decode_config(&mut r)?;
+        // The decoded (pre-override) parallelism is what a re-save must
+        // write back out; the override below only affects this process.
+        let persisted_parallelism = config.parallelism;
         if std::env::var_os("DMT_PARALLELISM").is_some() {
             config.parallelism = Parallelism::from_env();
         }
@@ -748,6 +766,7 @@ impl DynamicModelTree {
         }
         Ok(DynamicModelTree::from_snapshot_parts(
             config,
+            persisted_parallelism,
             schema,
             arena,
             root,

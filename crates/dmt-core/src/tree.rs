@@ -147,6 +147,13 @@ impl DmtConfig {
 /// partition.
 pub struct DynamicModelTree {
     config: DmtConfig,
+    /// The parallelism setting that snapshots of this tree serialise.
+    /// `config.parallelism` is host-local (the `DMT_PARALLELISM` environment
+    /// variable overrides it on restore), but a snapshot must round-trip the
+    /// *model's* bytes unchanged regardless of the restoring host's override,
+    /// so the pre-override value is carried here and written back out by
+    /// `to_snapshot_bytes`.
+    persisted_parallelism: Parallelism,
     schema: StreamSchema,
     nominal_features: Vec<bool>,
     arena: NodeArena,
@@ -196,6 +203,7 @@ impl Clone for DynamicModelTree {
     fn clone(&self) -> Self {
         Self {
             config: self.config.clone(),
+            persisted_parallelism: self.persisted_parallelism,
             schema: self.schema.clone(),
             nominal_features: self.nominal_features.clone(),
             arena: self.arena.clone(),
@@ -222,6 +230,7 @@ impl DynamicModelTree {
         let root_model = Glm::new_random(schema.num_features(), schema.num_classes, config.seed);
         let (arena, root) = NodeArena::with_root(NodeStats::new(root_model));
         Self {
+            persisted_parallelism: config.parallelism,
             config,
             schema,
             nominal_features,
@@ -242,6 +251,7 @@ impl DynamicModelTree {
     /// pool, worker pool) start empty exactly like a fresh clone's.
     pub(crate) fn from_snapshot_parts(
         config: DmtConfig,
+        persisted_parallelism: Parallelism,
         schema: StreamSchema,
         arena: NodeArena,
         root: NodeId,
@@ -255,6 +265,7 @@ impl DynamicModelTree {
             .collect();
         Self {
             config,
+            persisted_parallelism,
             schema,
             nominal_features,
             arena,
@@ -290,6 +301,15 @@ impl DynamicModelTree {
     /// The configuration in use.
     pub fn config(&self) -> &DmtConfig {
         &self.config
+    }
+
+    /// The parallelism setting snapshots of this tree serialise: the value
+    /// the tree was created with, or the snapshotted value it was restored
+    /// from — *not* any `DMT_PARALLELISM` host override currently steering
+    /// [`DmtConfig::parallelism`]. Save/restore/re-save round-trips the
+    /// snapshot bytes unchanged because this value survives the override.
+    pub fn persisted_parallelism(&self) -> Parallelism {
+        self.persisted_parallelism
     }
 
     /// The stream schema the tree was built for.

@@ -18,6 +18,13 @@
 
 use std::fmt;
 
+/// Version of the on-disk / on-wire encoding produced by these primitives'
+/// callers. This crate is the bottom of the dependency stack, so it cannot
+/// see `dmt_core::snapshot::SNAPSHOT_VERSION`; instead the snapshot module
+/// compile-time-asserts equality with this constant, and the `dmt-verify`
+/// `version-skew` lint cross-checks the literals. Bump both together.
+pub const WIRE_FORMAT_VERSION: u32 = 2;
+
 /// Typed decoding failure: either the buffer ended early or the bytes decode
 /// to a structurally invalid value.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,428 @@
+//! A minimal Rust lexer: just enough tokenization for source-level lints.
+//!
+//! The build environment has no crates-registry access, so `syn` (and a real
+//! parser) are not options. The lints in this crate only need a faithful
+//! token stream — identifiers, punctuation, literals and comments with line
+//! numbers — plus the guarantee that nothing inside a string literal or a
+//! comment is ever mistaken for code. The lexer therefore handles the full
+//! Rust literal surface (raw strings with `#` fences, byte strings, char
+//! literals vs. lifetimes, nested block comments) but does not attempt to
+//! parse items; structural questions (brace ranges, `#[cfg(test)]` regions,
+//! function bodies) are answered over the token stream by [`crate::source`].
+
+/// What a token is, as far as the lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `Vec`, `spawn`, …).
+    Ident,
+    /// A single punctuation byte (`.`, `:`, `{`, `!`, `#`, …). Multi-byte
+    /// operators come through as consecutive tokens; the lints only match
+    /// single-byte shapes (`.` before a call, `::` as two `:` tokens).
+    Punct,
+    /// An integer or float literal (prefix/suffix included, e.g. `0x1f_u32`).
+    Number,
+    /// A string, raw-string, byte-string or char literal. Contents are
+    /// opaque: nothing inside a literal can trip a lint.
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A `// …` line comment (doc comments included). Contents preserved so
+    /// the `// SAFETY:` convention can be checked.
+    LineComment,
+    /// A `/* … */` block comment (nesting handled). Never consulted for
+    /// `SAFETY:` (the workspace convention is line comments), but kept so
+    /// the token stream covers the whole file.
+    BlockComment,
+}
+
+/// One token with its position. `text` borrows from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// The token's classification.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first byte (diagnostics are `file:line`).
+    pub line: u32,
+    /// The token's source text, borrowed from the input.
+    pub text: &'a str,
+}
+
+impl<'a> Token<'a> {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenize `source`. Unterminated literals or comments are tolerated (the
+/// rest of the file becomes one literal/comment token): the linter must
+/// never panic on a source file, it reports over whatever it could lex.
+pub fn tokenize(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source.as_bytes(),
+        text: source,
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'r' | b'b' if self.starts_raw_string() => {
+                    self.take_raw_string();
+                    self.push(TokenKind::Literal, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.take_char_literal();
+                    self.push(TokenKind::Literal, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.take_string();
+                    self.push(TokenKind::Literal, start, line);
+                }
+                b'"' => {
+                    self.take_string();
+                    self.push(TokenKind::Literal, start, line);
+                }
+                b'\'' => {
+                    if self.is_lifetime() {
+                        self.pos += 1;
+                        self.take_ident_tail();
+                        self.push(TokenKind::Lifetime, start, line);
+                    } else {
+                        self.take_char_literal();
+                        self.push(TokenKind::Literal, start, line);
+                    }
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() => {
+                    self.take_ident_tail();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.take_number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            line,
+            text: &self.text[start..self.pos],
+        });
+    }
+
+    fn bump_line(&mut self, b: u8) {
+        if b == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_line(self.src[self.pos]);
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// At `r` or `b`: does a raw (byte) string start here? (`r"`, `r#`,
+    /// `br"`, `br#`, `rb` is not Rust.)
+    fn starts_raw_string(&self) -> bool {
+        let mut i = self.pos;
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        if self.src.get(i) != Some(&b'r') {
+            return false;
+        }
+        i += 1;
+        matches!(self.src.get(i), Some(b'"') | Some(b'#'))
+    }
+
+    fn take_raw_string(&mut self) {
+        // Skip optional `b`, the `r`, then count `#` fences.
+        if self.src[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        self.pos += 1; // r
+        let mut fences = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fences += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'"') {
+            self.pos += 1;
+        }
+        // Scan for `"` followed by `fences` hashes.
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            self.bump_line(b);
+            self.pos += 1;
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < fences && self.peek(0) == Some(b'#') {
+                    seen += 1;
+                    self.pos += 1;
+                }
+                if seen == fences {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn take_string(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            self.bump_line(b);
+            self.pos += 1;
+            match b {
+                b'\\' if self.pos < self.src.len() => {
+                    self.bump_line(self.src[self.pos]);
+                    self.pos += 1;
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// At a `'`: lifetime (`'a`, `'static`) or char literal (`'x'`, `'\n'`)?
+    /// A lifetime is `'` + ident-start NOT followed by a closing `'`.
+    fn is_lifetime(&self) -> bool {
+        match self.peek(1) {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // `'a'` is a char, `'a ` / `'a,` / `'abc` are lifetimes.
+                let mut i = self.pos + 2;
+                while self
+                    .src
+                    .get(i)
+                    .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                self.src.get(i) != Some(&b'\'')
+            }
+            _ => false,
+        }
+    }
+
+    fn take_char_literal(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            self.bump_line(b);
+            self.pos += 1;
+            match b {
+                b'\\' if self.pos < self.src.len() => {
+                    self.pos += 1;
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn take_ident_tail(&mut self) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn take_number(&mut self) {
+        // Good enough for lint purposes: digits, prefixes, underscores, one
+        // dot, exponent and suffix letters all fold into one Number token.
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|&c| c == b'_' || c == b'.' || c.is_ascii_alphanumeric())
+        {
+            // Stop on `..` (range) and on a dot followed by an ident start
+            // (`0.max(x)` — method call on a literal).
+            if self.src[self.pos] == b'.' {
+                match self.peek(1) {
+                    Some(b'.') => break,
+                    Some(c) if c == b'_' || c.is_ascii_alphabetic() => break,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+            // A signed exponent (`1.0e-3`): consume the sign so the whole
+            // float stays one token.
+            if matches!(
+                self.src.get(self.pos.wrapping_sub(1)),
+                Some(b'e') | Some(b'E')
+            ) && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_puncts_and_numbers() {
+        let t = kinds("let x = foo.unwrap() + 0x1f_u32;");
+        assert!(t.contains(&(TokenKind::Ident, "unwrap")));
+        assert!(t.contains(&(TokenKind::Punct, ".")));
+        assert!(t.contains(&(TokenKind::Number, "0x1f_u32")));
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let t = kinds(r#"let s = "unsafe { panic!() } // SAFETY: no";"#);
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && *s == "unsafe"));
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"has \"quotes\" and unsafe\"#; let t = br\"bytes\";";
+        let t = kinds(src);
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Literal).count(),
+            2
+        );
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && *s == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_keep_text_and_lines() {
+        let src = "// SAFETY: fine\nfn f() {}\n/* block\nspans */ fn g() {}";
+        let tokens = tokenize(src);
+        let comment = &tokens[0];
+        assert_eq!(comment.kind, TokenKind::LineComment);
+        assert!(comment.text.starts_with("// SAFETY:"));
+        assert_eq!(comment.line, 1);
+        let g = tokens
+            .iter()
+            .find(|t| t.is_ident("g"))
+            .expect("g tokenized");
+        assert_eq!(g.line, 4, "block comment advanced the line counter");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(t[0].0, TokenKind::BlockComment);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && *s == "fn"));
+    }
+
+    #[test]
+    fn unterminated_literal_does_not_panic() {
+        let t = kinds("let s = \"never closed");
+        assert_eq!(t.last().expect("tokens").0, TokenKind::Literal);
+    }
+
+    #[test]
+    fn float_method_calls_split_at_the_dot() {
+        let t = kinds("let x = 0.5; let y = 1.0e-3; let z = 0.max(2); 0..4");
+        assert!(t.contains(&(TokenKind::Number, "0.5")));
+        assert!(t.contains(&(TokenKind::Number, "1.0e-3")));
+        assert!(t.contains(&(TokenKind::Ident, "max")));
+        assert!(t.contains(&(TokenKind::Number, "0")));
+    }
+}

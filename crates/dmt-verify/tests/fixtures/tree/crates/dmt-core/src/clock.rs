@@ -1,0 +1,7 @@
+//! Fixture: wall-clock reads in a deterministic crate →
+//! `nondeterministic-time`.
+
+pub fn stamp() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

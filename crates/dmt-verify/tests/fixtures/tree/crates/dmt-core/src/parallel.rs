@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` is *allowed* in this path, but the second occurrence
+//! has no `// SAFETY:` comment → `missing-safety`.
+
+// SAFETY: fixture — a documented unsafe item is clean.
+unsafe impl Send for Covered {}
+
+unsafe impl Send for Uncovered {}
+
+struct Covered;
+struct Uncovered;

@@ -1,0 +1,16 @@
+//! Fixture: an allocation inside the designated hot function `gather`
+//! → `hot-path-alloc`; the same call in a cold function is clean.
+
+pub struct Scratch {
+    buf: Vec<f64>,
+}
+
+impl Scratch {
+    pub fn gather(&mut self, xs: &[f64]) {
+        self.buf = xs.to_vec();
+    }
+
+    pub fn cold(&self, xs: &[f64]) -> Vec<f64> {
+        xs.to_vec()
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: the canonical wire-format version constant.
+
+pub const SNAPSHOT_VERSION: u32 = 2;

@@ -1,0 +1,14 @@
+//! Fixture: an ad-hoc OS thread outside the managed pools →
+//! `forbidden-spawn`. The test-gated spawn must NOT count.
+
+pub fn rogue() {
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

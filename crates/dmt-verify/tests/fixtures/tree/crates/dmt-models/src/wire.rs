@@ -1,0 +1,3 @@
+//! Fixture: a lockstep version constant that drifted → `version-skew`.
+
+pub const WIRE_FORMAT_VERSION: u32 = 1;

@@ -1,0 +1,5 @@
+//! Fixture: a referrer that imports the canonical constant — clean.
+
+pub fn frame_version() -> u32 {
+    dmt_core::snapshot::SNAPSHOT_VERSION
+}

@@ -49,6 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use dmt_core::epoch::EpochCell;
+use dmt_core::lockrank::{LockRank, RankToken, Ranked};
 use dmt_core::{DmtError, DynamicModelTree, Parallelism, WorkerPool};
 use dmt_models::Rows;
 use dmt_stream::StreamSchema;
@@ -202,15 +203,19 @@ struct Tenant {
 }
 
 impl Tenant {
-    fn lock_writer(&self) -> MutexGuard<'_, ZooModel> {
+    fn lock_writer(&self) -> Ranked<MutexGuard<'_, ZooModel>> {
+        // The rank token must exist before blocking on the lock so an
+        // out-of-order acquisition asserts instead of deadlocking.
+        let token = RankToken::acquire(LockRank::TenantWriter);
         // Model code behind this lock is panic-audited (typed errors on
         // hostile input), but a poisoned lock must not wedge the tenant
         // forever: the model state is still consistent (learn validates
         // before mutating), so recover the guard.
-        match self.writer.lock() {
+        let guard = match self.writer.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        Ranked::new(token, guard)
     }
 }
 
@@ -251,20 +256,24 @@ impl ModelRegistry {
 
     fn read_shard(
         shard: &RwLock<HashMap<String, Arc<Tenant>>>,
-    ) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Tenant>>> {
-        match shard.read() {
+    ) -> Ranked<std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Tenant>>>> {
+        let token = RankToken::acquire(LockRank::RegistryMap);
+        let guard = match shard.read() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        Ranked::new(token, guard)
     }
 
     fn write_shard(
         shard: &RwLock<HashMap<String, Arc<Tenant>>>,
-    ) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Tenant>>> {
-        match shard.write() {
+    ) -> Ranked<std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Tenant>>>> {
+        let token = RankToken::acquire(LockRank::RegistryMap);
+        let guard = match shard.write() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        Ranked::new(token, guard)
     }
 
     fn tenant(&self, name: &str) -> Result<Arc<Tenant>, RegistryError> {
